@@ -1,0 +1,99 @@
+// Shared plumbing for the table harnesses: suite selection, the
+// "irredundant starting point" preparation step (the paper's circuits are
+// irredundant, hence the irs prefix), and best-of-K resynthesis runs.
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "atpg/redundancy.hpp"
+#include "core/resynth.hpp"
+#include "gen/circuits.hpp"
+#include "netlist/equivalence.hpp"
+#include "netlist/netlist.hpp"
+#include "paths/paths.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace compsyn::bench {
+
+/// Suite selection: --circuits=a,b,c overrides; --full includes the largest
+/// entries; the default keeps the whole binary in the tens-of-seconds range.
+inline std::vector<std::string> select_circuits(const Cli& cli,
+                                                std::vector<std::string> defaults) {
+  if (cli.has("circuits")) {
+    std::vector<std::string> out;
+    for (const std::string& s : split(cli.get("circuits"), ',')) {
+      if (!s.empty()) out.push_back(s);
+    }
+    return out;
+  }
+  if (cli.has("full")) {
+    std::vector<std::string> out;
+    for (const auto& e : benchmark_suite()) out.push_back(e.name);
+    return out;
+  }
+  return defaults;
+}
+
+/// The paper starts from irredundant circuits ("irs" prefix): build the
+/// named benchmark and remove redundancies.
+inline Netlist prepare_irredundant(const std::string& name) {
+  Netlist nl = make_benchmark(name);
+  remove_redundancies(nl);
+  nl.set_name("irs_" + name);
+  return nl;
+}
+
+struct BestOfK {
+  Netlist netlist;
+  unsigned k = 0;
+  ResynthStats stats;
+};
+
+/// Runs the procedure at each K and keeps the best result (Procedure 2:
+/// fewest gates, then fewest paths; Procedure 3: fewest paths), mirroring
+/// the per-circuit K choice reported in Tables 2 and 5.
+inline BestOfK best_of_k(const Netlist& base, ResynthObjective objective,
+                         const std::vector<unsigned>& ks) {
+  BestOfK best;
+  bool first = true;
+  for (unsigned k : ks) {
+    Netlist nl = base;
+    ResynthOptions opt;
+    opt.objective = objective;
+    opt.k = k;
+    opt.allow_gate_increase = objective != ResynthObjective::Gates;
+    ResynthStats st = resynthesize(nl, opt);
+    const bool better =
+        objective == ResynthObjective::Gates
+            ? (st.gates_after < best.stats.gates_after ||
+               (st.gates_after == best.stats.gates_after &&
+                st.paths_after < best.stats.paths_after))
+            : (st.paths_after < best.stats.paths_after);
+    if (first || better) {
+      best.netlist = std::move(nl);
+      best.k = k;
+      best.stats = st;
+      first = false;
+    }
+  }
+  return best;
+}
+
+/// Sanity net: every harness verifies the transformation preserved the
+/// function before reporting numbers.
+inline void verify_or_die(const Netlist& a, const Netlist& b, const std::string& what) {
+  Rng rng(0xC0FFEE);
+  const auto res = check_equivalent(a, b, rng, /*random_words=*/64);
+  if (!res.equivalent) {
+    std::cerr << "FATAL: " << what << " changed the circuit function ("
+              << res.message << ")\n";
+    std::exit(1);
+  }
+}
+
+}  // namespace compsyn::bench

@@ -1,0 +1,111 @@
+// google-benchmark microbenchmarks for the core kernels (not a paper table;
+// useful for tracking the cost of the building blocks).
+#include <benchmark/benchmark.h>
+
+#include "core/comparison.hpp"
+#include "core/comparison_unit.hpp"
+#include "core/resynth.hpp"
+#include "faults/fault_sim.hpp"
+#include "gen/circuits.hpp"
+#include "paths/paths.hpp"
+#include "util/rng.hpp"
+
+namespace compsyn {
+namespace {
+
+void BM_CountPaths(benchmark::State& state) {
+  Netlist nl = make_benchmark("syn600");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(count_paths(nl).total);
+  }
+}
+BENCHMARK(BM_CountPaths);
+
+void BM_Simulate64Patterns(benchmark::State& state) {
+  Netlist nl = make_benchmark("syn600");
+  Rng rng(1);
+  std::vector<std::uint64_t> pi(nl.inputs().size());
+  std::vector<std::uint64_t> values;
+  for (auto _ : state) {
+    for (auto& w : pi) w = rng.next();
+    nl.simulate_into(pi, values);
+    benchmark::DoNotOptimize(values.data());
+  }
+}
+BENCHMARK(BM_Simulate64Patterns);
+
+void BM_IdentifyComparisonExact(benchmark::State& state) {
+  const unsigned n = static_cast<unsigned>(state.range(0));
+  Rng rng(42);
+  std::vector<TruthTable> tables;
+  for (int i = 0; i < 64; ++i) {
+    tables.push_back(
+        TruthTable::from_function(n, [&](std::uint32_t) { return rng.flip(); }));
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(identify_comparison(tables[i++ & 63]));
+  }
+}
+BENCHMARK(BM_IdentifyComparisonExact)->Arg(4)->Arg(5)->Arg(6);
+
+void BM_IdentifyComparisonSampled(benchmark::State& state) {
+  const unsigned n = static_cast<unsigned>(state.range(0));
+  Rng rng(42);
+  std::vector<TruthTable> tables;
+  for (int i = 0; i < 64; ++i) {
+    tables.push_back(
+        TruthTable::from_function(n, [&](std::uint32_t) { return rng.flip(); }));
+  }
+  Rng prng(7);
+  IdentifyOptions opt;
+  opt.exact = false;
+  opt.sample_tries = 200;
+  opt.rng = &prng;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(identify_comparison(tables[i++ & 63], opt));
+  }
+}
+BENCHMARK(BM_IdentifyComparisonSampled)->Arg(4)->Arg(5)->Arg(6);
+
+void BM_BuildComparisonUnit(benchmark::State& state) {
+  ComparisonSpec spec;
+  spec.n = 6;
+  spec.perm = {0, 1, 2, 3, 4, 5};
+  spec.lower = 11;
+  spec.upper = 52;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(build_unit_netlist(spec));
+  }
+}
+BENCHMARK(BM_BuildComparisonUnit);
+
+void BM_FaultSimBlock(benchmark::State& state) {
+  Netlist nl = make_benchmark("syn300");
+  FaultSimulator sim(nl, enumerate_faults(nl, true));
+  Rng rng(3);
+  std::vector<std::uint64_t> pi(nl.inputs().size());
+  std::uint64_t base = 0;
+  for (auto _ : state) {
+    for (auto& w : pi) w = rng.next();
+    benchmark::DoNotOptimize(sim.simulate_block(pi, base));
+    base += 64;
+  }
+}
+BENCHMARK(BM_FaultSimBlock);
+
+void BM_Procedure2(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    Netlist nl = make_benchmark("syn150");
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(procedure2(nl, 5));
+  }
+}
+BENCHMARK(BM_Procedure2)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace compsyn
+
+BENCHMARK_MAIN();

@@ -1,0 +1,94 @@
+// Testability report for a circuit before and after Procedure 2: stuck-at
+// ATPG summary (testable / redundant), random-pattern stuck-at coverage, and
+// robust path-delay-fault coverage under random vector pairs -- the
+// measurements behind Tables 6 and 7, for one circuit, side by side.
+//
+//   $ ./testability_report syn150
+//   $ ./testability_report --patterns=65536 --pairs=100000 cmp8
+#include <iostream>
+
+#include "atpg/podem.hpp"
+#include "atpg/redundancy.hpp"
+#include "core/resynth.hpp"
+#include "delay/robust.hpp"
+#include "faults/fault_sim.hpp"
+#include "gen/circuits.hpp"
+#include "paths/paths.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+using namespace compsyn;
+
+namespace {
+
+struct Report {
+  std::uint64_t gates, paths;
+  AtpgSummary atpg;
+  SafExperimentResult saf;
+  PdfExperimentResult pdf;
+};
+
+Report measure(const Netlist& nl, std::uint64_t patterns, std::uint64_t pairs,
+               std::uint64_t seed) {
+  Report r;
+  r.gates = nl.equivalent_gate_count();
+  r.paths = count_paths(nl).total;
+  r.atpg = run_podem_all(nl, enumerate_faults(nl, true));
+  Rng r1(seed);
+  r.saf = random_saf_experiment(nl, r1, patterns);
+  Rng r2(seed);
+  r.pdf = random_robust_pdf(nl, r2, /*stop_window=*/pairs / 10 + 1, pairs);
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const std::string name =
+      cli.positional().empty() ? "syn150" : cli.positional()[0];
+  const std::uint64_t patterns = cli.get_u64("patterns", 1 << 16);
+  const std::uint64_t pairs = cli.get_u64("pairs", 200000);
+  const std::uint64_t seed = cli.get_u64("seed", 31337);
+
+  Netlist nl = make_benchmark(name);
+  remove_redundancies(nl);
+  Netlist modified = nl;
+  procedure2(modified, 6);
+  remove_redundancies(modified);
+
+  std::cout << "testability report for irs_" << name << " (original vs Procedure 2)\n\n";
+  const Report a = measure(nl, patterns, pairs, seed);
+  const Report b = measure(modified, patterns, pairs, seed);
+
+  Table t({"metric", "original", "modified"});
+  t.row().add("equivalent 2-input gates").add(a.gates).add(b.gates);
+  t.row().add("paths").add_commas(a.paths).add_commas(b.paths);
+  t.row().add("collapsed stuck-at faults").add(static_cast<std::uint64_t>(a.atpg.total))
+      .add(static_cast<std::uint64_t>(b.atpg.total));
+  t.row().add("ATPG-testable").add(static_cast<std::uint64_t>(a.atpg.detected))
+      .add(static_cast<std::uint64_t>(b.atpg.detected));
+  t.row().add("ATPG-redundant").add(static_cast<std::uint64_t>(a.atpg.untestable))
+      .add(static_cast<std::uint64_t>(b.atpg.untestable));
+  t.row().add("random-pattern undetected").add(static_cast<std::uint64_t>(a.saf.remaining))
+      .add(static_cast<std::uint64_t>(b.saf.remaining));
+  t.row().add("last effective pattern").add_commas(a.saf.last_effective_pattern)
+      .add_commas(b.saf.last_effective_pattern);
+  t.row().add("path delay faults").add_commas(a.pdf.total_faults)
+      .add_commas(b.pdf.total_faults);
+  t.row().add("robustly detected (random)").add_commas(a.pdf.detected)
+      .add_commas(b.pdf.detected);
+  const auto pct = [](const PdfExperimentResult& p) {
+    return p.total_faults == 0
+               ? 100.0
+               : 100.0 * static_cast<double>(p.detected) /
+                     static_cast<double>(p.total_faults);
+  };
+  t.row().add("robust PDF coverage %").add(pct(a.pdf), 2).add(pct(b.pdf), 2);
+  t.print(std::cout);
+
+  std::cout << "\nThe headline effect (Section 5): modified circuits keep "
+               "stuck-at testability\nwhile dropping untestable path delay "
+               "faults, so PDF coverage rises.\n";
+  return 0;
+}

@@ -1,0 +1,311 @@
+#include "atpg/podem.hpp"
+
+#include <cassert>
+#include <tuple>
+
+namespace compsyn {
+namespace {
+
+constexpr std::uint8_t V0 = 0, V1 = 1, VX = 2;
+
+std::uint8_t eval3(GateType t, const std::vector<std::uint8_t>& in) {
+  switch (t) {
+    case GateType::Const0: return V0;
+    case GateType::Const1: return V1;
+    case GateType::Buf: return in[0];
+    case GateType::Not: return in[0] == VX ? VX : (in[0] ^ 1u);
+    case GateType::And:
+    case GateType::Nand: {
+      bool any_x = false;
+      for (std::uint8_t v : in) {
+        if (v == V0) return t == GateType::Nand ? V1 : V0;
+        any_x |= v == VX;
+      }
+      if (any_x) return VX;
+      return t == GateType::Nand ? V0 : V1;
+    }
+    case GateType::Or:
+    case GateType::Nor: {
+      bool any_x = false;
+      for (std::uint8_t v : in) {
+        if (v == V1) return t == GateType::Nor ? V0 : V1;
+        any_x |= v == VX;
+      }
+      if (any_x) return VX;
+      return t == GateType::Nor ? V1 : V0;
+    }
+    case GateType::Xor:
+    case GateType::Xnor: {
+      std::uint8_t acc = t == GateType::Xnor ? V1 : V0;
+      for (std::uint8_t v : in) {
+        if (v == VX) return VX;
+        acc ^= v;
+      }
+      return acc;
+    }
+    case GateType::Input:
+      break;
+  }
+  assert(false);
+  return VX;
+}
+
+class Podem {
+ public:
+  Podem(const Netlist& nl, const StuckFault& fault, const AtpgOptions& opt)
+      : nl_(nl), fault_(fault), opt_(opt) {
+    pi_val_.assign(nl_.size(), VX);
+    gv_.assign(nl_.size(), VX);
+    fv_.assign(nl_.size(), VX);
+    pi_index_.assign(nl_.size(), kNoNode);
+    for (std::size_t i = 0; i < nl_.inputs().size(); ++i) {
+      pi_index_[nl_.inputs()[i]] = static_cast<NodeId>(i);
+    }
+    // The faulty line's driver, whose good value activates the fault.
+    site_ = fault.is_stem() ? fault.node
+                            : nl_.node(fault.node).fanins[static_cast<std::size_t>(fault.pin)];
+  }
+
+  AtpgResult run() {
+    AtpgResult res;
+    imply();
+    for (;;) {
+      if (opt_.backtrack_limit != 0 && res.backtracks > opt_.backtrack_limit) {
+        res.status = AtpgStatus::Aborted;
+        return res;
+      }
+      if (detected()) {
+        res.status = AtpgStatus::Detected;
+        res.test.assign(nl_.inputs().size(), false);
+        for (std::size_t i = 0; i < nl_.inputs().size(); ++i) {
+          res.test[i] = gv_[nl_.inputs()[i]] == V1;
+        }
+        return res;
+      }
+      NodeId obj_node = kNoNode;
+      std::uint8_t obj_val = VX;
+      const ObjectiveStatus st = objective(obj_node, obj_val);
+      if (st == ObjectiveStatus::Fail) {
+        if (!backtrack(res)) {
+          res.status = AtpgStatus::Untestable;
+          return res;
+        }
+        continue;
+      }
+      NodeId pi = kNoNode;
+      std::uint8_t val = V0;
+      if (st == ObjectiveStatus::Found) {
+        std::tie(pi, val) = backtrace(obj_node, obj_val);
+      } else {
+        // Rare case: the frontier is alive but no good-machine X side input
+        // exists (the X lives only in the faulty machine). Deciding any
+        // unassigned input keeps the search complete.
+        for (NodeId in : nl_.inputs()) {
+          if (pi_val_[in] == VX) {
+            pi = in;
+            break;
+          }
+        }
+        if (pi == kNoNode) {
+          if (!backtrack(res)) {
+            res.status = AtpgStatus::Untestable;
+            return res;
+          }
+          continue;
+        }
+      }
+      stack_.push_back({pi, val, false});
+      pi_val_[pi] = val;
+      imply();
+    }
+  }
+
+ private:
+  struct Decision {
+    NodeId pi;
+    std::uint8_t value;
+    bool flipped;
+  };
+
+  void imply() {
+    for (NodeId n : nl_.topo_order()) {
+      const Node& nd = nl_.node(n);
+      if (nd.type == GateType::Input) {
+        gv_[n] = pi_val_[n];
+        fv_[n] = pi_val_[n];
+      } else {
+        ins_g_.clear();
+        ins_f_.clear();
+        for (std::size_t p = 0; p < nd.fanins.size(); ++p) {
+          ins_g_.push_back(gv_[nd.fanins[p]]);
+          if (!fault_.is_stem() && n == fault_.node &&
+              static_cast<int>(p) == fault_.pin) {
+            ins_f_.push_back(fault_.value ? V1 : V0);
+          } else {
+            ins_f_.push_back(fv_[nd.fanins[p]]);
+          }
+        }
+        gv_[n] = eval3(nd.type, ins_g_);
+        fv_[n] = eval3(nd.type, ins_f_);
+      }
+      if (fault_.is_stem() && n == fault_.node) {
+        fv_[n] = fault_.value ? V1 : V0;
+      }
+    }
+  }
+
+  bool has_d(NodeId n) const {
+    return gv_[n] != VX && fv_[n] != VX && gv_[n] != fv_[n];
+  }
+
+  bool detected() const {
+    for (NodeId o : nl_.outputs()) {
+      if (has_d(o)) return true;
+    }
+    return false;
+  }
+
+  enum class ObjectiveStatus { Fail, Found, NoSideInput };
+
+  /// Chooses the next objective; Fail means the current assignment cannot
+  /// lead to a test (conflict / empty frontier / no X-path).
+  ObjectiveStatus objective(NodeId& node, std::uint8_t& value) {
+    const std::uint8_t stuck = fault_.value ? V1 : V0;
+    if (gv_[site_] == stuck) return ObjectiveStatus::Fail;
+    if (gv_[site_] == VX) {
+      node = site_;
+      value = stuck ^ 1u;
+      return ObjectiveStatus::Found;
+    }
+    // Fault activated; find the D-frontier.
+    bool found = false;
+    for (NodeId n : nl_.topo_order()) {
+      const Node& nd = nl_.node(n);
+      if (nd.type == GateType::Input || nd.type == GateType::Const0 ||
+          nd.type == GateType::Const1) {
+        continue;
+      }
+      if (gv_[n] != VX && fv_[n] != VX) continue;  // past or dead
+      bool d_in = false;
+      for (NodeId f : nd.fanins) d_in |= has_d(f);
+      if (!fault_.is_stem() && n == fault_.node) {
+        // The faulty pin itself carries a D when the driver is at !stuck.
+        d_in |= gv_[site_] != VX && gv_[site_] != stuck;
+      }
+      if (!d_in) continue;
+      if (!found) {
+        // Objective: set an undetermined side input to non-controlling.
+        for (std::size_t p = 0; p < nd.fanins.size(); ++p) {
+          const NodeId f = nd.fanins[p];
+          if (gv_[f] == VX) {
+            node = f;
+            value = has_controlling_value(nd.type)
+                        ? static_cast<std::uint8_t>(!controlling_value(nd.type))
+                        : V0;
+            found = true;
+            break;
+          }
+        }
+      }
+      frontier_.push_back(n);
+    }
+    if (frontier_.empty()) {
+      return ObjectiveStatus::Fail;
+    }
+    // X-path check: some frontier gate must reach an output through
+    // X-valued nodes.
+    const bool xpath = x_path_exists();
+    frontier_.clear();
+    if (!xpath) return ObjectiveStatus::Fail;
+    return found ? ObjectiveStatus::Found : ObjectiveStatus::NoSideInput;
+  }
+
+  bool x_path_exists() {
+    visited_.assign(nl_.size(), 0);
+    std::vector<NodeId> stack = frontier_;
+    for (NodeId n : stack) visited_[n] = 1;
+    const auto& fanouts = nl_.fanouts();
+    while (!stack.empty()) {
+      const NodeId n = stack.back();
+      stack.pop_back();
+      if (nl_.node(n).is_output) return true;
+      for (NodeId y : fanouts[n]) {
+        if (visited_[y]) continue;
+        if (gv_[y] != VX && fv_[y] != VX) continue;
+        visited_[y] = 1;
+        stack.push_back(y);
+      }
+    }
+    return false;
+  }
+
+  std::pair<NodeId, std::uint8_t> backtrace(NodeId node, std::uint8_t value) {
+    while (nl_.node(node).type != GateType::Input) {
+      const Node& nd = nl_.node(node);
+      if (is_inverting(nd.type)) value ^= 1u;
+      NodeId next = kNoNode;
+      for (NodeId f : nd.fanins) {
+        if (gv_[f] == VX) {
+          next = f;
+          break;
+        }
+      }
+      assert(next != kNoNode && "an X output must have an X input");
+      node = next;
+    }
+    return {node, value};
+  }
+
+  bool backtrack(AtpgResult& res) {
+    while (!stack_.empty()) {
+      Decision& d = stack_.back();
+      if (!d.flipped) {
+        ++res.backtracks;
+        d.flipped = true;
+        d.value ^= 1u;
+        pi_val_[d.pi] = d.value;
+        imply();
+        return true;
+      }
+      pi_val_[d.pi] = VX;
+      stack_.pop_back();
+    }
+    imply();
+    return false;
+  }
+
+  const Netlist& nl_;
+  const StuckFault& fault_;
+  const AtpgOptions& opt_;
+  NodeId site_ = kNoNode;
+  std::vector<std::uint8_t> pi_val_, gv_, fv_;
+  std::vector<NodeId> pi_index_;
+  std::vector<Decision> stack_;
+  std::vector<NodeId> frontier_;
+  std::vector<char> visited_;
+  std::vector<std::uint8_t> ins_g_, ins_f_;
+};
+
+}  // namespace
+
+AtpgResult run_podem(const Netlist& nl, const StuckFault& fault,
+                     const AtpgOptions& opt) {
+  Podem engine(nl, fault, opt);
+  return engine.run();
+}
+
+AtpgSummary run_podem_all(const Netlist& nl, const std::vector<StuckFault>& faults,
+                          const AtpgOptions& opt) {
+  AtpgSummary s;
+  s.total = faults.size();
+  for (const StuckFault& f : faults) {
+    switch (run_podem(nl, f, opt).status) {
+      case AtpgStatus::Detected: ++s.detected; break;
+      case AtpgStatus::Untestable: ++s.untestable; break;
+      case AtpgStatus::Aborted: ++s.aborted; break;
+    }
+  }
+  return s;
+}
+
+}  // namespace compsyn

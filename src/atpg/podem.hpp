@@ -1,0 +1,57 @@
+// PODEM test generation for single stuck-at faults, with complete search:
+// a fault reported Untestable is proven redundant (no backtrack limit by
+// default). This is the ATPG engine behind the redundancy-removal substrate
+// ([15] in the paper) and the testable/untestable accounting.
+//
+// Five-valued reasoning is carried as a (good, faulty) pair of three-valued
+// signals: D = (1,0), ~D = (0,1). Decisions are made on primary inputs only,
+// objectives chosen by fault activation first and D-frontier propagation
+// after, with an X-path check pruning dead branches.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "faults/fault.hpp"
+#include "netlist/netlist.hpp"
+
+namespace compsyn {
+
+enum class AtpgStatus {
+  Detected,    // test found
+  Untestable,  // proven redundant (complete search exhausted)
+  Aborted,     // backtrack limit hit; nothing proven
+};
+
+struct AtpgOptions {
+  // Backtrack budget; 0 = unlimited. Untestable is ALWAYS a completed-search
+  // proof -- hitting the limit yields Aborted, never a false proof. The
+  // default bounds worst-case faults (deep XOR cones are PODEM's pathological
+  // case) while leaving typical proofs untouched; set 0 for guaranteed
+  // complete redundancy identification on small circuits.
+  std::uint64_t backtrack_limit = 5000;
+};
+
+struct AtpgResult {
+  AtpgStatus status = AtpgStatus::Aborted;
+  // PI assignment detecting the fault (unassigned inputs were don't-care and
+  // are filled with 0), valid when status == Detected.
+  std::vector<bool> test;
+  std::uint64_t backtracks = 0;
+};
+
+AtpgResult run_podem(const Netlist& nl, const StuckFault& fault,
+                     const AtpgOptions& opt = {});
+
+/// Convenience fault-universe sweep.
+struct AtpgSummary {
+  std::size_t total = 0;
+  std::size_t detected = 0;
+  std::size_t untestable = 0;
+  std::size_t aborted = 0;
+};
+AtpgSummary run_podem_all(const Netlist& nl, const std::vector<StuckFault>& faults,
+                          const AtpgOptions& opt = {});
+
+}  // namespace compsyn

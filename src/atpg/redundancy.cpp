@@ -1,0 +1,121 @@
+#include "atpg/redundancy.hpp"
+
+#include "faults/fault.hpp"
+#include "faults/fault_sim.hpp"
+#include "util/rng.hpp"
+
+namespace compsyn {
+namespace {
+
+/// Substitutes the constant `value` for the faulty line. Returns false when
+/// the site cannot be substituted (primary-input stems that are also
+/// outputs; see below).
+bool substitute_constant(Netlist& nl, const StuckFault& f) {
+  if (!f.is_stem()) {
+    // Branch: only this connection is replaced by the constant.
+    NodeId k = nl.add_const(f.value);
+    const NodeId src = nl.node(f.node).fanins[static_cast<std::size_t>(f.pin)];
+    // replace_fanin rewires every connection from src; for a faithful
+    // single-branch substitution rewrite the fanin list positionally.
+    std::vector<NodeId> fi = nl.node(f.node).fanins;
+    fi[static_cast<std::size_t>(f.pin)] = k;
+    nl.redefine(f.node, nl.node(f.node).type, std::move(fi));
+    (void)src;
+    return true;
+  }
+  const Node& nd = nl.node(f.node);
+  if (nd.type == GateType::Input) {
+    // A redundant PI stem: rewire its consumers to a constant. If the PI is
+    // itself a primary output we would have to re-home the output marker;
+    // this does not occur in practice, so we skip it conservatively.
+    if (nd.is_output) return false;
+    NodeId k = nl.add_const(f.value);
+    const auto fanouts = nl.fanouts()[f.node];  // copy: we mutate below
+    for (NodeId y : fanouts) nl.replace_fanin(y, f.node, k);
+    return true;
+  }
+  nl.redefine(f.node, f.value ? GateType::Const1 : GateType::Const0, {});
+  return true;
+}
+
+}  // namespace
+
+namespace {
+
+/// A fault enumerated before earlier substitutions may reference logic that
+/// has since changed; skip sites that no longer exist in the live netlist.
+bool fault_site_stale(const Netlist& nl, const StuckFault& f) {
+  if (nl.is_dead(f.node)) return true;
+  const Node& nd = nl.node(f.node);
+  if (f.is_stem()) {
+    return nd.type == GateType::Const0 || nd.type == GateType::Const1;
+  }
+  if (static_cast<std::size_t>(f.pin) >= nd.fanins.size()) return true;
+  const GateType src = nl.node(nd.fanins[static_cast<std::size_t>(f.pin)]).type;
+  return src == GateType::Const0 || src == GateType::Const1;
+}
+
+}  // namespace
+
+RedundancyRemovalStats remove_redundancies(Netlist& nl,
+                                           const RedundancyRemovalOptions& opt) {
+  RedundancyRemovalStats stats;
+  // Multiple substitutions are applied within one sweep, but each
+  // untestability proof runs against the netlist as already modified, which
+  // keeps every individual substitution sound. (Batching proofs against a
+  // single snapshot would not be: removing one redundancy can make another
+  // previously redundant fault testable.) A final clean sweep certifies the
+  // fixpoint.
+  for (unsigned round = 0; round < opt.max_rounds; ++round) {
+    nl.simplify();
+    bool removed_this_round = false;
+    const auto all_faults = enumerate_faults(nl, /*collapse=*/true);
+    // Random-pattern filter: anything detected is testable, no proof needed.
+    std::vector<StuckFault> faults;
+    if (opt.random_filter_blocks > 0 && !nl.inputs().empty()) {
+      FaultSimulator sim(nl, all_faults);
+      Rng rng(opt.random_filter_seed);
+      std::vector<std::uint64_t> pi(nl.inputs().size());
+      for (unsigned b = 0; b < opt.random_filter_blocks && sim.remaining(); ++b) {
+        for (auto& w : pi) w = rng.next();
+        sim.simulate_block(pi, 64ull * b);
+      }
+      for (std::size_t i = 0; i < all_faults.size(); ++i) {
+        if (!sim.is_detected(i)) faults.push_back(all_faults[i]);
+      }
+    } else {
+      faults = all_faults;
+    }
+    for (const StuckFault& f : faults) {
+      if (fault_site_stale(nl, f)) continue;
+      ++stats.faults_checked;
+      const AtpgResult r = run_podem(nl, f, opt.atpg);
+      if (r.status == AtpgStatus::Aborted) {
+        ++stats.aborted;
+        continue;
+      }
+      if (r.status != AtpgStatus::Untestable) continue;
+      if (substitute_constant(nl, f)) {
+        ++stats.removed;
+        removed_this_round = true;
+        nl.simplify();
+      }
+    }
+    if (!removed_this_round) {
+      stats.irredundant = stats.aborted == 0;
+      nl.simplify();
+      return stats;
+    }
+  }
+  nl.simplify();
+  return stats;
+}
+
+bool is_irredundant(const Netlist& nl, const AtpgOptions& opt) {
+  for (const StuckFault& f : enumerate_faults(nl, /*collapse=*/true)) {
+    if (run_podem(nl, f, opt).status != AtpgStatus::Detected) return false;
+  }
+  return true;
+}
+
+}  // namespace compsyn

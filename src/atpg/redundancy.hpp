@@ -1,0 +1,43 @@
+// Redundancy removal (the [15] Kajihara/Shiba/Kinoshita substrate used in
+// Section 5): any line whose stuck-at-v fault is proven untestable can be
+// replaced by the constant v without changing the circuit function; constant
+// propagation then shrinks the circuit, which can expose further
+// redundancies, so the process iterates to a fixpoint.
+//
+// Removal is one-fault-at-a-time: after each substitution the fault list is
+// rebuilt, because removing one redundancy can make other previously
+// redundant faults testable (removing several together is unsound).
+#pragma once
+
+#include <cstdint>
+
+#include "atpg/podem.hpp"
+#include "netlist/netlist.hpp"
+
+namespace compsyn {
+
+struct RedundancyRemovalOptions {
+  AtpgOptions atpg;            // bounded by default (see AtpgOptions)
+  unsigned max_rounds = 1000;  // substitutions before giving up
+  // Random-pattern pre-filter: faults a few random blocks already detect are
+  // certainly testable and skip ATPG entirely. 0 disables the filter.
+  unsigned random_filter_blocks = 128;
+  std::uint64_t random_filter_seed = 0xF117ull;
+};
+
+struct RedundancyRemovalStats {
+  unsigned removed = 0;            // substitutions applied
+  std::uint64_t faults_checked = 0;
+  std::uint64_t aborted = 0;       // only nonzero with a backtrack limit
+  bool irredundant = false;        // true when the final circuit is proven
+                                   // free of redundant faults
+};
+
+/// Removes redundancies in place. The circuit function is preserved exactly.
+RedundancyRemovalStats remove_redundancies(Netlist& nl,
+                                           const RedundancyRemovalOptions& opt = {});
+
+/// True if every (collapsed) stuck-at fault is testable. Complete search.
+bool is_irredundant(const Netlist& nl, const AtpgOptions& opt = {});
+
+}  // namespace compsyn

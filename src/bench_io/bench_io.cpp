@@ -1,0 +1,234 @@
+#include "bench_io/bench_io.hpp"
+
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "util/strings.hpp"
+
+namespace compsyn {
+namespace {
+
+struct RawGate {
+  std::string name;
+  std::string func;
+  std::vector<std::string> args;
+  int line_no = 0;
+};
+
+[[noreturn]] void fail(int line_no, const std::string& what) {
+  std::ostringstream ss;
+  ss << "bench parse error at line " << line_no << ": " << what;
+  throw std::runtime_error(ss.str());
+}
+
+GateType gate_type_from_name(const std::string& f, int line_no) {
+  if (iequals(f, "AND")) return GateType::And;
+  if (iequals(f, "NAND")) return GateType::Nand;
+  if (iequals(f, "OR")) return GateType::Or;
+  if (iequals(f, "NOR")) return GateType::Nor;
+  if (iequals(f, "NOT") || iequals(f, "INV")) return GateType::Not;
+  if (iequals(f, "BUF") || iequals(f, "BUFF")) return GateType::Buf;
+  if (iequals(f, "XOR")) return GateType::Xor;
+  if (iequals(f, "XNOR")) return GateType::Xnor;
+  if (iequals(f, "CONST0")) return GateType::Const0;
+  if (iequals(f, "CONST1")) return GateType::Const1;
+  fail(line_no, "unknown gate function '" + f + "'");
+}
+
+}  // namespace
+
+Netlist read_bench(std::istream& is, std::string circuit_name) {
+  std::vector<std::string> input_names;
+  std::vector<std::string> output_names;
+  std::vector<RawGate> gates;
+  std::map<std::string, std::size_t> gate_by_name;
+
+  std::string line;
+  int line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::string_view s = trim(line);
+    if (s.empty()) continue;
+
+    const std::size_t eq = s.find('=');
+    if (eq == std::string_view::npos) {
+      // INPUT(x) or OUTPUT(x)
+      const std::size_t open = s.find('(');
+      const std::size_t close = s.rfind(')');
+      if (open == std::string_view::npos || close == std::string_view::npos || close < open) {
+        fail(line_no, "expected INPUT(...)/OUTPUT(...) or assignment");
+      }
+      const std::string kind{trim(s.substr(0, open))};
+      const std::string arg{trim(s.substr(open + 1, close - open - 1))};
+      if (arg.empty()) fail(line_no, "empty signal name");
+      if (iequals(kind, "INPUT")) input_names.push_back(arg);
+      else if (iequals(kind, "OUTPUT")) output_names.push_back(arg);
+      else fail(line_no, "unknown directive '" + kind + "'");
+      continue;
+    }
+
+    RawGate g;
+    g.line_no = line_no;
+    g.name = std::string(trim(s.substr(0, eq)));
+    std::string_view rhs = trim(s.substr(eq + 1));
+    const std::size_t open = rhs.find('(');
+    const std::size_t close = rhs.rfind(')');
+    if (open == std::string_view::npos || close == std::string_view::npos || close < open) {
+      fail(line_no, "expected function(args)");
+    }
+    g.func = std::string(trim(rhs.substr(0, open)));
+    const std::string_view args = trim(rhs.substr(open + 1, close - open - 1));
+    if (!args.empty()) g.args = split(args, ',');
+    if (g.name.empty()) fail(line_no, "empty gate name");
+    if (gate_by_name.count(g.name)) fail(line_no, "duplicate definition of '" + g.name + "'");
+    gate_by_name[g.name] = gates.size();
+    gates.push_back(std::move(g));
+  }
+
+  Netlist nl(std::move(circuit_name));
+  std::map<std::string, NodeId> node_by_name;
+
+  for (const std::string& in : input_names) {
+    if (node_by_name.count(in)) fail(0, "duplicate INPUT '" + in + "'");
+    node_by_name[in] = nl.add_input(in);
+  }
+  // Scan conversion: every DFF output is a pseudo primary input.
+  for (const RawGate& g : gates) {
+    if (iequals(g.func, "DFF")) {
+      if (g.args.size() != 1) fail(g.line_no, "DFF must have one argument");
+      if (node_by_name.count(g.name)) fail(g.line_no, "DFF output redefines '" + g.name + "'");
+      node_by_name[g.name] = nl.add_input(g.name);
+    }
+  }
+
+  // Create combinational gates in dependency order (bench files may use
+  // forward references).
+  std::vector<int> state(gates.size(), 0);  // 0 unvisited, 1 on stack, 2 done
+  auto resolve = [&](const std::string& name, int line_no_ref,
+                     auto&& self) -> NodeId {
+    auto it = node_by_name.find(name);
+    if (it != node_by_name.end()) return it->second;
+    auto git = gate_by_name.find(name);
+    if (git == gate_by_name.end()) fail(line_no_ref, "undefined signal '" + name + "'");
+    const std::size_t gi = git->second;
+    const RawGate& g = gates[gi];
+    if (state[gi] == 1) fail(g.line_no, "combinational cycle through '" + name + "'");
+    state[gi] = 1;
+    const GateType t = gate_type_from_name(g.func, g.line_no);
+    NodeId id;
+    if (t == GateType::Const0 || t == GateType::Const1) {
+      if (!g.args.empty()) fail(g.line_no, "CONST takes no arguments");
+      id = nl.add_const(t == GateType::Const1, g.name);
+    } else {
+      std::vector<NodeId> fi;
+      fi.reserve(g.args.size());
+      for (const std::string& a : g.args) fi.push_back(self(a, g.line_no, self));
+      if ((t == GateType::Buf || t == GateType::Not) && fi.size() != 1) {
+        fail(g.line_no, "NOT/BUFF must have one argument");
+      }
+      if (fi.empty()) fail(g.line_no, "gate with no arguments");
+      if (fi.size() == 1 && t != GateType::Buf && t != GateType::Not) {
+        // Tolerate 1-input AND/OR/...: treat as BUF (or NOT for the
+        // inverting types); seen in some distributed bench files.
+        id = nl.add_gate(is_inverting(t) ? GateType::Not : GateType::Buf,
+                         std::move(fi), g.name);
+      } else {
+        id = nl.add_gate(t, std::move(fi), g.name);
+      }
+    }
+    state[gi] = 2;
+    node_by_name[g.name] = id;
+    return id;
+  };
+
+  for (const RawGate& g : gates) {
+    if (iequals(g.func, "DFF")) continue;
+    resolve(g.name, g.line_no, resolve);
+  }
+  // DFF data inputs become pseudo primary outputs.
+  for (const RawGate& g : gates) {
+    if (!iequals(g.func, "DFF")) continue;
+    nl.mark_output(resolve(g.args[0], g.line_no, resolve));
+  }
+  for (const std::string& out : output_names) {
+    auto it = node_by_name.find(out);
+    if (it == node_by_name.end()) fail(0, "OUTPUT of undefined signal '" + out + "'");
+    nl.mark_output(it->second);
+  }
+  return nl;
+}
+
+Netlist read_bench_string(const std::string& text, std::string circuit_name) {
+  std::istringstream is(text);
+  return read_bench(is, std::move(circuit_name));
+}
+
+Netlist read_bench_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("cannot open bench file: " + path);
+  std::string name = path;
+  const std::size_t slash = name.find_last_of('/');
+  if (slash != std::string::npos) name = name.substr(slash + 1);
+  const std::size_t dot = name.find_last_of('.');
+  if (dot != std::string::npos) name = name.substr(0, dot);
+  return read_bench(is, std::move(name));
+}
+
+void write_bench(const Netlist& nl, std::ostream& os) {
+  os << "# " << (nl.name().empty() ? std::string("circuit") : nl.name()) << '\n';
+  std::vector<std::string> names(nl.size());
+  for (NodeId id = 0; id < nl.size(); ++id) {
+    const Node& n = nl.node(id);
+    names[id] = n.name.empty() ? ("n" + std::to_string(id)) : n.name;
+  }
+  for (NodeId pi : nl.inputs()) os << "INPUT(" << names[pi] << ")\n";
+  for (NodeId po : nl.outputs()) os << "OUTPUT(" << names[po] << ")\n";
+  os << '\n';
+  for (NodeId id : nl.topo_order()) {
+    const Node& n = nl.node(id);
+    switch (n.type) {
+      case GateType::Input:
+        continue;
+      case GateType::Const0:
+        os << names[id] << " = CONST0()\n";
+        continue;
+      case GateType::Const1:
+        os << names[id] << " = CONST1()\n";
+        continue;
+      default:
+        break;
+    }
+    const char* f = "?";
+    switch (n.type) {
+      case GateType::Buf: f = "BUFF"; break;
+      case GateType::Not: f = "NOT"; break;
+      case GateType::And: f = "AND"; break;
+      case GateType::Nand: f = "NAND"; break;
+      case GateType::Or: f = "OR"; break;
+      case GateType::Nor: f = "NOR"; break;
+      case GateType::Xor: f = "XOR"; break;
+      case GateType::Xnor: f = "XNOR"; break;
+      default: break;
+    }
+    os << names[id] << " = " << f << '(';
+    for (std::size_t i = 0; i < n.fanins.size(); ++i) {
+      if (i) os << ", ";
+      os << names[n.fanins[i]];
+    }
+    os << ")\n";
+  }
+}
+
+std::string write_bench_string(const Netlist& nl) {
+  std::ostringstream os;
+  write_bench(nl, os);
+  return os.str();
+}
+
+}  // namespace compsyn

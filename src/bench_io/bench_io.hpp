@@ -1,0 +1,28 @@
+// Reader/writer for the ISCAS `.bench` netlist format, plus full-scan
+// conversion (each DFF output becomes a pseudo primary input and each DFF
+// data input a pseudo primary output), which is how the paper treats the
+// fully-scanned ISCAS89 circuits as combinational logic.
+//
+// Extensions beyond stock .bench, used for round-tripping our own circuits:
+// `name = CONST0()` / `name = CONST1()` lines.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "netlist/netlist.hpp"
+
+namespace compsyn {
+
+/// Parses a .bench description. DFFs are scan-converted as described above.
+/// Throws std::runtime_error with a line-numbered message on malformed input.
+Netlist read_bench(std::istream& is, std::string circuit_name = {});
+Netlist read_bench_string(const std::string& text, std::string circuit_name = {});
+Netlist read_bench_file(const std::string& path);
+
+/// Writes the live part of the netlist in .bench form. Unnamed nodes get
+/// synthetic names (n123). Buf nodes are emitted as BUFF.
+void write_bench(const Netlist& nl, std::ostream& os);
+std::string write_bench_string(const Netlist& nl);
+
+}  // namespace compsyn

@@ -1,0 +1,284 @@
+#include "core/comparison.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace compsyn {
+
+TruthTable ComparisonSpec::to_truth_table() const {
+  // inverse_perm[var] = position of var.
+  std::vector<unsigned> pos(n);
+  for (unsigned j = 0; j < n; ++j) pos[perm[j]] = j;
+  return TruthTable::from_function(n, [&](std::uint32_t m) {
+    std::uint32_t value = 0;
+    for (unsigned v = 0; v < n; ++v) {
+      const std::uint32_t bit = (m >> (n - 1 - v)) & 1u;
+      value |= bit << (n - 1 - pos[v]);
+    }
+    const bool in = value >= lower && value <= upper;
+    return in != complemented;
+  });
+}
+
+bool spec_matches(const ComparisonSpec& spec, const TruthTable& f) {
+  if (spec.n != f.num_vars()) return false;
+  return spec.to_truth_table() == f;
+}
+
+namespace {
+
+/// Derives L and U for a known-valid ordering and verifies contiguity.
+/// Returns false if the ON-set values under `perm` are not contiguous.
+bool bounds_for_order(const TruthTable& f, const std::vector<unsigned>& perm,
+                      std::uint32_t& lower, std::uint32_t& upper) {
+  const unsigned n = f.num_vars();
+  std::vector<unsigned> pos(n);
+  for (unsigned j = 0; j < n; ++j) pos[perm[j]] = j;
+  std::uint32_t lo = ~0u, hi = 0, count = 0;
+  for (std::uint32_t m = 0; m < f.num_minterms(); ++m) {
+    if (!f.get(m)) continue;
+    std::uint32_t value = 0;
+    for (unsigned v = 0; v < n; ++v) {
+      const std::uint32_t bit = (m >> (n - 1 - v)) & 1u;
+      value |= bit << (n - 1 - pos[v]);
+    }
+    lo = std::min(lo, value);
+    hi = std::max(hi, value);
+    ++count;
+  }
+  if (count == 0) return false;
+  if (hi - lo + 1 != count) return false;
+  lower = lo;
+  upper = hi;
+  return true;
+}
+
+/// Exact search. Maintains the chosen prefix of the order (original variable
+/// indices, MSB first) and a constraint on the rest.
+class ExactSearch {
+ public:
+  ExactSearch(const TruthTable& f, unsigned max_results)
+      : original_(f), max_results_(max_results) {}
+
+  std::vector<std::vector<unsigned>> run() {
+    std::vector<unsigned> vars(original_.num_vars());
+    std::iota(vars.begin(), vars.end(), 0u);
+    prefix_.clear();
+    results_.clear();
+    interval(original_, vars);
+    return std::move(results_);
+  }
+
+ private:
+  bool full() const { return results_.size() >= max_results_; }
+
+  void emit(const std::vector<unsigned>& rest) {
+    if (full()) return;
+    std::vector<unsigned> order = prefix_;
+    order.insert(order.end(), rest.begin(), rest.end());
+    results_.push_back(std::move(order));
+  }
+
+  static std::vector<unsigned> without(const std::vector<unsigned>& vars, unsigned i) {
+    std::vector<unsigned> r;
+    r.reserve(vars.size() - 1);
+    for (unsigned j = 0; j < vars.size(); ++j) {
+      if (j != i) r.push_back(vars[j]);
+    }
+    return r;
+  }
+
+  // ON(f) must be an interval under some completion. Precondition: f != 0.
+  void interval(const TruthTable& f, const std::vector<unsigned>& vars) {
+    if (full()) return;
+    if (f.is_const_one()) {
+      emit(vars);
+      return;
+    }
+    assert(!vars.empty());
+    for (unsigned i = 0; i < vars.size() && !full(); ++i) {
+      const TruthTable f0 = f.cofactor(i, false);
+      const TruthTable f1 = f.cofactor(i, true);
+      prefix_.push_back(vars[i]);
+      const auto rest = without(vars, i);
+      if (f1.is_const_zero()) {
+        interval(f0, rest);
+      } else if (f0.is_const_zero()) {
+        interval(f1, rest);
+      } else {
+        suffix_prefix(f0, f1, rest);
+      }
+      prefix_.pop_back();
+    }
+  }
+
+  // ON(f) must be [l, max] (nonempty) under some completion.
+  void suffix(const TruthTable& f, const std::vector<unsigned>& vars) {
+    if (full() || f.is_const_zero()) return;
+    if (f.is_const_one()) {
+      emit(vars);
+      return;
+    }
+    for (unsigned i = 0; i < vars.size() && !full(); ++i) {
+      const TruthTable f0 = f.cofactor(i, false);
+      const TruthTable f1 = f.cofactor(i, true);
+      prefix_.push_back(vars[i]);
+      const auto rest = without(vars, i);
+      if (f0.is_const_zero()) suffix(f1, rest);        // l >= 2^(m-1)
+      else if (f1.is_const_one()) suffix(f0, rest);    // l <  2^(m-1)
+      prefix_.pop_back();
+    }
+  }
+
+  // ON(f) must be [0, u] (nonempty) under some completion.
+  void prefix_interval(const TruthTable& f, const std::vector<unsigned>& vars) {
+    if (full() || f.is_const_zero()) return;
+    if (f.is_const_one()) {
+      emit(vars);
+      return;
+    }
+    for (unsigned i = 0; i < vars.size() && !full(); ++i) {
+      const TruthTable f0 = f.cofactor(i, false);
+      const TruthTable f1 = f.cofactor(i, true);
+      prefix_.push_back(vars[i]);
+      const auto rest = without(vars, i);
+      if (f1.is_const_zero()) prefix_interval(f0, rest);      // u <  2^(m-1)
+      else if (f0.is_const_one()) prefix_interval(f1, rest);  // u >= 2^(m-1)
+      prefix_.pop_back();
+    }
+  }
+
+  // ON(g) = [l, max] and ON(h) = [0, u] must hold under one COMMON order.
+  void suffix_prefix(const TruthTable& g, const TruthTable& h,
+                     const std::vector<unsigned>& vars) {
+    if (full() || g.is_const_zero() || h.is_const_zero()) return;
+    if (g.is_const_one() && h.is_const_one()) {
+      emit(vars);
+      return;
+    }
+    if (g.is_const_one()) {
+      prefix_interval(h, vars);
+      return;
+    }
+    if (h.is_const_one()) {
+      suffix(g, vars);
+      return;
+    }
+    for (unsigned i = 0; i < vars.size() && !full(); ++i) {
+      const TruthTable g0 = g.cofactor(i, false);
+      const TruthTable g1 = g.cofactor(i, true);
+      const TruthTable h0 = h.cofactor(i, false);
+      const TruthTable h1 = h.cofactor(i, true);
+      // Possible continuations for the suffix side.
+      const TruthTable* gnexts[2];
+      int gn = 0;
+      if (g0.is_const_zero()) gnexts[gn++] = &g1;
+      if (g1.is_const_one()) gnexts[gn++] = &g0;
+      // ... and for the prefix side.
+      const TruthTable* hnexts[2];
+      int hn = 0;
+      if (h1.is_const_zero()) hnexts[hn++] = &h0;
+      if (h0.is_const_one()) hnexts[hn++] = &h1;
+      if (gn != 0 && hn != 0) {
+        prefix_.push_back(vars[i]);
+        const auto rest = without(vars, i);
+        for (int a = 0; a < gn && !full(); ++a) {
+          for (int b = 0; b < hn && !full(); ++b) {
+            suffix_prefix(*gnexts[a], *hnexts[b], rest);
+          }
+        }
+        prefix_.pop_back();
+      }
+    }
+  }
+
+  const TruthTable& original_;
+  unsigned max_results_;
+  std::vector<unsigned> prefix_;
+  std::vector<std::vector<unsigned>> results_;
+};
+
+void collect_specs(const TruthTable& f, bool complemented, const IdentifyOptions& opt,
+                   std::vector<ComparisonSpec>& out) {
+  const unsigned n = f.num_vars();
+  if (f.is_const_zero()) return;  // handled by the caller via the complement
+
+  std::vector<std::vector<unsigned>> orders;
+  if (opt.exact) {
+    orders = ExactSearch(f, opt.max_results).run();
+  } else {
+    assert(opt.rng != nullptr && "sampled identification needs an Rng");
+    // Identity and reversal first, then random permutations, as in Sec. 5.
+    std::vector<unsigned> id(n);
+    std::iota(id.begin(), id.end(), 0u);
+    std::vector<unsigned> rev(id.rbegin(), id.rend());
+    std::vector<std::vector<unsigned>> tries{id, rev};
+    for (unsigned t = 2; t < opt.sample_tries; ++t) {
+      auto p32 = opt.rng->permutation(n);
+      tries.emplace_back(p32.begin(), p32.end());
+    }
+    for (auto& p : tries) {
+      std::uint32_t lo, hi;
+      if (bounds_for_order(f, p, lo, hi)) {
+        orders.push_back(p);
+        if (orders.size() >= opt.max_results) break;
+      }
+    }
+  }
+
+  for (const auto& order : orders) {
+    ComparisonSpec spec;
+    spec.n = n;
+    spec.perm = order;
+    spec.complemented = complemented;
+    const bool ok = bounds_for_order(f, order, spec.lower, spec.upper);
+    assert(ok && "exact search must produce valid orders");
+    if (!ok) continue;
+    out.push_back(std::move(spec));
+  }
+}
+
+}  // namespace
+
+std::vector<ComparisonSpec> identify_comparison(const TruthTable& f,
+                                                const IdentifyOptions& opt) {
+  std::vector<ComparisonSpec> out;
+  const unsigned n = f.num_vars();
+  if (n == 0) {
+    // Constant function of zero variables: the empty-product interval.
+    ComparisonSpec spec;
+    spec.n = 0;
+    spec.lower = 0;
+    spec.upper = 0;
+    spec.complemented = !f.get(0);
+    out.push_back(spec);
+    return out;
+  }
+  if (f.is_const_one() || f.is_const_zero()) {
+    ComparisonSpec spec;
+    spec.n = n;
+    spec.perm.resize(n);
+    std::iota(spec.perm.begin(), spec.perm.end(), 0u);
+    spec.lower = 0;
+    spec.upper = f.num_minterms() - 1;
+    spec.complemented = f.is_const_zero();
+    out.push_back(spec);
+    return out;
+  }
+  collect_specs(f, /*complemented=*/false, opt, out);
+  if (opt.try_complement) {
+    collect_specs(f.complemented(), /*complemented=*/true, opt, out);
+  }
+  return out;
+}
+
+bool is_comparison_function(const TruthTable& f) {
+  IdentifyOptions opt;
+  opt.max_results = 1;
+  opt.try_complement = false;
+  if (f.num_vars() == 0 || f.is_const_zero() || f.is_const_one()) return true;
+  return !identify_comparison(f, opt).empty();
+}
+
+}  // namespace compsyn

@@ -1,0 +1,64 @@
+// Comparison functions (Section 3 of the paper).
+//
+// A function f(y1..yn) is a comparison function if there is a permutation
+// (x1..xn) of its inputs and bounds L <= U such that, reading x1 as the most
+// significant bit, the ON-set of f is exactly the decimal interval [L, U].
+//
+// Identification offers two engines:
+//  * exact: a recursive interval test over variable orders. Under an order
+//    with MSB v, ON(f) is an interval iff one cofactor is empty and the other
+//    an interval, or ON(f|v=0) is a suffix interval and ON(f|v=1) a prefix
+//    interval under a COMMON order of the remaining variables; the
+//    suffix/prefix predicates recurse the same way. This is complete and fast
+//    for the cone sizes the procedures use (K <= 8).
+//  * sampled: the paper's heuristic — try up to `sample_tries` permutations
+//    and test contiguity of the ON-set values directly (Section 3.4 and the
+//    experimental setup in Section 5 use up to 200 permutations).
+//
+// Both engines also try the complement (Section 5: if the OFF-set minterms
+// are consecutive, the unit is built for ~f and its output inverted).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/truth_table.hpp"
+#include "util/rng.hpp"
+
+namespace compsyn {
+
+struct ComparisonSpec {
+  unsigned n = 0;                // number of function inputs
+  std::vector<unsigned> perm;    // position j (0 = MSB) holds variable perm[j]
+  std::uint32_t lower = 0;       // L
+  std::uint32_t upper = 0;       // U
+  bool complemented = false;     // true: the interval describes ~f
+
+  /// The function the spec denotes (interval membership, complemented if
+  /// requested) as a truth table over the original variable order.
+  TruthTable to_truth_table() const;
+};
+
+struct IdentifyOptions {
+  bool exact = true;            // exact recursive search vs permutation sampling
+  unsigned sample_tries = 200;  // permutations to try when !exact
+  bool try_complement = true;
+  unsigned max_results = 16;    // specs to collect per polarity
+  Rng* rng = nullptr;           // required when !exact
+};
+
+/// All discovered specs (up to 2*max_results), non-complemented first.
+/// Constant functions yield the trivial full/empty interval specs.
+/// Empty result means f is not a comparison function (for the exact engine,
+/// this is a proof; for the sampled engine, only "not found").
+std::vector<ComparisonSpec> identify_comparison(const TruthTable& f,
+                                                const IdentifyOptions& opt = {});
+
+/// Convenience: true if the exact engine finds a spec.
+bool is_comparison_function(const TruthTable& f);
+
+/// Checks that a (perm, L, U) triple really describes f (used by tests and
+/// by the sampled engine).
+bool spec_matches(const ComparisonSpec& spec, const TruthTable& f);
+
+}  // namespace compsyn

@@ -1,0 +1,184 @@
+#include "core/cones.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+#include <stdexcept>
+
+#include "netlist/equivalence.hpp"
+
+namespace compsyn {
+namespace {
+
+bool is_gate(const Netlist& nl, NodeId n) {
+  const GateType t = nl.node(n).type;
+  return t != GateType::Input && t != GateType::Const0 && t != GateType::Const1;
+}
+
+bool is_const(const Netlist& nl, NodeId n) {
+  const GateType t = nl.node(n).type;
+  return t == GateType::Const0 || t == GateType::Const1;
+}
+
+/// Canonical state for deduplication: the sorted interior set.
+struct ConeKey {
+  std::vector<NodeId> interior;
+  bool operator<(const ConeKey& o) const { return interior < o.interior; }
+};
+
+}  // namespace
+
+std::vector<Cone> enumerate_cones(const Netlist& nl, NodeId root,
+                                  const ConeOptions& opt) {
+  assert(is_gate(nl, root) && !nl.is_dead(root));
+  std::vector<Cone> out;
+  std::set<ConeKey> seen;
+
+  // Builds the leaf set for a given interior set; constants never count as
+  // leaves (their values are folded into the cone function).
+  auto make_cone = [&](std::vector<NodeId> interior) {
+    std::sort(interior.begin(), interior.end());
+    Cone c;
+    c.root = root;
+    c.interior = std::move(interior);
+    std::set<NodeId> leaves;
+    for (NodeId g : c.interior) {
+      for (NodeId f : nl.node(g).fanins) {
+        if (!std::binary_search(c.interior.begin(), c.interior.end(), f) &&
+            !is_const(nl, f)) {
+          leaves.insert(f);
+        }
+      }
+    }
+    c.leaves.assign(leaves.begin(), leaves.end());
+    return c;
+  };
+
+  const unsigned expand_limit = opt.max_leaves + opt.expand_slack;
+  std::size_t visited = 0;
+
+  Cone seed = make_cone({root});
+  if (seed.leaves.size() > expand_limit) return out;
+  seen.insert(ConeKey{seed.interior});
+  if (seed.leaves.size() <= opt.max_leaves) out.push_back(seed);
+  std::vector<Cone> frontier{std::move(seed)};
+  ++visited;
+
+  while (!frontier.empty() && visited < opt.max_cones) {
+    std::vector<Cone> next;
+    for (const Cone& c : frontier) {
+      for (NodeId leaf : c.leaves) {
+        if (!is_gate(nl, leaf)) continue;  // primary inputs stay leaves
+        std::vector<NodeId> interior = c.interior;
+        interior.push_back(leaf);
+        ConeKey key{interior};
+        std::sort(key.interior.begin(), key.interior.end());
+        if (seen.count(key)) continue;
+        Cone grown = make_cone(key.interior);
+        if (grown.leaves.size() > expand_limit) continue;
+        seen.insert(std::move(key));
+        ++visited;
+        if (grown.leaves.size() <= opt.max_leaves) out.push_back(grown);
+        next.push_back(std::move(grown));
+        if (visited >= opt.max_cones) break;
+      }
+      if (visited >= opt.max_cones) break;
+    }
+    frontier = std::move(next);
+  }
+  return out;
+}
+
+TruthTable cone_function(const Netlist& nl, const Cone& cone) {
+  const unsigned k = static_cast<unsigned>(cone.leaves.size());
+  if (k > 16) throw std::invalid_argument("cone too wide for a truth table");
+
+  // Local topological order of the interior (the netlist's global order
+  // restricted to the cone).
+  std::vector<NodeId> order;
+  for (NodeId n : nl.topo_order()) {
+    if (std::binary_search(cone.interior.begin(), cone.interior.end(), n)) {
+      order.push_back(n);
+    }
+  }
+  assert(order.size() == cone.interior.size());
+
+  TruthTable t(k);
+  const std::uint32_t minterms = 1u << k;
+  std::vector<std::uint64_t> value(nl.size(), 0);
+  std::vector<std::uint64_t> ins;
+  for (std::uint32_t base = 0; base < minterms; base += 64) {
+    // Pack up to 64 consecutive minterm indices into one word per leaf.
+    // Word bit b corresponds to minterm (base+b); leaf i is variable i,
+    // i.e. bit (k-1-i) of the minterm value.
+    for (unsigned i = 0; i < k; ++i) {
+      const unsigned shift = k - 1 - i;
+      std::uint64_t w;
+      if (shift < 6) {
+        w = exhaustive_mask(shift);
+      } else {
+        w = ((base >> shift) & 1u) ? ~0ull : 0ull;
+      }
+      value[cone.leaves[i]] = w;
+    }
+    for (NodeId g : cone.interior) {
+      for (NodeId f : nl.node(g).fanins) {
+        if (nl.node(f).type == GateType::Const1) value[f] = ~0ull;
+        else if (nl.node(f).type == GateType::Const0) value[f] = 0;
+      }
+    }
+    for (NodeId g : order) {
+      ins.clear();
+      for (NodeId f : nl.node(g).fanins) ins.push_back(value[f]);
+      value[g] = eval_gate(nl.node(g).type, ins);
+    }
+    const std::uint64_t w = value[cone.root];
+    const std::uint32_t limit = std::min<std::uint32_t>(64, minterms - base);
+    for (std::uint32_t b = 0; b < limit; ++b) {
+      t.set(base + b, (w >> b) & 1ull);
+    }
+  }
+  return t;
+}
+
+std::uint64_t removable_gate_count(const Netlist& nl, const Cone& cone,
+                                   std::vector<NodeId>* removable_out) {
+  const auto& fanouts = nl.fanouts();
+  std::set<NodeId> removable{cone.root};
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (NodeId g : cone.interior) {
+      if (removable.count(g)) continue;
+      // Primary-output gates must stay (their function is observable).
+      if (nl.node(g).is_output) continue;
+      bool all_removable = true;
+      for (NodeId y : fanouts[g]) all_removable &= removable.count(y) != 0;
+      // A gate with no fanout at all is dead logic; treat as removable.
+      if (all_removable) {
+        removable.insert(g);
+        changed = true;
+      }
+    }
+  }
+  std::uint64_t total = 0;
+  for (NodeId g : removable) {
+    const Node& nd = nl.node(g);
+    switch (nd.type) {
+      case GateType::And:
+      case GateType::Nand:
+      case GateType::Or:
+      case GateType::Nor:
+      case GateType::Xor:
+      case GateType::Xnor:
+        total += nd.fanins.size() - 1;
+        break;
+      default:
+        break;
+    }
+  }
+  if (removable_out) removable_out->assign(removable.begin(), removable.end());
+  return total;
+}
+
+}  // namespace compsyn

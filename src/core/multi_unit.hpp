@@ -1,0 +1,55 @@
+// Section 6, open issue (2): synthesis with MULTIPLE comparison units.
+//
+// Any function can be written as f = f1 + f2 + ... + fk where each fi is a
+// comparison function (Section 3.1): under a fixed input order the ON-set
+// decimal values split into maximal runs of consecutive values, and each run
+// is one interval. The function is then an OR of comparison units (or the
+// complemented OR, when the OFF-set splits into fewer runs).
+//
+// The run count depends on the variable order; we search heuristically
+// (identity, reversal, and a deterministic sample of random orders) for an
+// order with at most `max_units` runs. max_units = 1 degenerates to plain
+// single-unit identification.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "core/comparison.hpp"
+#include "core/comparison_unit.hpp"
+#include "netlist/netlist.hpp"
+
+namespace compsyn {
+
+struct MultiUnitSpec {
+  // All parts share n and perm; each carries its own [L, U] run and has
+  // complemented == false. The OR of the parts equals f (or ~f).
+  std::vector<ComparisonSpec> parts;
+  bool complemented = false;  // true: parts describe the OFF-set
+
+  unsigned n() const { return parts.empty() ? 0 : parts[0].n; }
+  TruthTable to_truth_table() const;
+};
+
+struct MultiIdentifyOptions {
+  unsigned max_units = 4;
+  unsigned order_tries = 64;      // random orders sampled beyond id/reverse
+  std::uint64_t seed = 0x5eedull; // deterministic order sampling
+  bool try_complement = true;
+};
+
+/// Finds a multi-unit decomposition with the fewest runs found (at most
+/// max_units); nullopt if every tried order needs more units. Constant
+/// functions yield a single trivial part.
+std::optional<MultiUnitSpec> identify_multi_comparison(
+    const TruthTable& f, const MultiIdentifyOptions& opt = {});
+
+/// Builds the OR-of-units structure; same contract as build_comparison_unit.
+UnitBuildResult build_multi_unit(Netlist& nl, const MultiUnitSpec& spec,
+                                 const std::vector<NodeId>& leaves,
+                                 const UnitOptions& opt = {});
+
+/// Cost without touching a real circuit.
+UnitCost multi_unit_cost(const MultiUnitSpec& spec, const UnitOptions& opt = {});
+
+}  // namespace compsyn

@@ -1,0 +1,247 @@
+#include "core/resynth.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <memory>
+#include <optional>
+
+#include "core/multi_unit.hpp"
+#include "core/sdc.hpp"
+#include "paths/paths.hpp"
+
+namespace compsyn {
+namespace {
+
+bool is_gate(const Netlist& nl, NodeId n) {
+  const GateType t = nl.node(n).type;
+  return t != GateType::Input && t != GateType::Const0 && t != GateType::Const1;
+}
+
+struct Candidate {
+  bool valid = false;
+  Cone cone;
+  ComparisonSpec spec;
+  std::optional<MultiUnitSpec> multi;  // set for Section 6 multi-unit rewrites
+  std::vector<unsigned> kept;      // cone-leaf indices the function depends on
+  std::vector<NodeId> removable;   // interiors freed by the replacement
+  bool is_constant = false;        // cone computes a constant
+  bool constant_value = false;
+  std::int64_t delta_gates = 0;    // equivalent 2-input gates saved
+  std::int64_t delta_paths = 0;    // paths on g saved
+};
+
+/// Lexicographic comparison under the configured objective; true if a is
+/// strictly better than b.
+bool better(const Candidate& a, const Candidate& b, const ResynthOptions& opt) {
+  if (!b.valid) return a.valid;
+  if (!a.valid) return false;
+  switch (opt.objective) {
+    case ResynthObjective::Gates:
+      if (a.delta_gates != b.delta_gates) return a.delta_gates > b.delta_gates;
+      return a.delta_paths > b.delta_paths;
+    case ResynthObjective::Paths:
+      if (a.delta_paths != b.delta_paths) return a.delta_paths > b.delta_paths;
+      // Deterministic tie-break only; Procedure 3 has no gate objective.
+      return a.delta_gates > b.delta_gates;
+    case ResynthObjective::Combined: {
+      const double sa = opt.weight_gates * static_cast<double>(a.delta_gates) +
+                        opt.weight_paths * static_cast<double>(a.delta_paths);
+      const double sb = opt.weight_gates * static_cast<double>(b.delta_gates) +
+                        opt.weight_paths * static_cast<double>(b.delta_paths);
+      if (sa != sb) return sa > sb;
+      return a.delta_gates > b.delta_gates;
+    }
+  }
+  return false;
+}
+
+/// True if applying the candidate is a strict improvement (avoids churn and
+/// guarantees termination).
+bool improves(const Candidate& c, const ResynthOptions& opt) {
+  if (!c.valid) return false;
+  switch (opt.objective) {
+    case ResynthObjective::Gates:
+      return c.delta_gates > 0 || (c.delta_gates == 0 && c.delta_paths > 0);
+    case ResynthObjective::Paths:
+      return c.delta_paths > 0;
+    case ResynthObjective::Combined:
+      return opt.weight_gates * static_cast<double>(c.delta_gates) +
+                 opt.weight_paths * static_cast<double>(c.delta_paths) >
+             0.0;
+  }
+  return false;
+}
+
+/// Evaluates every cone at root g and returns the best candidate.
+/// `reach` is non-null when SDC-aware identification is enabled.
+Candidate best_candidate(const Netlist& nl, NodeId g,
+                         const std::vector<std::uint64_t>& np,
+                         const ReachabilityTable* reach,
+                         const ResynthOptions& opt, ResynthStats& stats) {
+  Candidate best;
+  ConeOptions cone_opt;
+  cone_opt.max_leaves = opt.k;
+  cone_opt.max_cones = opt.max_cones;
+  cone_opt.expand_slack = opt.cone_slack;
+  const std::uint64_t np_g = np[g];
+
+  for (Cone& cone : enumerate_cones(nl, g, cone_opt)) {
+    ++stats.cones_considered;
+    const TruthTable f = cone_function(nl, cone);
+    std::vector<unsigned> kept;
+    const TruthTable reduced = f.support_reduced(&kept);
+
+    Candidate cand;
+    cand.cone = cone;
+    cand.kept = kept;
+    const std::int64_t n_old =
+        static_cast<std::int64_t>(removable_gate_count(nl, cone, &cand.removable));
+
+    if (reduced.num_vars() == 0) {
+      // The cone computes a constant: everything removable goes away.
+      ++stats.comparison_cones;
+      cand.valid = true;
+      cand.is_constant = true;
+      cand.constant_value = reduced.get(0);
+      cand.delta_gates = n_old;
+      cand.delta_paths = static_cast<std::int64_t>(np_g);
+      if (better(cand, best, opt)) best = cand;
+      continue;
+    }
+
+    const auto specs = identify_comparison(reduced, opt.identify);
+    if (!specs.empty()) ++stats.comparison_cones;
+
+    auto consider = [&](const ComparisonSpec* spec, const MultiUnitSpec* multi) {
+      const UnitCost cost =
+          multi ? multi_unit_cost(*multi, opt.unit) : unit_cost(*spec, opt.unit);
+      std::uint64_t paths_new = 0;
+      for (unsigned v = 0; v < reduced.num_vars(); ++v) {
+        paths_new += np[cone.leaves[kept[v]]] * cost.kp[v];
+      }
+      Candidate c = cand;
+      c.valid = true;
+      if (multi) c.multi = *multi;
+      else c.spec = *spec;
+      c.delta_gates = n_old - static_cast<std::int64_t>(cost.equiv_gates);
+      c.delta_paths = static_cast<std::int64_t>(np_g) -
+                      static_cast<std::int64_t>(paths_new);
+      if (!opt.allow_gate_increase && c.delta_gates < 0) return;
+      if (better(c, best, opt)) best = c;
+    };
+    for (const ComparisonSpec& spec : specs) consider(&spec, nullptr);
+    if (reach != nullptr) {
+      // Section 6 (1): with unreachable leaf combinations as don't-cares,
+      // more cones qualify and existing ones may get cheaper windows. The
+      // rewrite only changes the cone function on unreachable combinations.
+      std::vector<NodeId> kept_nodes;
+      for (unsigned v : kept) kept_nodes.push_back(cone.leaves[v]);
+      const TruthTable care = reach->reachable_combos(kept_nodes);
+      if (!care.is_const_one()) {
+        for (const ComparisonSpec& spec :
+             identify_comparison_dc(reduced, care, opt.identify)) {
+          consider(&spec, nullptr);
+        }
+      }
+    }
+    if (specs.empty() && opt.max_units > 1) {
+      MultiIdentifyOptions mopt;
+      mopt.max_units = opt.max_units;
+      if (const auto multi = identify_multi_comparison(reduced, mopt)) {
+        consider(nullptr, &*multi);
+      }
+    }
+  }
+  return best;
+}
+
+/// One full sweep; returns the number of replacements applied.
+std::uint64_t run_pass(Netlist& nl, const ResynthOptions& opt, ResynthStats& stats) {
+  const std::vector<NodeId> order = nl.topo_order();  // snapshot
+  const PathCounts pc = count_paths(nl);
+  std::vector<char> marked(nl.size(), 0);
+  std::vector<char> skip(nl.size(), 0);
+  for (NodeId o : nl.outputs()) marked[o] = 1;
+
+  // Node functions never change during a pass (replacements are
+  // function-preserving), so one reachability sweep serves the whole pass;
+  // nodes created mid-pass simply fall back to "everything reachable".
+  std::unique_ptr<ReachabilityTable> reach;
+  if (opt.use_sdc && nl.inputs().size() <= opt.sdc_max_inputs) {
+    reach = std::make_unique<ReachabilityTable>(nl, opt.sdc_max_inputs);
+  }
+
+  std::uint64_t replacements = 0;
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const NodeId g = *it;
+    if (nl.is_dead(g) || !is_gate(nl, g)) continue;
+    if (!marked[g] || skip[g]) continue;
+
+    Candidate cand = best_candidate(nl, g, pc.np, reach.get(), opt, stats);
+
+    if (cand.valid && improves(cand, opt)) {
+      if (cand.is_constant) {
+        nl.redefine(g, cand.constant_value ? GateType::Const1 : GateType::Const0, {});
+      } else {
+        std::vector<NodeId> leaves;
+        leaves.reserve(cand.kept.size());
+        for (unsigned v : cand.kept) leaves.push_back(cand.cone.leaves[v]);
+        const UnitBuildResult built =
+            cand.multi ? build_multi_unit(nl, *cand.multi, leaves, opt.unit)
+                       : build_comparison_unit(nl, cand.spec, leaves, opt.unit);
+        nl.redefine(g, GateType::Buf, {built.output});
+      }
+      ++replacements;
+      // Gates freed by the replacement become dead immediately so that later
+      // shared-gate analyses see accurate fanouts.
+      nl.sweep();
+      for (NodeId r : cand.removable) {
+        if (r != g) skip[r] = 1;
+      }
+      for (NodeId leaf : cand.cone.leaves) {
+        if (is_gate(nl, leaf) && !nl.is_dead(leaf)) marked[leaf] = 1;
+      }
+    } else {
+      // Keep the existing gate; continue the sweep through its fanins.
+      for (NodeId f : nl.node(g).fanins) {
+        if (is_gate(nl, f)) marked[f] = 1;
+      }
+    }
+  }
+  return replacements;
+}
+
+}  // namespace
+
+ResynthStats resynthesize(Netlist& nl, const ResynthOptions& opt) {
+  ResynthStats stats;
+  stats.gates_before = nl.equivalent_gate_count();
+  stats.paths_before = count_paths(nl).total;
+  for (unsigned pass = 0; pass < opt.max_passes; ++pass) {
+    ++stats.passes;
+    const std::uint64_t replaced = run_pass(nl, opt, stats);
+    stats.replacements += replaced;
+    nl.simplify();
+    if (replaced == 0) break;
+  }
+  stats.gates_after = nl.equivalent_gate_count();
+  stats.paths_after = count_paths(nl).total;
+  return stats;
+}
+
+ResynthStats procedure2(Netlist& nl, unsigned k) {
+  ResynthOptions opt;
+  opt.objective = ResynthObjective::Gates;
+  opt.k = k;
+  return resynthesize(nl, opt);
+}
+
+ResynthStats procedure3(Netlist& nl, unsigned k) {
+  ResynthOptions opt;
+  opt.objective = ResynthObjective::Paths;
+  opt.k = k;
+  opt.allow_gate_increase = true;
+  return resynthesize(nl, opt);
+}
+
+}  // namespace compsyn

@@ -1,0 +1,85 @@
+// Circuit optimisation by comparison-unit replacement (Section 4).
+//
+// Procedure 2 (reduce gates): reverse-topological sweep from the outputs;
+// at every marked gate output g, enumerate candidate cones with at most K
+// inputs, keep those whose function is a comparison function, and replace
+// the cone giving the largest reduction in equivalent 2-input gates
+// (tie-break: fewest paths on g). Inputs of the selected cone are marked for
+// later consideration; gates internal to a selected unit are skipped.
+// Passes repeat until no further reduction (Section 4.1).
+//
+// Procedure 3 (reduce paths): same sweep, selecting the cone that minimises
+// the number of paths on g, with no gate-count objective (Section 4.2).
+//
+// Combined objective (Section 4.3): weighted sum of the gate reduction and
+// the path reduction. The paper describes this trade-off but does not
+// evaluate it; we implement it as the natural generalisation (weights (1,0)
+// give Procedure 2's primary criterion, (0,1) Procedure 3's).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "core/comparison.hpp"
+#include "core/cones.hpp"
+#include "core/comparison_unit.hpp"
+#include "netlist/netlist.hpp"
+
+namespace compsyn {
+
+enum class ResynthObjective {
+  Gates,     // Procedure 2
+  Paths,     // Procedure 3
+  Combined,  // Section 4.3 extension
+};
+
+struct ResynthOptions {
+  ResynthObjective objective = ResynthObjective::Gates;
+  unsigned k = 6;                  // max cone inputs (paper: K = 5, 6)
+  std::size_t max_cones = 2000;    // enumeration cap per root
+  unsigned cone_slack = 3;         // see ConeOptions::expand_slack
+  unsigned max_passes = 16;        // fixpoint guard
+  IdentifyOptions identify;        // exact by default
+  UnitOptions unit;
+  // Section 6 extension (2): replace cones whose function is NOT a single
+  // comparison function by an OR of up to max_units comparison units.
+  // 1 (default) reproduces the paper's procedures exactly.
+  unsigned max_units = 1;
+  // Section 6 extension (1): exploit unreachable cone-input combinations
+  // (satisfiability don't-cares) during identification. Requires an exact
+  // reachability sweep, so it only engages when the circuit has at most
+  // sdc_max_inputs primary inputs. Off by default (paper behaviour).
+  bool use_sdc = false;
+  unsigned sdc_max_inputs = 14;
+  // Combined-objective weights: score = wg * (gates saved) + wp * (paths
+  // saved on g); only used when objective == Combined.
+  double weight_gates = 1.0;
+  double weight_paths = 1.0;
+  // Never allow a replacement that increases the gate count (Procedure 2
+  // guarantees this by construction; Procedure 3 allows gate increases, as
+  // seen in Table 5).
+  bool allow_gate_increase = false;
+};
+
+struct ResynthStats {
+  unsigned passes = 0;
+  std::uint64_t replacements = 0;
+  std::uint64_t cones_considered = 0;
+  std::uint64_t comparison_cones = 0;  // cones whose function qualified
+  std::uint64_t gates_before = 0;
+  std::uint64_t gates_after = 0;
+  std::uint64_t paths_before = 0;
+  std::uint64_t paths_after = 0;
+};
+
+/// Runs the selected procedure in place until a fixpoint (or max_passes).
+/// The circuit function is preserved exactly; the result is swept and
+/// simplified. Returns the statistics of the whole run.
+ResynthStats resynthesize(Netlist& nl, const ResynthOptions& opt = {});
+
+/// Convenience wrappers matching the paper's procedure names.
+ResynthStats procedure2(Netlist& nl, unsigned k = 6);
+ResynthStats procedure3(Netlist& nl, unsigned k = 6);
+
+}  // namespace compsyn

@@ -1,0 +1,51 @@
+// Satisfiability don't-cares for cone inputs (Section 6, open issue (1):
+// "combinations of values that cannot be obtained due to logic dependencies
+// in the circuit can be used during the selection of comparison units").
+//
+// ReachabilityTable performs an exact full-input-space sweep (so it is
+// limited to circuits with few primary inputs) and can then report, for any
+// set of nodes, which joint value combinations ever occur. A cone whose
+// leaves are logically dependent gets an incompletely specified function;
+// identify_comparison_dc searches for an interval that matches the ON-set on
+// all REACHABLE minterms, letting unreachable ones fall wherever convenient.
+// Replacements based on such specs alter the cone function only on
+// unreachable leaf combinations, so the circuit function is preserved.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/comparison.hpp"
+#include "core/truth_table.hpp"
+#include "netlist/netlist.hpp"
+
+namespace compsyn {
+
+class ReachabilityTable {
+ public:
+  /// Sweeps all 2^|inputs| patterns; throws std::invalid_argument when the
+  /// circuit has more than max_inputs inputs (memory: 2^inputs bits/node).
+  explicit ReachabilityTable(const Netlist& nl, unsigned max_inputs = 16);
+
+  /// Truth table over `nodes` (nodes[0] = MSB) whose ON-set is exactly the
+  /// joint value combinations that occur for some input pattern. Nodes
+  /// created after construction are rejected (returns an all-ones table:
+  /// everything assumed reachable, which is always safe).
+  TruthTable reachable_combos(const std::vector<NodeId>& nodes) const;
+
+  std::size_t tracked_nodes() const { return bits_.size(); }
+
+ private:
+  std::size_t words_ = 0;
+  std::vector<std::vector<std::uint64_t>> bits_;  // per node, 2^n pattern bits
+};
+
+/// Comparison-function identification with don't-cares: finds (perm, L, U)
+/// such that every CARE minterm m satisfies (value(m) in [L,U]) == f(m).
+/// Sampled permutation search (identity, reversal, then random orders);
+/// complement handled as usual. `care` must have the same width as f.
+std::vector<ComparisonSpec> identify_comparison_dc(const TruthTable& f,
+                                                   const TruthTable& care,
+                                                   const IdentifyOptions& opt = {});
+
+}  // namespace compsyn

@@ -1,0 +1,148 @@
+#include "core/truth_table.hpp"
+
+#include <bit>
+#include <cassert>
+#include <stdexcept>
+
+namespace compsyn {
+
+TruthTable::TruthTable(unsigned n) : n_(n) {
+  if (n > 16) throw std::invalid_argument("TruthTable supports at most 16 variables");
+  words_.assign(std::max<std::size_t>(1, (std::size_t{1} << n) / 64), 0);
+}
+
+TruthTable TruthTable::from_function(unsigned n,
+                                     const std::function<bool(std::uint32_t)>& f) {
+  TruthTable t(n);
+  for (std::uint32_t m = 0; m < t.num_minterms(); ++m) t.set(m, f(m));
+  return t;
+}
+
+TruthTable TruthTable::from_bits(const std::string& bits) {
+  unsigned n = 0;
+  while ((std::size_t{1} << n) < bits.size()) ++n;
+  if ((std::size_t{1} << n) != bits.size()) {
+    throw std::invalid_argument("bit string length must be a power of two");
+  }
+  TruthTable t(n);
+  for (std::uint32_t m = 0; m < t.num_minterms(); ++m) {
+    const char c = bits[m];
+    if (c != '0' && c != '1') throw std::invalid_argument("bit string must be 0/1");
+    t.set(m, c == '1');
+  }
+  return t;
+}
+
+bool TruthTable::get(std::uint32_t m) const {
+  assert(m < num_minterms());
+  return (words_[m >> 6] >> (m & 63)) & 1ull;
+}
+
+void TruthTable::set(std::uint32_t m, bool value) {
+  assert(m < num_minterms());
+  const std::uint64_t bit = 1ull << (m & 63);
+  if (value) words_[m >> 6] |= bit;
+  else words_[m >> 6] &= ~bit;
+}
+
+std::uint32_t TruthTable::count_ones() const {
+  // Invariant: bits beyond num_minterms() are always zero.
+  std::uint32_t total = 0;
+  for (std::uint64_t w : words_) total += static_cast<std::uint32_t>(std::popcount(w));
+  return total;
+}
+
+bool TruthTable::is_const_zero() const { return count_ones() == 0; }
+bool TruthTable::is_const_one() const { return count_ones() == num_minterms(); }
+
+TruthTable TruthTable::complemented() const {
+  TruthTable t(n_);
+  const std::uint64_t last_mask =
+      n_ >= 6 ? ~0ull : ((1ull << num_minterms()) - 1ull);
+  for (std::size_t i = 0; i < words_.size(); ++i) t.words_[i] = ~words_[i];
+  t.words_.back() &= last_mask;
+  return t;
+}
+
+TruthTable TruthTable::permuted(const std::vector<unsigned>& perm) const {
+  assert(perm.size() == n_);
+  TruthTable t(n_);
+  for (std::uint32_t m = 0; m < num_minterms(); ++m) {
+    // Build the original minterm: new position j supplies original variable
+    // perm[j]. Positions are MSB-first.
+    std::uint32_t orig = 0;
+    for (unsigned j = 0; j < n_; ++j) {
+      const std::uint32_t bit = (m >> (n_ - 1 - j)) & 1u;
+      orig |= bit << (n_ - 1 - perm[j]);
+    }
+    t.set(m, get(orig));
+  }
+  return t;
+}
+
+TruthTable TruthTable::cofactor(unsigned var, bool value) const {
+  assert(var < n_);
+  TruthTable t(n_ - 1);
+  const unsigned shift = n_ - 1 - var;  // bit position of `var` in minterms
+  for (std::uint32_t m = 0; m < t.num_minterms(); ++m) {
+    const std::uint32_t low = m & ((1u << shift) - 1u);
+    const std::uint32_t high = (m >> shift) << (shift + 1);
+    const std::uint32_t full = high | (static_cast<std::uint32_t>(value) << shift) | low;
+    t.set(m, get(full));
+  }
+  return t;
+}
+
+bool TruthTable::is_vacuous(unsigned var) const {
+  return cofactor(var, false) == cofactor(var, true);
+}
+
+std::vector<unsigned> TruthTable::support() const {
+  std::vector<unsigned> s;
+  for (unsigned v = 0; v < n_; ++v) {
+    if (!is_vacuous(v)) s.push_back(v);
+  }
+  return s;
+}
+
+TruthTable TruthTable::support_reduced(std::vector<unsigned>* kept) const {
+  const std::vector<unsigned> s = support();
+  TruthTable t(static_cast<unsigned>(s.size()));
+  for (std::uint32_t m = 0; m < t.num_minterms(); ++m) {
+    std::uint32_t full = 0;
+    for (unsigned j = 0; j < s.size(); ++j) {
+      const std::uint32_t bit = (m >> (s.size() - 1 - j)) & 1u;
+      full |= bit << (n_ - 1 - s[j]);
+    }
+    t.set(m, get(full));
+  }
+  if (kept) *kept = s;
+  return t;
+}
+
+std::vector<std::uint32_t> TruthTable::on_set() const {
+  std::vector<std::uint32_t> on;
+  for (std::uint32_t m = 0; m < num_minterms(); ++m) {
+    if (get(m)) on.push_back(m);
+  }
+  return on;
+}
+
+std::string TruthTable::to_bits() const {
+  std::string s(num_minterms(), '0');
+  for (std::uint32_t m = 0; m < num_minterms(); ++m) {
+    if (get(m)) s[m] = '1';
+  }
+  return s;
+}
+
+std::uint64_t TruthTable::hash() const {
+  std::uint64_t h = 0xcbf29ce484222325ull ^ n_;
+  for (std::uint64_t w : words_) {
+    h ^= w;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+}  // namespace compsyn

@@ -1,0 +1,73 @@
+// Dense truth tables for the small single-output functions handled by the
+// comparison-function machinery (cone functions of up to 16 variables;
+// Procedures 2/3 use K = 5..7).
+//
+// Variable-order convention (matches the paper): variable 0 is x1, the MOST
+// significant bit of a minterm's decimal value; variable n-1 is x_n, the
+// least significant. So get(m) is f at the input combination whose decimal
+// value is m when read x1 x2 ... xn.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace compsyn {
+
+class TruthTable {
+ public:
+  /// All-zero function of n variables (0 <= n <= 16).
+  explicit TruthTable(unsigned n = 0);
+
+  static TruthTable from_function(unsigned n,
+                                  const std::function<bool(std::uint32_t)>& f);
+  /// Parses a bit string, minterm 0 first ("0110" = f(00)=0, f(01)=1, ...).
+  static TruthTable from_bits(const std::string& bits);
+
+  unsigned num_vars() const { return n_; }
+  std::uint32_t num_minterms() const { return 1u << n_; }
+
+  bool get(std::uint32_t minterm) const;
+  void set(std::uint32_t minterm, bool value);
+
+  std::uint32_t count_ones() const;
+  bool is_const_zero() const;
+  bool is_const_one() const;
+
+  TruthTable complemented() const;
+
+  /// Table of f with variables re-ordered: result position j holds original
+  /// variable perm[j] (so perm maps new position -> old variable).
+  TruthTable permuted(const std::vector<unsigned>& perm) const;
+
+  /// Cofactor with variable `var` fixed to `value`; result has n-1 variables
+  /// (the remaining ones keep their relative order).
+  TruthTable cofactor(unsigned var, bool value) const;
+
+  /// True if f does not depend on `var`.
+  bool is_vacuous(unsigned var) const;
+
+  /// Indices of variables f actually depends on, ascending.
+  std::vector<unsigned> support() const;
+
+  /// Table over only the support variables (relative order kept).
+  TruthTable support_reduced(std::vector<unsigned>* kept = nullptr) const;
+
+  /// ON-set minterm decimal values, ascending.
+  std::vector<std::uint32_t> on_set() const;
+
+  bool operator==(const TruthTable& o) const = default;
+
+  /// Bit string, minterm 0 first (inverse of from_bits).
+  std::string to_bits() const;
+
+  /// FNV-style hash for memoisation keys.
+  std::uint64_t hash() const;
+
+ private:
+  unsigned n_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace compsyn

@@ -1,0 +1,152 @@
+#include "core/two_level.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace compsyn {
+
+std::vector<Cube> prime_implicants(const TruthTable& f) {
+  const unsigned n = f.num_vars();
+  const std::uint32_t full_care = n == 0 ? 0 : ((1u << n) - 1);
+  // Level 0: ON minterms as full-care cubes.
+  std::set<std::pair<std::uint32_t, std::uint32_t>> current;  // (care, value)
+  for (std::uint32_t m : f.on_set()) current.insert({full_care, m});
+  if (f.num_vars() == 0) {
+    return f.get(0) ? std::vector<Cube>{{0, 0}} : std::vector<Cube>{};
+  }
+
+  std::vector<Cube> primes;
+  while (!current.empty()) {
+    std::set<std::pair<std::uint32_t, std::uint32_t>> next;
+    std::map<std::pair<std::uint32_t, std::uint32_t>, bool> combined;
+    for (const auto& c : current) combined[c] = false;
+    // Try merging cube pairs differing in exactly one cared bit.
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> list(current.begin(),
+                                                              current.end());
+    for (std::size_t i = 0; i < list.size(); ++i) {
+      for (std::size_t j = i + 1; j < list.size(); ++j) {
+        if (list[i].first != list[j].first) continue;  // same care set only
+        const std::uint32_t care = list[i].first;
+        const std::uint32_t diff = (list[i].second ^ list[j].second) & care;
+        if (__builtin_popcount(diff) != 1) continue;
+        combined[list[i]] = true;
+        combined[list[j]] = true;
+        next.insert({care & ~diff, list[i].second & ~diff & care});
+      }
+    }
+    for (const auto& [cube, was_combined] : combined) {
+      if (!was_combined) primes.push_back({cube.first, cube.second & cube.first});
+    }
+    current = std::move(next);
+  }
+  // Normalise and dedupe.
+  for (Cube& c : primes) c.value &= c.care;
+  std::sort(primes.begin(), primes.end(), [](const Cube& a, const Cube& b) {
+    return std::tie(a.care, a.value) < std::tie(b.care, b.value);
+  });
+  primes.erase(std::unique(primes.begin(), primes.end()), primes.end());
+  return primes;
+}
+
+bool cover_equals(const std::vector<Cube>& cover, const TruthTable& f) {
+  for (std::uint32_t m = 0; m < f.num_minterms(); ++m) {
+    bool covered = false;
+    for (const Cube& c : cover) covered |= c.covers(m);
+    if (covered != f.get(m)) return false;
+  }
+  return true;
+}
+
+std::vector<Cube> irredundant_cover(const TruthTable& f) {
+  const auto primes = prime_implicants(f);
+  const auto on = f.on_set();
+  if (on.empty()) return {};
+
+  // Which primes cover each ON minterm.
+  std::vector<std::vector<std::size_t>> coverers(on.size());
+  for (std::size_t mi = 0; mi < on.size(); ++mi) {
+    for (std::size_t pi = 0; pi < primes.size(); ++pi) {
+      if (primes[pi].covers(on[mi])) coverers[mi].push_back(pi);
+    }
+  }
+  std::vector<char> chosen(primes.size(), 0);
+  std::vector<char> covered(on.size(), 0);
+  // Essential primes.
+  for (std::size_t mi = 0; mi < on.size(); ++mi) {
+    if (coverers[mi].size() == 1) chosen[coverers[mi][0]] = 1;
+  }
+  auto update_covered = [&] {
+    for (std::size_t mi = 0; mi < on.size(); ++mi) {
+      covered[mi] = 0;
+      for (std::size_t pi : coverers[mi]) {
+        if (chosen[pi]) {
+          covered[mi] = 1;
+          break;
+        }
+      }
+    }
+  };
+  update_covered();
+  // Greedy: repeatedly take the prime covering the most uncovered minterms.
+  for (;;) {
+    std::size_t best = primes.size();
+    std::size_t best_gain = 0;
+    for (std::size_t pi = 0; pi < primes.size(); ++pi) {
+      if (chosen[pi]) continue;
+      std::size_t gain = 0;
+      for (std::size_t mi = 0; mi < on.size(); ++mi) {
+        gain += !covered[mi] && primes[pi].covers(on[mi]);
+      }
+      if (gain > best_gain) {
+        best_gain = gain;
+        best = pi;
+      }
+    }
+    if (best == primes.size()) break;
+    chosen[best] = 1;
+    update_covered();
+  }
+  // Irredundancy: drop any chosen prime whose minterms are all covered by
+  // the other chosen primes (iterate smallest-first for determinism).
+  for (std::size_t pi = 0; pi < primes.size(); ++pi) {
+    if (!chosen[pi]) continue;
+    chosen[pi] = 0;
+    update_covered();
+    bool still_ok = true;
+    for (std::size_t mi = 0; mi < on.size(); ++mi) still_ok &= covered[mi] != 0;
+    if (!still_ok) {
+      chosen[pi] = 1;
+      update_covered();
+    }
+  }
+  std::vector<Cube> cover;
+  for (std::size_t pi = 0; pi < primes.size(); ++pi) {
+    if (chosen[pi]) cover.push_back(primes[pi]);
+  }
+  return cover;
+}
+
+NodeId build_sop(Netlist& nl, const std::vector<NodeId>& vars,
+                 const std::vector<Cube>& cover, unsigned n_vars) {
+  if (cover.empty()) return nl.add_const(false);
+  std::vector<NodeId> inv(n_vars, kNoNode);
+  auto literal = [&](unsigned v, bool positive) {
+    if (positive) return vars[v];
+    if (inv[v] == kNoNode) inv[v] = nl.add_gate(GateType::Not, {vars[v]});
+    return inv[v];
+  };
+  std::vector<NodeId> terms;
+  for (const Cube& c : cover) {
+    std::vector<NodeId> lits;
+    for (unsigned v = 0; v < n_vars; ++v) {
+      const std::uint32_t bit = 1u << (n_vars - 1 - v);
+      if (c.care & bit) lits.push_back(literal(v, (c.value & bit) != 0));
+    }
+    if (lits.empty()) return nl.add_const(true);  // tautology cube
+    terms.push_back(lits.size() == 1 ? lits[0] : nl.add_gate(GateType::And, lits));
+  }
+  return terms.size() == 1 ? terms[0] : nl.add_gate(GateType::Or, terms);
+}
+
+}  // namespace compsyn

@@ -1,0 +1,47 @@
+// Two-level (SOP) machinery for small functions: Quine-McCluskey prime
+// generation and an irredundant cover, plus a netlist builder.
+//
+// Used by the benchmark generator: a prime irredundant single-output SOP is
+// fully testable for stuck-at faults (no redundant literals/terms), which is
+// what the paper's irredundant starting circuits look like locally -- while
+// still carrying more gates and far more paths than a comparison unit.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/truth_table.hpp"
+#include "netlist/netlist.hpp"
+
+namespace compsyn {
+
+/// A product term over n variables: for variable v (MSB-first position v),
+/// care bit set means the literal is present with polarity given by value.
+struct Cube {
+  std::uint32_t care = 0;   // bit (n-1-v) set: variable v appears
+  std::uint32_t value = 0;  // polarity of present literals
+
+  bool covers(std::uint32_t minterm) const {
+    return (minterm & care) == (value & care);
+  }
+  unsigned literal_count() const { return static_cast<unsigned>(__builtin_popcount(care)); }
+  bool operator==(const Cube& o) const = default;
+};
+
+/// All prime implicants of f (Quine-McCluskey; n <= 16, intended for n <= 8).
+std::vector<Cube> prime_implicants(const TruthTable& f);
+
+/// A prime and irredundant cover of f: essential primes first, then greedy
+/// selection, then redundant-term elimination. Every returned cube is a
+/// prime implicant and no cube can be dropped.
+std::vector<Cube> irredundant_cover(const TruthTable& f);
+
+/// True if `cover` equals f exactly.
+bool cover_equals(const std::vector<Cube>& cover, const TruthTable& f);
+
+/// Builds the 2-level AND-OR (with input inverters) netlist for the cover.
+/// vars[v] supplies variable v. Returns the SOP output node.
+NodeId build_sop(Netlist& nl, const std::vector<NodeId>& vars,
+                 const std::vector<Cube>& cover, unsigned n_vars);
+
+}  // namespace compsyn

@@ -1,0 +1,101 @@
+#include "core/unit_testgen.hpp"
+
+#include <cassert>
+
+#include "delay/robust.hpp"
+
+namespace compsyn {
+namespace {
+
+/// Positional value -> PI vector (input i is variable i; variable perm[j]
+/// sits at position j, i.e. bit n-1-j of the positional value).
+std::vector<bool> positional_to_pi(const ComparisonSpec& spec, std::uint32_t value) {
+  const unsigned n = spec.n;
+  std::vector<bool> v(n);
+  for (unsigned j = 0; j < n; ++j) {
+    v[spec.perm[j]] = (value >> (n - 1 - j)) & 1u;
+  }
+  return v;
+}
+
+}  // namespace
+
+UnitTestSet generate_unit_tests(const ComparisonSpec& spec, const UnitOptions& opt) {
+  UnitTestSet set;
+  set.unit = build_unit_netlist(spec, opt);
+  const Netlist& unit = set.unit;
+  const unsigned n = spec.n;
+
+  // Position of each variable (inverse of perm).
+  std::vector<unsigned> pos(n);
+  for (unsigned j = 0; j < n; ++j) pos[spec.perm[j]] = j;
+
+  const auto paths = enumerate_paths(unit);
+  set.total_faults = 2 * paths.size();
+  set.complete = true;
+
+  for (const Path& path : paths) {
+    // Which variable does this path start at?
+    unsigned origin_var = n;
+    for (unsigned i = 0; i < n; ++i) {
+      if (unit.inputs()[i] == path.nodes.front()) origin_var = i;
+    }
+    assert(origin_var < n);
+    const unsigned j = pos[origin_var];
+
+    // Constructive static candidates (positional values; the bit at
+    // position j is overridden by the transition).
+    std::vector<std::uint32_t> candidates{spec.lower, spec.upper};
+    const unsigned suffix_len = n - 1 - j;
+    if (suffix_len > 0 && suffix_len < 32) {
+      const std::uint32_t suffix_mask = (1u << suffix_len) - 1u;
+      const std::uint32_t l_suffix = spec.lower & suffix_mask;
+      const std::uint32_t u_suffix = spec.upper & suffix_mask;
+      candidates.push_back(spec.lower & ~suffix_mask);              // suffix 0..0
+      candidates.push_back(spec.upper | suffix_mask);               // suffix 1..1
+      if (l_suffix > 0) {
+        candidates.push_back((spec.lower & ~suffix_mask) | (l_suffix - 1));
+      }
+      if (u_suffix < suffix_mask) {
+        candidates.push_back((spec.upper & ~suffix_mask) | (u_suffix + 1));
+      }
+    }
+
+    for (bool rising : {true, false}) {
+      UnitTest test;
+      test.path = path;
+      test.rising = rising;
+      bool found = false;
+      const std::uint32_t origin_bit = 1u << (n - 1 - j);
+      for (std::uint32_t base : candidates) {
+        const std::uint32_t with1 = base | origin_bit;
+        const std::uint32_t with0 = base & ~origin_bit;
+        const std::vector<bool> v1 = positional_to_pi(spec, rising ? with0 : with1);
+        const std::vector<bool> v2 = positional_to_pi(spec, rising ? with1 : with0);
+        if (robustly_tests(unit, path, rising, v1, v2)) {
+          test.v1 = v1;
+          test.v2 = v2;
+          test.constructive = true;
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        // Fallback: exhaustive search (complete for these small units).
+        if (auto pair = find_robust_test(unit, path, rising, /*limit=*/16)) {
+          test.v1 = std::move(pair->first);
+          test.v2 = std::move(pair->second);
+          found = true;
+        }
+      }
+      if (found) {
+        set.tests.push_back(std::move(test));
+      } else {
+        set.complete = false;
+      }
+    }
+  }
+  return set;
+}
+
+}  // namespace compsyn

@@ -1,0 +1,42 @@
+// Robust two-pattern test generation for comparison units (Section 3.3,
+// Table 1).
+//
+// The generator follows the paper's constructive recipe: the static part of
+// each test is derived from the bounds (all positions at their L bits, at
+// their U bits, or with the suffix below the transitioning position forced
+// just outside/inside the bound), and the path input receives the rising or
+// falling transition. Every candidate is validated against the robust
+// waveform algebra; if none of the constructive candidates applies (which
+// does not happen for units built by build_comparison_unit, but the fallback
+// keeps the API total) an exhaustive search over vector pairs is used.
+#pragma once
+
+#include <vector>
+
+#include "core/comparison.hpp"
+#include "core/comparison_unit.hpp"
+#include "netlist/netlist.hpp"
+#include "paths/paths.hpp"
+
+namespace compsyn {
+
+struct UnitTest {
+  Path path;               // structural path in the unit netlist
+  bool rising = false;     // transition direction at the path input
+  std::vector<bool> v1;    // first vector (x1..xn, original variable order)
+  std::vector<bool> v2;    // second vector
+  bool constructive = false;  // produced by the paper's recipe (vs search)
+};
+
+struct UnitTestSet {
+  Netlist unit;                 // standalone unit (inputs x1..xn)
+  std::vector<UnitTest> tests;  // one per testable path delay fault
+  std::uint64_t total_faults = 0;
+  bool complete = false;  // every path delay fault received a robust test
+};
+
+/// Generates a complete robust test set for the unit implementing `spec`.
+UnitTestSet generate_unit_tests(const ComparisonSpec& spec,
+                                const UnitOptions& opt = {});
+
+}  // namespace compsyn

@@ -1,0 +1,147 @@
+#include "delay/algebra.hpp"
+
+#include <cassert>
+
+namespace compsyn {
+namespace {
+
+Wave eval_and_like(bool cv, bool invert, const std::vector<Wave>& in) {
+  // cv = controlling value (0 for AND, 1 for OR).
+  Wave out;
+  bool a1 = true, a2 = true;  // accumulated "all non-controlling"
+  bool any_clean_controlling = false;
+  bool all_clean = true;
+  for (const Wave& w : in) {
+    a1 &= w.v1 != cv;
+    a2 &= w.v2 != cv;
+    any_clean_controlling |= w.clean && w.stable(cv);
+    all_clean &= w.clean;
+  }
+  // Output value: the controlling outcome unless all inputs non-controlling.
+  out.v1 = a1 ? !cv : cv;
+  out.v2 = a2 ? !cv : cv;
+  if (any_clean_controlling) {
+    out.clean = true;
+  } else if (out.v1 == cv && out.v2 == cv) {
+    // Statically controlled without a clean stable controlling input:
+    // crossing transitions (or hazardous stable inputs) can glitch.
+    out.clean = false;
+  } else {
+    // Transitioning, or stable at the identity value (which forces every
+    // input stable non-controlling): clean iff all inputs are clean.
+    out.clean = all_clean;
+  }
+  if (invert) {
+    out.v1 = !out.v1;
+    out.v2 = !out.v2;
+  }
+  return out;
+}
+
+}  // namespace
+
+Wave eval_wave(GateType t, const std::vector<Wave>& in) {
+  switch (t) {
+    case GateType::Input:
+      assert(false && "inputs are not evaluated");
+      return {};
+    case GateType::Const0:
+      return {false, false, true};
+    case GateType::Const1:
+      return {true, true, true};
+    case GateType::Buf:
+      return in[0];
+    case GateType::Not:
+      return {!in[0].v1, !in[0].v2, in[0].clean};
+    case GateType::And:
+      return eval_and_like(false, false, in);
+    case GateType::Nand:
+      return eval_and_like(false, true, in);
+    case GateType::Or:
+      return eval_and_like(true, false, in);
+    case GateType::Nor:
+      return eval_and_like(true, true, in);
+    case GateType::Xor:
+    case GateType::Xnor: {
+      Wave out{false, false, true};
+      unsigned transitions = 0;
+      for (const Wave& w : in) {
+        out.v1 ^= w.v1;
+        out.v2 ^= w.v2;
+        out.clean &= w.clean;
+        transitions += w.transitions();
+      }
+      if (transitions > 1) out.clean = false;
+      if (t == GateType::Xnor) {
+        out.v1 = !out.v1;
+        out.v2 = !out.v2;
+      }
+      return out;
+    }
+  }
+  return {};
+}
+
+std::vector<Wave> simulate_two_pattern(const Netlist& nl,
+                                       const std::vector<bool>& v1,
+                                       const std::vector<bool>& v2) {
+  assert(v1.size() == nl.inputs().size());
+  assert(v2.size() == nl.inputs().size());
+  std::vector<Wave> waves(nl.size());
+  for (std::size_t i = 0; i < nl.inputs().size(); ++i) {
+    waves[nl.inputs()[i]] = {v1[i], v2[i], true};
+  }
+  std::vector<Wave> ins;
+  for (NodeId n : nl.topo_order()) {
+    const Node& nd = nl.node(n);
+    if (nd.type == GateType::Input) continue;
+    ins.clear();
+    for (NodeId f : nd.fanins) ins.push_back(waves[f]);
+    waves[n] = eval_wave(nd.type, ins);
+  }
+  return waves;
+}
+
+bool robust_edge(const Netlist& nl, const std::vector<Wave>& waves, NodeId g,
+                 std::size_t pin) {
+  const Node& nd = nl.node(g);
+  assert(pin < nd.fanins.size());
+  const Wave& on = waves[nd.fanins[pin]];
+  if (!on.transitions() || !on.clean) return false;
+  switch (nd.type) {
+    case GateType::Buf:
+    case GateType::Not:
+      return true;
+    case GateType::And:
+    case GateType::Nand:
+    case GateType::Or:
+    case GateType::Nor: {
+      const bool cv = controlling_value(nd.type);
+      const bool to_controlling = on.v2 == cv;
+      for (std::size_t i = 0; i < nd.fanins.size(); ++i) {
+        if (i == pin) continue;
+        const Wave& side = waves[nd.fanins[i]];
+        if (to_controlling) {
+          // Side inputs must hold a steady, hazard-free non-controlling value.
+          if (!(side.clean && side.stable(!cv))) return false;
+        } else {
+          // Side inputs only need a non-controlling final value.
+          if (side.v2 == cv) return false;
+        }
+      }
+      return true;
+    }
+    case GateType::Xor:
+    case GateType::Xnor:
+      for (std::size_t i = 0; i < nd.fanins.size(); ++i) {
+        if (i == pin) continue;
+        const Wave& side = waves[nd.fanins[i]];
+        if (!side.clean || side.transitions()) return false;
+      }
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace compsyn

@@ -1,0 +1,57 @@
+// Two-pattern waveform algebra for robust path-delay-fault analysis.
+//
+// For a vector pair (V1, V2) every line carries a Wave: its value under V1,
+// its value under V2, and a conservative hazard-free flag ("clean": the line
+// provably makes at most one monotone transition regardless of gate delays).
+// PIs are clean by definition; the gate rules below propagate cleanliness
+// conservatively (never claiming clean when a glitch is possible):
+//
+//   AND (OR dual):
+//     * some input clean stable at the controlling value -> output clean
+//       stable at the controlled value;
+//     * otherwise output is clean iff every input is clean and the output
+//       values under V1/V2 are not both equal to the controlled value
+//       (a static-0 output of an AND produced by crossing transitions can
+//       glitch; a static-1 output requires all inputs stable 1 anyway).
+//   NOT/BUF: cleanliness passes through.
+//   XOR/XNOR: clean iff all inputs clean and at most one input transitions.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace compsyn {
+
+struct Wave {
+  bool v1 = false;
+  bool v2 = false;
+  bool clean = true;
+
+  bool transitions() const { return v1 != v2; }
+  bool stable(bool v) const { return v1 == v && v2 == v; }
+};
+
+inline bool operator==(const Wave& a, const Wave& b) {
+  return a.v1 == b.v1 && a.v2 == b.v2 && a.clean == b.clean;
+}
+
+/// Evaluates one gate over input waves.
+Wave eval_wave(GateType t, const std::vector<Wave>& in);
+
+/// Waves for every node given PI values under both vectors.
+std::vector<Wave> simulate_two_pattern(const Netlist& nl,
+                                       const std::vector<bool>& v1,
+                                       const std::vector<bool>& v2);
+
+/// Robust sensitization of the on-path input `pin` of gate `g` (Section 3.3
+/// conditions): the on-path input must make a clean transition; if the
+/// transition ends at the controlling value every side input must be clean
+/// stable non-controlling; if it ends at the non-controlling value every side
+/// input must have a non-controlling final value. XOR-type gates require
+/// clean stable side inputs. NOT/BUF propagate unconditionally.
+bool robust_edge(const Netlist& nl, const std::vector<Wave>& waves, NodeId g,
+                 std::size_t pin);
+
+}  // namespace compsyn

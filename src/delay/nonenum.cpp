@@ -1,0 +1,129 @@
+#include "delay/nonenum.hpp"
+
+#include <cassert>
+
+namespace compsyn {
+namespace {
+
+constexpr std::uint64_t kSat = 1ull << 62;
+
+std::uint64_t sat_add(std::uint64_t a, std::uint64_t b) {
+  const std::uint64_t s = a + b;
+  return s >= kSat || s < a ? kSat : s;
+}
+
+std::uint64_t sat_mul_small(std::uint64_t a, std::uint64_t k) {
+  if (a >= kSat / (k == 0 ? 1 : k + 1)) return kSat;
+  return a * k;
+}
+
+}  // namespace
+
+NonEnumerativePdfEstimator::NonEnumerativePdfEstimator(const Netlist& nl) : nl_(nl) {
+  edge_base_.assign(nl.size() + 1, 0);
+  for (NodeId n = 0; n < nl.size(); ++n) {
+    edge_base_[n + 1] = edge_base_[n] + (nl.is_dead(n) ? 0 : nl.node(n).fanins.size());
+  }
+  edge_count_ = edge_base_[nl.size()];
+  union_edges_.assign(edge_count_, 0);
+  union_dirs_.assign(nl.size(), 0);
+  pair_edges_.assign(edge_count_, 0);
+  pair_dirs_.assign(nl.size(), 0);
+
+  // Saturating path count for the fault universe.
+  std::vector<std::uint64_t> np(nl.size(), 0);
+  for (NodeId pi : nl.inputs()) {
+    if (!nl.is_dead(pi)) np[pi] = 1;
+  }
+  for (NodeId n : nl.topo_order()) {
+    const Node& nd = nl.node(n);
+    if (nd.type == GateType::Input || nd.type == GateType::Const0 ||
+        nd.type == GateType::Const1) {
+      continue;
+    }
+    std::uint64_t sum = 0;
+    for (NodeId f : nd.fanins) sum = sat_add(sum, np[f]);
+    np[n] = sum;
+  }
+  std::uint64_t total = 0;
+  for (NodeId o : nl.outputs()) total = sat_add(total, np[o]);
+  total_faults_ = sat_mul_small(total, 2);
+}
+
+void NonEnumerativePdfEstimator::apply(const std::vector<bool>& v1,
+                                       const std::vector<bool>& v2) {
+  ++pairs_;
+  const auto waves = simulate_two_pattern(nl_, v1, v2);
+  std::fill(pair_edges_.begin(), pair_edges_.end(), 0);
+  std::fill(pair_dirs_.begin(), pair_dirs_.end(), 0);
+  for (NodeId n = 0; n < nl_.size(); ++n) {
+    if (nl_.is_dead(n)) continue;
+    const Node& nd = nl_.node(n);
+    for (std::size_t pin = 0; pin < nd.fanins.size(); ++pin) {
+      if (waves[nd.fanins[pin]].transitions() && robust_edge(nl_, waves, n, pin)) {
+        pair_edges_[edge_base_[n] + pin] = 1;
+        union_edges_[edge_base_[n] + pin] = 1;
+      }
+    }
+  }
+  for (NodeId pi : nl_.inputs()) {
+    if (nl_.is_dead(pi) || !waves[pi].transitions()) continue;
+    const std::uint8_t bit = waves[pi].v2 ? 1 : 2;  // rising : falling
+    pair_dirs_[pi] |= bit;
+    union_dirs_[pi] |= bit;
+  }
+  const std::uint64_t this_pair = count_marked(pair_edges_, pair_dirs_);
+  lower_ = std::max(lower_, this_pair);
+}
+
+std::uint64_t NonEnumerativePdfEstimator::upper_bound() const {
+  return count_marked(union_edges_, union_dirs_);
+}
+
+std::uint64_t NonEnumerativePdfEstimator::count_marked(
+    const std::vector<char>& edge_marked,
+    const std::vector<std::uint8_t>& dir_weight) const {
+  // B[n] = paths from n to a primary output through marked edges.
+  count_.assign(nl_.size(), 0);
+  const auto& order = nl_.topo_order();
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const NodeId n = *it;
+    std::uint64_t b = nl_.node(n).is_output ? 1 : 0;
+    b = sat_add(b, count_[n]);  // contributions pushed by consumers
+    count_[n] = b;
+    const Node& nd = nl_.node(n);
+    for (std::size_t pin = 0; pin < nd.fanins.size(); ++pin) {
+      if (edge_marked[edge_base_[n] + pin]) {
+        count_[nd.fanins[pin]] = sat_add(count_[nd.fanins[pin]], b);
+      }
+    }
+  }
+  std::uint64_t total = 0;
+  for (NodeId pi : nl_.inputs()) {
+    const unsigned dirs = static_cast<unsigned>(__builtin_popcount(dir_weight[pi]));
+    if (dirs) total = sat_add(total, sat_mul_small(count_[pi], dirs));
+  }
+  return total;
+}
+
+NonEnumPdfResult random_nonenum_pdf(const Netlist& nl, Rng& rng, std::uint64_t pairs) {
+  NonEnumerativePdfEstimator est(nl);
+  const std::size_t n = nl.inputs().size();
+  std::vector<bool> v1(n), v2(n);
+  for (std::uint64_t p = 0; p < pairs; ++p) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint64_t r = rng.next();
+      v1[i] = r & 1ull;
+      v2[i] = (r >> 1) & 1ull;
+    }
+    est.apply(v1, v2);
+  }
+  NonEnumPdfResult res;
+  res.total_faults = est.total_faults();
+  res.lower = est.lower_bound();
+  res.upper = est.upper_bound();
+  res.pairs_applied = est.pairs_applied();
+  return res;
+}
+
+}  // namespace compsyn

@@ -1,0 +1,79 @@
+// Non-enumerative estimation of robust path-delay-fault coverage, in the
+// spirit of reference [8] (Pomeranz/Reddy, ICCAD'92): for circuits whose
+// path count makes per-path bookkeeping impossible, coverage is bounded
+// without enumerating paths.
+//
+//  * lower bound: the best single-pair detection count seen so far. For one
+//    vector pair the set of robustly detected faults is exactly the set of
+//    paths through robust-sensitized edges starting at a transitioning
+//    input, countable by an O(V) Procedure-1-style DP.
+//  * upper bound: a path fault can only ever have been detected if every
+//    edge of its path was robust-sensitized by SOME applied pair and its
+//    origin showed the corresponding transition in SOME pair; counting paths
+//    through the UNION of sensitized edges (weighted by the origin
+//    directions seen) is therefore an upper bound on the union of detected
+//    sets.
+//
+// Both bounds use O(E) memory independent of the path count.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "delay/algebra.hpp"
+#include "netlist/netlist.hpp"
+#include "util/rng.hpp"
+
+namespace compsyn {
+
+class NonEnumerativePdfEstimator {
+ public:
+  explicit NonEnumerativePdfEstimator(const Netlist& nl);
+
+  /// Total fault universe = 2 * paths (saturating at 2^63; the estimator
+  /// itself never needs the exact value).
+  std::uint64_t total_faults() const { return total_faults_; }
+
+  /// Accounts one vector pair. O(V + E).
+  void apply(const std::vector<bool>& v1, const std::vector<bool>& v2);
+
+  /// Bounds on the number of distinct robustly detected path delay faults
+  /// over all pairs applied so far.
+  std::uint64_t lower_bound() const { return lower_; }
+  std::uint64_t upper_bound() const;
+
+  std::uint64_t pairs_applied() const { return pairs_; }
+
+ private:
+  /// Counts faults whose every edge is marked; `edge_marked` is indexed by
+  /// edge_base_[node] + pin; per-PI direction weights in dir_weight.
+  std::uint64_t count_marked(const std::vector<char>& edge_marked,
+                             const std::vector<std::uint8_t>& dir_weight) const;
+
+  const Netlist& nl_;
+  std::vector<std::size_t> edge_base_;  // first edge index per node
+  std::size_t edge_count_ = 0;
+  std::uint64_t total_faults_ = 0;
+
+  std::vector<char> union_edges_;          // edges sensitized by any pair
+  std::vector<std::uint8_t> union_dirs_;   // per-PI: bit0 rising, bit1 falling
+  std::uint64_t lower_ = 0;
+  std::uint64_t pairs_ = 0;
+
+  // scratch
+  mutable std::vector<std::uint64_t> count_;
+  std::vector<char> pair_edges_;
+  std::vector<std::uint8_t> pair_dirs_;
+};
+
+/// Experiment driver mirroring random_robust_pdf but non-enumerative.
+struct NonEnumPdfResult {
+  std::uint64_t total_faults = 0;
+  std::uint64_t lower = 0;
+  std::uint64_t upper = 0;
+  std::uint64_t pairs_applied = 0;
+};
+NonEnumPdfResult random_nonenum_pdf(const Netlist& nl, Rng& rng,
+                                    std::uint64_t pairs);
+
+}  // namespace compsyn

@@ -1,0 +1,93 @@
+// Robust path-delay-fault simulation and test generation.
+//
+// Fault model: every structural path has two delay faults (slow-to-rise and
+// slow-to-fall at the path input), so the fault universe has 2 * N_p members,
+// numbered fault_id = 2 * path_id + (0 rising / 1 falling). A vector pair
+// robustly detects a fault iff the path input makes the corresponding clean
+// transition and every on-path edge satisfies the robust sensitization
+// conditions of delay/algebra.hpp.
+//
+// The simulator marks all faults a pair detects by walking the
+// robust-sensitized subgraph from each transitioning output; the global path
+// numbering of paths/paths.hpp turns each walk into fault ids.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "delay/algebra.hpp"
+#include "netlist/netlist.hpp"
+#include "paths/paths.hpp"
+#include "util/rng.hpp"
+
+namespace compsyn {
+
+/// True if (v1, v2) robustly tests the path with the given origin transition.
+bool robustly_tests(const Netlist& nl, const Path& path, bool rising,
+                    const std::vector<bool>& v1, const std::vector<bool>& v2);
+
+/// Searches for a robust two-pattern test for one path fault. Tries all
+/// single-input-change pairs first, then (for circuits with at most
+/// `exhaustive_limit` inputs) all vector pairs. Returns the pair or nullopt.
+std::optional<std::pair<std::vector<bool>, std::vector<bool>>> find_robust_test(
+    const Netlist& nl, const Path& path, bool rising,
+    unsigned exhaustive_limit = 12);
+
+class RobustPdfSimulator {
+ public:
+  explicit RobustPdfSimulator(const Netlist& nl);
+
+  /// Total fault universe = 2 * number of paths.
+  std::uint64_t total_faults() const { return 2 * pc_.total; }
+  const PathCounts& path_counts() const { return pc_; }
+
+  /// Simulates one vector pair and marks newly detected faults. Returns the
+  /// number of NEW detections. `work_cap` bounds the per-pair walk (a pair
+  /// sensitizing astronomically many paths stops early; detection marking is
+  /// then incomplete for that pair, which only makes coverage conservative).
+  std::uint64_t apply(const std::vector<bool>& v1, const std::vector<bool>& v2,
+                      std::uint64_t work_cap = 1u << 22);
+
+  std::uint64_t detected_count() const { return detected_count_; }
+  bool is_detected(std::uint64_t fault_id) const;
+
+ private:
+  void mark(std::uint64_t fault_id);
+  /// Recursive walk down robust edges; id_base is the path-id offset
+  /// accumulated so far, `rising` the transition direction at the current
+  /// frontier (towards the inputs).
+  void walk(NodeId n, std::uint64_t id_base, const std::vector<Wave>& waves,
+            std::uint64_t& budget, std::uint64_t& newly);
+
+  const Netlist& nl_;
+  PathCounts pc_;
+  std::vector<std::uint64_t> bits_;
+  std::uint64_t detected_count_ = 0;
+};
+
+/// Table 7 style experiment: random vector pairs until the coverage has not
+/// changed for `stop_window` consecutive pairs (or max_pairs).
+struct PdfExperimentResult {
+  std::uint64_t total_faults = 0;
+  std::uint64_t detected = 0;
+  std::uint64_t last_effective_pair = 0;  // 1-based; 0 if nothing detected
+  std::uint64_t pairs_applied = 0;
+};
+
+PdfExperimentResult random_robust_pdf(const Netlist& nl, Rng& rng,
+                                      std::uint64_t stop_window = 100000,
+                                      std::uint64_t max_pairs = 2000000);
+
+/// Exhaustive robust testability for small circuits: how many of the 2*N_p
+/// path delay faults have SOME robust test. Complete for circuits whose
+/// input count is <= exhaustive_limit; paths capped at `path_cap`.
+struct PdfTestability {
+  std::uint64_t total_faults = 0;
+  std::uint64_t testable = 0;
+};
+PdfTestability count_robustly_testable(const Netlist& nl,
+                                       unsigned exhaustive_limit = 12,
+                                       std::size_t path_cap = 1u << 16);
+
+}  // namespace compsyn

@@ -1,0 +1,37 @@
+// Single stuck-at fault universe over a netlist.
+//
+// Fault sites follow the ISCAS convention: one line per gate output (the
+// stem) and one line per fanout branch of a multi-fanout stem. A connection
+// from a single-fanout stem to its consumer is one line, represented by the
+// stem. Each line carries a stuck-at-0 and a stuck-at-1 fault.
+//
+// enumerate_faults(collapse=true) applies structural equivalence collapsing:
+//   BUF: in s-a-v  == out s-a-v          NOT: in s-a-v == out s-a-!v
+//   AND: in s-a-0  == out s-a-0          NAND: in s-a-0 == out s-a-1
+//   OR:  in s-a-1  == out s-a-1          NOR: in s-a-1 == out s-a-0
+// keeping one representative per equivalence class.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace compsyn {
+
+struct StuckFault {
+  NodeId node = kNoNode;  // owning gate for branches, the stem node otherwise
+  int pin = -1;           // -1: output stem; >= 0: fanin branch index
+  bool value = false;     // stuck-at value
+
+  bool is_stem() const { return pin < 0; }
+  bool operator==(const StuckFault& o) const = default;
+};
+
+std::string to_string(const Netlist& nl, const StuckFault& f);
+
+/// All fault sites of the live netlist; collapsed when requested.
+std::vector<StuckFault> enumerate_faults(const Netlist& nl, bool collapse = true);
+
+}  // namespace compsyn

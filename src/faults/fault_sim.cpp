@@ -1,0 +1,118 @@
+#include "faults/fault_sim.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <queue>
+
+namespace compsyn {
+
+FaultSimulator::FaultSimulator(const Netlist& nl, std::vector<StuckFault> faults)
+    : nl_(nl), faults_(std::move(faults)) {
+  detected_.assign(faults_.size(), 0);
+  first_pattern_.assign(faults_.size(), 0);
+  stamp_.assign(nl_.size(), 0);
+  fval_.assign(nl_.size(), 0);
+  topo_rank_.assign(nl_.size(), 0);
+  const auto& order = nl_.topo_order();
+  for (std::uint32_t i = 0; i < order.size(); ++i) topo_rank_[order[i]] = i;
+  is_po_.assign(nl_.size(), 0);
+  for (NodeId o : nl_.outputs()) is_po_[o] = 1;
+}
+
+std::vector<std::size_t> FaultSimulator::simulate_block(
+    const std::vector<std::uint64_t>& pi_words, std::uint64_t base_pattern) {
+  nl_.simulate_into(pi_words, good_);
+  const auto& fanouts = nl_.fanouts();
+
+  std::vector<std::size_t> newly;
+  std::vector<std::uint64_t> ins;
+  using HeapItem = std::pair<std::uint32_t, NodeId>;  // (topo rank, node)
+  std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<>> heap;
+
+  for (std::size_t fi = 0; fi < faults_.size(); ++fi) {
+    if (detected_[fi]) continue;
+    const StuckFault& f = faults_[fi];
+    ++epoch_;
+
+    auto faulty_of = [&](NodeId x) {
+      return stamp_[x] == epoch_ ? fval_[x] : good_[x];
+    };
+    auto set_faulty = [&](NodeId x, std::uint64_t v) {
+      stamp_[x] = epoch_;
+      fval_[x] = v;
+    };
+
+    const std::uint64_t stuck_word = f.value ? ~0ull : 0ull;
+    NodeId origin;
+    std::uint64_t origin_val;
+    if (f.is_stem()) {
+      origin = f.node;
+      origin_val = stuck_word;
+    } else {
+      origin = f.node;
+      const Node& nd = nl_.node(origin);
+      ins.clear();
+      for (std::size_t p = 0; p < nd.fanins.size(); ++p) {
+        ins.push_back(static_cast<int>(p) == f.pin ? stuck_word
+                                                   : good_[nd.fanins[p]]);
+      }
+      origin_val = eval_gate(nd.type, ins);
+    }
+    if (origin_val == good_[origin]) continue;  // not activated this block
+    set_faulty(origin, origin_val);
+
+    std::uint64_t po_diff = 0;
+    if (is_po_[origin]) po_diff |= origin_val ^ good_[origin];
+    heap.push({topo_rank_[origin], origin});
+    while (!heap.empty()) {
+      const NodeId x = heap.top().second;
+      heap.pop();
+      const std::uint64_t xv = faulty_of(x);
+      if (xv == good_[x]) continue;  // difference died
+      for (NodeId y : fanouts[x]) {
+        const Node& nd = nl_.node(y);
+        ins.clear();
+        for (NodeId g : nd.fanins) ins.push_back(faulty_of(g));
+        const std::uint64_t yv = eval_gate(nd.type, ins);
+        const std::uint64_t prev = faulty_of(y);
+        if (yv == prev) continue;
+        set_faulty(y, yv);
+        if (is_po_[y]) po_diff |= yv ^ good_[y];
+        heap.push({topo_rank_[y], y});
+      }
+    }
+    if (po_diff != 0) {
+      detected_[fi] = 1;
+      ++detected_total_;
+      first_pattern_[fi] =
+          base_pattern + static_cast<unsigned>(__builtin_ctzll(po_diff));
+      newly.push_back(fi);
+    }
+  }
+  return newly;
+}
+
+SafExperimentResult random_saf_experiment(const Netlist& nl, Rng& rng,
+                                          std::uint64_t max_patterns,
+                                          bool collapse) {
+  FaultSimulator sim(nl, enumerate_faults(nl, collapse));
+  SafExperimentResult res;
+  res.total_faults = sim.total_faults();
+  const std::size_t n = nl.inputs().size();
+  std::vector<std::uint64_t> pi(n);
+  std::uint64_t applied = 0;
+  while (applied < max_patterns && sim.remaining() > 0) {
+    for (std::size_t i = 0; i < n; ++i) pi[i] = rng.next();
+    const auto newly = sim.simulate_block(pi, applied);
+    for (std::size_t fi : newly) {
+      res.last_effective_pattern =
+          std::max(res.last_effective_pattern, sim.detecting_pattern(fi) + 1);
+    }
+    applied += 64;
+  }
+  res.patterns_applied = applied;
+  res.remaining = sim.remaining();
+  return res;
+}
+
+}  // namespace compsyn

@@ -1,0 +1,70 @@
+// Parallel-pattern single-fault-propagation (PPSFP) stuck-at fault
+// simulator -- the FSIM [17] substrate used by the Table 6 experiment.
+//
+// Each call simulates 64 patterns at once: one fault-free pass, then for
+// every still-undetected fault an event-driven forward propagation of the
+// 64-bit difference word from the fault site; a fault is detected when a
+// nonzero difference reaches a primary output.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "faults/fault.hpp"
+#include "netlist/netlist.hpp"
+#include "util/rng.hpp"
+
+namespace compsyn {
+
+class FaultSimulator {
+ public:
+  FaultSimulator(const Netlist& nl, std::vector<StuckFault> faults);
+
+  std::size_t total_faults() const { return faults_.size(); }
+  std::size_t detected_count() const { return detected_total_; }
+  std::size_t remaining() const { return faults_.size() - detected_total_; }
+
+  /// Simulates one block of 64 patterns (pi_words[i] = 64 values of input i).
+  /// Returns the indices (into faults()) of newly detected faults.
+  /// `base_pattern` is the global index of bit 0, used to record each
+  /// fault's first detecting pattern.
+  std::vector<std::size_t> simulate_block(const std::vector<std::uint64_t>& pi_words,
+                                          std::uint64_t base_pattern);
+
+  const std::vector<StuckFault>& faults() const { return faults_; }
+  bool is_detected(std::size_t fault_index) const { return detected_[fault_index]; }
+  /// First pattern that detected the fault (valid when is_detected).
+  std::uint64_t detecting_pattern(std::size_t fault_index) const {
+    return first_pattern_[fault_index];
+  }
+
+ private:
+  const Netlist& nl_;
+  std::vector<StuckFault> faults_;
+  std::vector<char> detected_;
+  std::vector<std::uint64_t> first_pattern_;
+  std::size_t detected_total_ = 0;
+
+  // Scratch (epoch-stamped faulty values to avoid clearing per fault).
+  std::vector<std::uint64_t> good_;
+  std::vector<std::uint64_t> fval_;
+  std::vector<std::uint32_t> stamp_;
+  std::uint32_t epoch_ = 0;
+  std::vector<std::uint32_t> topo_rank_;
+  std::vector<char> is_po_;
+};
+
+/// Table 6 experiment: applies random pattern blocks until all faults are
+/// detected or `max_patterns` have been applied. Deterministic given the rng.
+struct SafExperimentResult {
+  std::size_t total_faults = 0;
+  std::size_t remaining = 0;
+  std::uint64_t last_effective_pattern = 0;  // 1-based; 0 if none effective
+  std::uint64_t patterns_applied = 0;
+};
+
+SafExperimentResult random_saf_experiment(const Netlist& nl, Rng& rng,
+                                          std::uint64_t max_patterns,
+                                          bool collapse = true);
+
+}  // namespace compsyn

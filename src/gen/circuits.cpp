@@ -1,0 +1,443 @@
+#include "gen/circuits.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "bench_io/bench_io.hpp"
+#include "core/two_level.hpp"
+#include "util/rng.hpp"
+
+namespace compsyn {
+
+Netlist make_c17() {
+  return read_bench_string(R"(
+INPUT(1)
+INPUT(2)
+INPUT(3)
+INPUT(6)
+INPUT(7)
+OUTPUT(22)
+OUTPUT(23)
+10 = NAND(1, 3)
+11 = NAND(3, 6)
+16 = NAND(2, 11)
+19 = NAND(11, 7)
+22 = NAND(10, 16)
+23 = NAND(16, 19)
+)", "c17");
+}
+
+Netlist make_s27() {
+  return read_bench_string(R"(
+INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+OUTPUT(G17)
+G5 = DFF(G10)
+G6 = DFF(G11)
+G7 = DFF(G13)
+G14 = NOT(G0)
+G17 = NOT(G11)
+G8 = AND(G14, G6)
+G15 = OR(G12, G8)
+G16 = OR(G3, G8)
+G9 = NAND(G16, G15)
+G10 = NOR(G14, G11)
+G11 = NOR(G5, G9)
+G12 = NOR(G1, G7)
+G13 = NOR(G2, G12)
+)", "s27");
+}
+
+Netlist make_ripple_adder(unsigned bits) {
+  Netlist nl("add" + std::to_string(bits));
+  std::vector<NodeId> a(bits), b(bits);
+  for (unsigned i = 0; i < bits; ++i) a[i] = nl.add_input("a" + std::to_string(i));
+  for (unsigned i = 0; i < bits; ++i) b[i] = nl.add_input("b" + std::to_string(i));
+  NodeId carry = nl.add_input("cin");
+  for (unsigned i = 0; i < bits; ++i) {
+    NodeId axb = nl.add_gate(GateType::Xor, {a[i], b[i]});
+    NodeId sum = nl.add_gate(GateType::Xor, {axb, carry}, "s" + std::to_string(i));
+    NodeId g1 = nl.add_gate(GateType::And, {a[i], b[i]});
+    NodeId g2 = nl.add_gate(GateType::And, {axb, carry});
+    carry = nl.add_gate(GateType::Or, {g1, g2});
+    nl.mark_output(sum);
+  }
+  nl.mark_output(carry);
+  return nl;
+}
+
+Netlist make_comparator(unsigned bits) {
+  // Iterative: lt/eq from MSB down.
+  Netlist nl("cmp" + std::to_string(bits));
+  std::vector<NodeId> a(bits), b(bits);
+  for (unsigned i = 0; i < bits; ++i) a[i] = nl.add_input("a" + std::to_string(i));
+  for (unsigned i = 0; i < bits; ++i) b[i] = nl.add_input("b" + std::to_string(i));
+  NodeId lt = kNoNode, eq = kNoNode;
+  // Process from the MSB (index bits-1) down to the LSB.
+  for (unsigned i = bits; i-- > 0;) {
+    NodeId na = nl.add_gate(GateType::Not, {a[i]});
+    NodeId lt_here = nl.add_gate(GateType::And, {na, b[i]});
+    NodeId eq_here = nl.add_gate(GateType::Xnor, {a[i], b[i]});
+    if (eq == kNoNode) {
+      lt = lt_here;
+      eq = eq_here;
+    } else {
+      NodeId t = nl.add_gate(GateType::And, {eq, lt_here});
+      lt = nl.add_gate(GateType::Or, {lt, t});
+      eq = nl.add_gate(GateType::And, {eq, eq_here});
+    }
+  }
+  NodeId gt = nl.add_gate(GateType::Nor, {lt, eq});
+  nl.mark_output(lt);
+  nl.mark_output(eq);
+  nl.mark_output(gt);
+  return nl;
+}
+
+Netlist make_decoder(unsigned sel_bits) {
+  Netlist nl("dec" + std::to_string(sel_bits));
+  std::vector<NodeId> s(sel_bits), ns(sel_bits);
+  for (unsigned i = 0; i < sel_bits; ++i) s[i] = nl.add_input("s" + std::to_string(i));
+  for (unsigned i = 0; i < sel_bits; ++i) ns[i] = nl.add_gate(GateType::Not, {s[i]});
+  for (std::uint32_t m = 0; m < (1u << sel_bits); ++m) {
+    std::vector<NodeId> lits;
+    for (unsigned i = 0; i < sel_bits; ++i) {
+      lits.push_back(((m >> i) & 1u) ? s[i] : ns[i]);
+    }
+    NodeId o = sel_bits == 1 ? lits[0]
+                             : nl.add_gate(GateType::And, lits, "y" + std::to_string(m));
+    nl.mark_output(o);
+  }
+  return nl;
+}
+
+Netlist make_mux_tree(unsigned sel_bits) {
+  Netlist nl("mux" + std::to_string(sel_bits));
+  const unsigned n = 1u << sel_bits;
+  std::vector<NodeId> data(n), sel(sel_bits);
+  for (unsigned i = 0; i < n; ++i) data[i] = nl.add_input("d" + std::to_string(i));
+  for (unsigned i = 0; i < sel_bits; ++i) sel[i] = nl.add_input("s" + std::to_string(i));
+  std::vector<NodeId> layer = data;
+  for (unsigned level = 0; level < sel_bits; ++level) {
+    NodeId nsel = nl.add_gate(GateType::Not, {sel[level]});
+    std::vector<NodeId> next;
+    for (std::size_t i = 0; i + 1 < layer.size(); i += 2) {
+      NodeId t0 = nl.add_gate(GateType::And, {layer[i], nsel});
+      NodeId t1 = nl.add_gate(GateType::And, {layer[i + 1], sel[level]});
+      next.push_back(nl.add_gate(GateType::Or, {t0, t1}));
+    }
+    layer = next;
+  }
+  nl.mark_output(layer[0]);
+  return nl;
+}
+
+Netlist make_parity_tree(unsigned bits) {
+  Netlist nl("par" + std::to_string(bits));
+  std::vector<NodeId> layer(bits);
+  for (unsigned i = 0; i < bits; ++i) layer[i] = nl.add_input("x" + std::to_string(i));
+  while (layer.size() > 1) {
+    std::vector<NodeId> next;
+    for (std::size_t i = 0; i + 1 < layer.size(); i += 2) {
+      next.push_back(nl.add_gate(GateType::Xor, {layer[i], layer[i + 1]}));
+    }
+    if (layer.size() % 2) next.push_back(layer.back());
+    layer = next;
+  }
+  nl.mark_output(layer[0]);
+  return nl;
+}
+
+Netlist make_alu_slice(unsigned bits) {
+  // op1 op0 select among AND / OR / XOR / ADD.
+  Netlist nl("alu" + std::to_string(bits));
+  std::vector<NodeId> a(bits), b(bits);
+  for (unsigned i = 0; i < bits; ++i) a[i] = nl.add_input("a" + std::to_string(i));
+  for (unsigned i = 0; i < bits; ++i) b[i] = nl.add_input("b" + std::to_string(i));
+  NodeId op0 = nl.add_input("op0");
+  NodeId op1 = nl.add_input("op1");
+  NodeId nop0 = nl.add_gate(GateType::Not, {op0});
+  NodeId nop1 = nl.add_gate(GateType::Not, {op1});
+  NodeId sel_and = nl.add_gate(GateType::And, {nop1, nop0});
+  NodeId sel_or = nl.add_gate(GateType::And, {nop1, op0});
+  NodeId sel_xor = nl.add_gate(GateType::And, {op1, nop0});
+  NodeId sel_add = nl.add_gate(GateType::And, {op1, op0});
+  NodeId carry = nl.add_const(false, "c0");
+  for (unsigned i = 0; i < bits; ++i) {
+    NodeId f_and = nl.add_gate(GateType::And, {a[i], b[i]});
+    NodeId f_or = nl.add_gate(GateType::Or, {a[i], b[i]});
+    NodeId f_xor = nl.add_gate(GateType::Xor, {a[i], b[i]});
+    NodeId f_sum = nl.add_gate(GateType::Xor, {f_xor, carry});
+    NodeId c1 = nl.add_gate(GateType::And, {f_xor, carry});
+    carry = nl.add_gate(GateType::Or, {f_and, c1});
+    NodeId m0 = nl.add_gate(GateType::And, {f_and, sel_and});
+    NodeId m1 = nl.add_gate(GateType::And, {f_or, sel_or});
+    NodeId m2 = nl.add_gate(GateType::And, {f_xor, sel_xor});
+    NodeId m3 = nl.add_gate(GateType::And, {f_sum, sel_add});
+    NodeId y = nl.add_gate(GateType::Or, {m0, m1, m2, m3}, "y" + std::to_string(i));
+    nl.mark_output(y);
+  }
+  nl.mark_output(carry);
+  return nl;
+}
+
+Netlist make_multiplier(unsigned bits) {
+  Netlist nl("mult" + std::to_string(bits));
+  std::vector<NodeId> a(bits), b(bits);
+  for (unsigned i = 0; i < bits; ++i) a[i] = nl.add_input("a" + std::to_string(i));
+  for (unsigned i = 0; i < bits; ++i) b[i] = nl.add_input("b" + std::to_string(i));
+  // Partial products, then carry-save rows of full adders (array style).
+  auto full_add = [&](NodeId x, NodeId y, NodeId c, NodeId& sum, NodeId& carry) {
+    NodeId xy = nl.add_gate(GateType::Xor, {x, y});
+    sum = nl.add_gate(GateType::Xor, {xy, c});
+    NodeId g1 = nl.add_gate(GateType::And, {x, y});
+    NodeId g2 = nl.add_gate(GateType::And, {xy, c});
+    carry = nl.add_gate(GateType::Or, {g1, g2});
+  };
+  // acc holds the not-yet-emitted accumulated sum, LSB-aligned to the next
+  // product bit to emit.
+  std::vector<NodeId> acc(bits);
+  for (unsigned j = 0; j < bits; ++j) acc[j] = nl.add_gate(GateType::And, {a[j], b[0]});
+  nl.mark_output(acc[0]);          // p0
+  acc.erase(acc.begin());          // remaining bits await the next rows
+  for (unsigned i = 1; i < bits; ++i) {
+    std::vector<NodeId> pp(bits);
+    for (unsigned j = 0; j < bits; ++j) pp[j] = nl.add_gate(GateType::And, {a[j], b[i]});
+    std::vector<NodeId> sum(bits, kNoNode);
+    NodeId carry = kNoNode;
+    for (unsigned j = 0; j < bits; ++j) {
+      const NodeId x = pp[j];
+      const NodeId y = j < acc.size() ? acc[j] : kNoNode;
+      if (y == kNoNode && carry == kNoNode) {
+        sum[j] = x;
+      } else if (y == kNoNode || carry == kNoNode) {
+        const NodeId other = y == kNoNode ? carry : y;
+        sum[j] = nl.add_gate(GateType::Xor, {x, other});
+        carry = nl.add_gate(GateType::And, {x, other});
+      } else {
+        full_add(x, y, carry, sum[j], carry);
+      }
+    }
+    nl.mark_output(sum[0]);  // p_i
+    acc.assign(sum.begin() + 1, sum.end());
+    if (carry != kNoNode) acc.push_back(carry);
+  }
+  for (NodeId hi : acc) nl.mark_output(hi);  // p_bits .. p_{2*bits-1}
+  nl.sweep();
+  return nl;
+}
+
+namespace {
+
+/// Adds a prime-irredundant two-level SOP blob for a random interval
+/// function over `vars`. Irredundant single-output SOPs are fully stuck-at
+/// testable, matching the paper's irredundant starting circuits, while still
+/// carrying many more gates and paths than a comparison unit. With the given
+/// probability an extra (redundant) prime implicant is planted -- those are
+/// exactly the redundant faults Table 2's redundancy-removal column cleans
+/// up after Procedure 2.
+NodeId add_sop_blob_over(Netlist& nl, Rng& rng, const std::vector<NodeId>& vars,
+                         double redundant_term_chance) {
+  const unsigned width = static_cast<unsigned>(vars.size());
+  const std::uint32_t max = (1u << width) - 1;
+  const std::uint32_t lo = static_cast<std::uint32_t>(rng.below(max));
+  const std::uint32_t span = std::min<std::uint32_t>(max - lo, 6);
+  const std::uint32_t hi = lo + 1 + static_cast<std::uint32_t>(rng.below(span));
+
+  const TruthTable f = TruthTable::from_function(
+      width, [&](std::uint32_t m) { return m >= lo && m <= hi; });
+  std::vector<Cube> cover = irredundant_cover(f);
+  if (rng.unit() < redundant_term_chance) {
+    for (const Cube& p : prime_implicants(f)) {
+      if (std::find(cover.begin(), cover.end(), p) == cover.end()) {
+        cover.push_back(p);
+        break;
+      }
+    }
+  }
+  return build_sop(nl, vars, cover, width);
+}
+
+}  // namespace
+
+Netlist make_synthetic(const SyntheticOptions& opt) {
+  // Column-mixing generator: a pool of "columns" (wires) starts as the
+  // primary inputs; each step computes a new block over a few distinct
+  // columns and OVERWRITES one of its own input columns with the result.
+  // Consuming the replaced column keeps all logic live and grows depth
+  // linearly in gates/columns; SOP blobs are prime-irredundant covers and
+  // the carry/XOR mixing keeps the fabric observable, so the circuits stay
+  // close to irredundant (small redundancy-removal deltas, as in the
+  // paper's irs circuits) while path counts multiply along the depth.
+  Rng rng(opt.seed);
+  Netlist nl("syn");
+  const unsigned n_in = std::min(opt.inputs, 64u);
+  std::vector<NodeId> cols;
+  std::vector<NodeId> pis;
+  for (unsigned i = 0; i < n_in; ++i) {
+    pis.push_back(nl.add_input("x" + std::to_string(i)));
+    cols.push_back(pis.back());
+  }
+  // Approximate N_p per column, used to keep the total path count far below
+  // the 2^63 overflow guard (deep mixing multiplies paths exponentially).
+  std::vector<double> np(cols.size(), 1.0);
+  const double np_cap = 2.0e6;
+
+  auto pick_distinct = [&](unsigned want) {
+    std::vector<std::size_t> idx;
+    while (idx.size() < std::min<std::size_t>(want, cols.size())) {
+      const std::size_t i = rng.below(cols.size());
+      if (std::find(idx.begin(), idx.end(), i) == idx.end()) idx.push_back(i);
+    }
+    return idx;
+  };
+  /// Sum of input path estimates, doubled (a rough K_p factor).
+  auto combined_np = [&](const std::vector<std::size_t>& idx) {
+    double s = 0;
+    for (std::size_t i : idx) s += np[i];
+    return 2.0 * s;
+  };
+  /// When a column's paths grow too large, expose it as an output and
+  /// restart the column from a primary input.
+  auto harvest_largest = [&] {
+    std::size_t big = 0;
+    for (std::size_t i = 1; i < cols.size(); ++i) {
+      if (np[i] > np[big]) big = i;
+    }
+    if (nl.node(cols[big]).type != GateType::Input) nl.mark_output(cols[big]);
+    cols[big] = pis[rng.below(pis.size())];
+    np[big] = 1.0;
+  };
+  const GateType glue[] = {GateType::And, GateType::Or, GateType::Nand,
+                           GateType::Nor};
+
+  while (nl.gate_count() < opt.gates) {
+    const double roll = rng.unit();
+    if (roll < opt.sop_fraction) {
+      // Prime-irredundant interval SOP blob.
+      const unsigned width = 3 + static_cast<unsigned>(rng.below(3));  // 3..5
+      const auto idx = pick_distinct(width);
+      if (idx.size() < 3) continue;
+      const double est = combined_np(idx);
+      if (est > np_cap) {
+        harvest_largest();
+        continue;
+      }
+      std::vector<NodeId> vars;
+      for (std::size_t i : idx) vars.push_back(cols[i]);
+      const NodeId out =
+          add_sop_blob_over(nl, rng, vars, opt.redundant_term_chance);
+      const std::size_t repl = idx[rng.below(idx.size())];
+      cols[repl] = out;
+      np[repl] = est;
+    } else if (roll < opt.sop_fraction + 0.25) {
+      // Mini ripple-adder segment: the classic path multiplier.
+      const unsigned m = 2 + static_cast<unsigned>(rng.below(3));  // 2..4 bits
+      const auto idx = pick_distinct(2 * m);
+      if (idx.size() < 2 * m) continue;
+      const double est = combined_np(idx);
+      if (est > np_cap) {
+        harvest_largest();
+        continue;
+      }
+      NodeId carry = kNoNode;
+      std::vector<NodeId> sums;
+      for (unsigned j = 0; j < m; ++j) {
+        const NodeId x = cols[idx[2 * j]];
+        const NodeId y = cols[idx[2 * j + 1]];
+        NodeId axb = nl.add_gate(GateType::Xor, {x, y});
+        if (carry == kNoNode) {
+          sums.push_back(axb);
+          carry = nl.add_gate(GateType::And, {x, y});
+        } else {
+          sums.push_back(nl.add_gate(GateType::Xor, {axb, carry}));
+          NodeId g1 = nl.add_gate(GateType::And, {x, y});
+          NodeId g2 = nl.add_gate(GateType::And, {axb, carry});
+          carry = nl.add_gate(GateType::Or, {g1, g2});
+        }
+      }
+      sums.push_back(carry);
+      for (unsigned j = 0; j < sums.size() && j < idx.size(); ++j) {
+        cols[idx[j]] = sums[j];
+        np[idx[j]] = est;  // carry-chain outputs see all operand paths
+      }
+    } else {
+      // Glue gate.
+      const GateType t = glue[rng.below(4)];
+      const unsigned arity =
+          2 + static_cast<unsigned>(rng.below(std::max(1u, opt.max_arity - 1)));
+      const auto idx = pick_distinct(arity);
+      if (idx.size() < 2) continue;
+      const double est = combined_np(idx);
+      if (est > np_cap) {
+        harvest_largest();
+        continue;
+      }
+      std::vector<NodeId> fi;
+      for (std::size_t i : idx) fi.push_back(cols[i]);
+      const NodeId out = nl.add_gate(t, fi);
+      const std::size_t repl = idx[rng.below(idx.size())];
+      cols[repl] = out;
+      np[repl] = est / 2.0;  // one path per glue-gate input
+    }
+  }
+
+  // Outputs: the final column values (every column is live by construction).
+  auto order = rng.permutation(static_cast<std::uint32_t>(cols.size()));
+  for (std::uint32_t i : order) {
+    if (nl.outputs().size() >= opt.outputs) break;
+    if (nl.node(cols[i]).type != GateType::Input) nl.mark_output(cols[i]);
+  }
+  nl.sweep();
+  return nl;
+}
+
+std::vector<BenchmarkEntry> benchmark_suite() {
+  return {
+      {"c17", 6},      {"s27", 10},     {"add8", 40},      {"cmp8", 50},
+      {"dec5", 40},    {"mux4", 50},    {"alu4", 60},      {"mult6", 200},
+      {"mult8", 380},  {"syn150", 150}, {"syn300", 300},   {"syn600", 600},
+      {"syn1000", 1000}, {"syn1500", 1500},
+  };
+}
+
+Netlist make_benchmark(const std::string& name) {
+  if (name == "c17") return make_c17();
+  if (name == "s27") return make_s27();
+  if (name == "add8") return make_ripple_adder(8);
+  if (name == "cmp8") return make_comparator(8);
+  if (name == "dec5") return make_decoder(5);
+  if (name == "mux4") return make_mux_tree(4);
+  if (name == "alu4") return make_alu_slice(4);
+  if (name == "mult6") {
+    Netlist nl = make_multiplier(6);
+    nl.set_name("mult6");
+    return nl;
+  }
+  if (name == "mult8") {
+    Netlist nl = make_multiplier(8);
+    nl.set_name("mult8");
+    return nl;
+  }
+  auto synth = [&](unsigned gates, unsigned inputs, unsigned outputs,
+                   std::uint64_t seed) {
+    SyntheticOptions o;
+    o.gates = gates;
+    o.inputs = inputs;
+    o.outputs = outputs;
+    o.seed = seed;
+    Netlist nl = make_synthetic(o);
+    nl.set_name(name);
+    return nl;
+  };
+  if (name == "syn150") return synth(150, 24, 12, 1001);
+  if (name == "syn300") return synth(300, 32, 18, 1002);
+  if (name == "syn600") return synth(600, 48, 24, 1003);
+  if (name == "syn1000") return synth(1000, 64, 30, 1004);
+  if (name == "syn1500") return synth(1500, 64, 36, 1005);
+  throw std::invalid_argument("unknown benchmark: " + name);
+}
+
+}  // namespace compsyn

@@ -1,0 +1,74 @@
+// Benchmark circuits for the experiment harnesses.
+//
+// The paper evaluates on fully-scanned, irredundant ISCAS89 circuits
+// (irs1423 .. irs38584). Those netlists are not available offline, so the
+// suite substitutes (a) embedded real ISCAS circuits small enough to
+// reproduce exactly (c17, s27), (b) structured arithmetic/control circuits,
+// and (c) seeded pseudo-random multilevel circuits in the same style --
+// bounded-fanin AND/OR/NAND/NOR/NOT networks with two-level sum-of-products
+// blobs (occasionally with redundant consensus terms) spliced in, which is
+// the kind of structure the paper's procedures exploit in SIS-synthesized
+// netlists. See DESIGN.md, "Substitutions".
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace compsyn {
+
+// -- embedded real circuits -------------------------------------------------
+Netlist make_c17();
+Netlist make_s27();  // scan-converted (DFFs as pseudo PI/PO)
+
+// -- structured circuits ----------------------------------------------------
+/// Ripple-carry adder: 2*bits+1 inputs (a, b, cin), bits+1 outputs.
+Netlist make_ripple_adder(unsigned bits);
+/// Magnitude comparator: outputs (a<b, a==b, a>b).
+Netlist make_comparator(unsigned bits);
+/// Full decoder: sel_bits inputs, 2^sel_bits one-hot outputs.
+Netlist make_decoder(unsigned sel_bits);
+/// Multiplexer tree: 2^sel_bits data inputs + sel_bits selects, 1 output.
+Netlist make_mux_tree(unsigned sel_bits);
+/// Balanced XOR parity tree.
+Netlist make_parity_tree(unsigned bits);
+/// One-hot-select ALU slice array (AND/OR/XOR/ADD per bit).
+Netlist make_alu_slice(unsigned bits);
+/// Array multiplier (c6288-style: quadratic gate count, very large path
+/// count). bits x bits -> 2*bits product.
+Netlist make_multiplier(unsigned bits);
+
+// -- synthetic "irs-like" circuits -------------------------------------------
+struct SyntheticOptions {
+  unsigned inputs = 20;       // at most 64 (support masks are one word)
+  unsigned outputs = 10;
+  unsigned gates = 300;       // approximate gate budget
+  std::uint64_t seed = 1;
+  unsigned max_arity = 3;
+  /// Fraction of the gate budget spent on two-level SOP blobs (minterm-level
+  /// implementations of interval functions -- the structure the procedures
+  /// exploit). The rest is random glue gates.
+  double sop_fraction = 0.6;
+  /// Probability that an SOP blob receives a redundant extra term (these are
+  /// the redundant stuck-at faults that Table 2's red.rem column removes).
+  double redundant_term_chance = 0.15;
+};
+Netlist make_synthetic(const SyntheticOptions& opt);
+
+// -- the named suite used by the bench tables --------------------------------
+struct BenchmarkEntry {
+  std::string name;
+  unsigned approx_gates;  // informational
+};
+
+/// Names in suite order (small to large).
+std::vector<BenchmarkEntry> benchmark_suite();
+
+/// Builds a suite circuit by name; throws std::invalid_argument for unknown
+/// names. Circuits are deterministic: the same name always yields the same
+/// netlist.
+Netlist make_benchmark(const std::string& name);
+
+}  // namespace compsyn

@@ -1,0 +1,35 @@
+// Combinational equivalence checking between two netlists with matching
+// interfaces (same number of inputs and outputs, matched by position).
+//
+// Exhaustive up to `exhaustive_limit` inputs (64 patterns per simulated word)
+// and random-simulation based beyond that. Random simulation can of course
+// only refute equivalence; the resynthesis procedures are additionally
+// covered by construction-level tests on small cones where exhaustive
+// checking applies.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "util/rng.hpp"
+
+namespace compsyn {
+
+struct EquivalenceResult {
+  bool equivalent = false;
+  bool exhaustive = false;       // true if the verdict is a proof
+  std::vector<bool> counterexample;  // PI assignment, valid when !equivalent
+  std::string message;
+};
+
+/// The canonical 64-bit mask for exhaustive simulation: bit j of the word for
+/// input i (i < 6) equals bit i of pattern index j.
+std::uint64_t exhaustive_mask(unsigned input_index);
+
+EquivalenceResult check_equivalent(const Netlist& a, const Netlist& b, Rng& rng,
+                                   unsigned random_words = 256,
+                                   unsigned exhaustive_limit = 20);
+
+}  // namespace compsyn

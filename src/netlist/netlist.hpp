@@ -1,0 +1,157 @@
+// Gate-level combinational netlist: the substrate every other subsystem
+// (path counting, resynthesis, fault simulation, ATPG, mapping) operates on.
+//
+// A Netlist is a DAG of nodes. Primary inputs are nodes of type Input;
+// primary outputs are nodes carrying an output mark (a node may be both an
+// internal stem and an output). Fanout branches are implicit: the branch of
+// stem `u` feeding pin `p` of gate `v` is identified by the pair (v, p).
+//
+// Mutation model: resynthesis rewrites a node in place (redefine), so its
+// fanout edges and output marks are preserved; nodes that become unreachable
+// from the outputs are flagged dead by sweep() and physically removed only by
+// compact(), which is the only operation that invalidates NodeIds.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace compsyn {
+
+using NodeId = std::uint32_t;
+inline constexpr NodeId kNoNode = 0xffffffffu;
+
+enum class GateType : std::uint8_t {
+  Input,
+  Const0,
+  Const1,
+  Buf,
+  Not,
+  And,
+  Nand,
+  Or,
+  Nor,
+  Xor,
+  Xnor,
+};
+
+/// True for And/Nand/Or/Nor: gates with a controlling input value.
+bool has_controlling_value(GateType t);
+/// Controlling input value of the gate (0 for And/Nand, 1 for Or/Nor).
+/// Precondition: has_controlling_value(t).
+bool controlling_value(GateType t);
+/// True if the gate inverts: Not, Nand, Nor, Xnor.
+bool is_inverting(GateType t);
+/// Output value given that some input has the controlling value.
+inline bool controlled_output(GateType t) { return controlling_value(t) ^ is_inverting(t); }
+/// Human-readable gate-type name ("AND", "NOR", ...).
+const char* to_string(GateType t);
+
+struct Node {
+  GateType type = GateType::Input;
+  bool is_output = false;
+  bool dead = false;
+  std::vector<NodeId> fanins;
+  std::string name;  // optional; preserved through I/O round trips
+};
+
+class Netlist {
+ public:
+  Netlist() = default;
+  explicit Netlist(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string n) { name_ = std::move(n); }
+
+  // -- construction -------------------------------------------------------
+  NodeId add_input(std::string name = {});
+  NodeId add_const(bool value, std::string name = {});
+  /// Adds a gate whose fanins must already exist (keeps the DAG invariant).
+  NodeId add_gate(GateType type, std::vector<NodeId> fanins, std::string name = {});
+  void mark_output(NodeId n);
+
+  // -- access --------------------------------------------------------------
+  std::size_t size() const { return nodes_.size(); }
+  const Node& node(NodeId n) const { return nodes_[n]; }
+  const std::vector<NodeId>& inputs() const { return inputs_; }
+  const std::vector<NodeId>& outputs() const { return outputs_; }
+  bool is_dead(NodeId n) const { return nodes_[n].dead; }
+
+  /// Number of live (non-dead) nodes, including inputs and constants.
+  std::size_t live_count() const;
+
+  /// Fanout lists, rebuilt lazily after mutations. Dead nodes have empty
+  /// fanout lists and do not appear in any list.
+  const std::vector<std::vector<NodeId>>& fanouts() const;
+
+  /// Live nodes in topological order (fanins before fanouts). The reference
+  /// stays valid until the next mutation.
+  const std::vector<NodeId>& topo_order() const;
+
+  /// Structural level of every live node (inputs at 0; Buf/Not count as a
+  /// level). Dead nodes get 0.
+  std::vector<std::uint32_t> levels() const;
+
+  /// Number of gates (Buf/Not count 1) on the longest input-to-output path.
+  std::uint32_t depth() const;
+
+  // -- metrics -------------------------------------------------------------
+  /// Equivalent 2-input gate count per the paper: a k-input gate adds k-1;
+  /// Not/Buf add 0. Dead nodes are not counted.
+  std::uint64_t equivalent_gate_count() const;
+  /// Number of live gate nodes (everything except inputs/constants).
+  std::uint64_t gate_count() const;
+
+  // -- simulation ----------------------------------------------------------
+  /// 64-pattern parallel simulation. pi_words[i] holds 64 values for
+  /// inputs()[i]. Returns one word per node (dead nodes get 0).
+  std::vector<std::uint64_t> simulate(const std::vector<std::uint64_t>& pi_words) const;
+
+  /// As simulate(), writing into a caller-provided buffer of size() words,
+  /// using a cached topological order. For inner loops (fault simulation).
+  void simulate_into(const std::vector<std::uint64_t>& pi_words,
+                     std::vector<std::uint64_t>& node_words) const;
+
+  // -- mutation ------------------------------------------------------------
+  /// Rewrites node n in place: fanout edges and output marks are kept.
+  void redefine(NodeId n, GateType type, std::vector<NodeId> fanins);
+  /// Replaces every occurrence of old_fanin in gate's fanin list.
+  void replace_fanin(NodeId gate, NodeId old_fanin, NodeId new_fanin);
+
+  /// Flags nodes unreachable from any output as dead (inputs stay live).
+  /// Returns the number of newly dead nodes.
+  std::size_t sweep();
+
+  /// Constant folding + single-input gate reduction + buffer bypassing for
+  /// non-output buffers, then sweep(). Returns true if anything changed.
+  bool simplify();
+
+  /// Rebuilds the netlist without dead nodes. out_map (if non-null) receives
+  /// old-id -> new-id (kNoNode for removed nodes).
+  Netlist compacted(std::vector<NodeId>* out_map = nullptr) const;
+
+  /// Deep structural checks (fanin arity, DAG-ness, live invariants);
+  /// returns an empty string when healthy, else a description.
+  std::string check() const;
+
+ private:
+  void invalidate_caches() const;
+
+  std::string name_;
+  std::vector<Node> nodes_;
+  std::vector<NodeId> inputs_;
+  std::vector<NodeId> outputs_;
+
+  mutable bool fanouts_valid_ = false;
+  mutable std::vector<std::vector<NodeId>> fanouts_;
+  mutable bool topo_valid_ = false;
+  mutable std::vector<NodeId> topo_;
+};
+
+/// Evaluates one gate over 64-bit packed input words.
+std::uint64_t eval_gate(GateType t, const std::vector<std::uint64_t>& in_words);
+
+/// Evaluates one gate over single-bit inputs.
+bool eval_gate_bit(GateType t, const std::vector<bool>& in_bits);
+
+}  // namespace compsyn

@@ -1,0 +1,117 @@
+#include "paths/paths.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace compsyn {
+namespace {
+
+std::uint64_t checked_add(std::uint64_t a, std::uint64_t b) {
+  std::uint64_t s = a + b;
+  if (s < a || s > (1ull << 63)) {
+    throw std::overflow_error("path count exceeds 2^63");
+  }
+  return s;
+}
+
+bool is_source(GateType t) {
+  return t == GateType::Input || t == GateType::Const0 || t == GateType::Const1;
+}
+
+}  // namespace
+
+PathCounts count_paths(const Netlist& nl) {
+  PathCounts pc;
+  pc.np.assign(nl.size(), 0);
+  for (NodeId pi : nl.inputs()) {
+    if (!nl.is_dead(pi)) pc.np[pi] = 1;
+  }
+  for (NodeId n : nl.topo_order()) {
+    const Node& nd = nl.node(n);
+    if (is_source(nd.type)) continue;
+    std::uint64_t sum = 0;
+    for (NodeId f : nd.fanins) sum = checked_add(sum, pc.np[f]);
+    pc.np[n] = sum;
+  }
+  pc.output_offsets.reserve(nl.outputs().size() + 1);
+  std::uint64_t total = 0;
+  for (NodeId o : nl.outputs()) {
+    pc.output_offsets.push_back(total);
+    total = checked_add(total, pc.np[o]);
+  }
+  pc.output_offsets.push_back(total);
+  pc.total = total;
+  return pc;
+}
+
+namespace {
+
+/// Emits paths ending at `n` (recursing towards inputs), appending the node
+/// chain in output-to-input order into `rev`, flipping on emit.
+void emit_paths(const Netlist& nl, const PathCounts& pc, NodeId n,
+                std::uint64_t id_base, std::vector<NodeId>& rev,
+                std::vector<Path>& out, std::size_t cap) {
+  if (out.size() >= cap) return;
+  rev.push_back(n);
+  const Node& nd = nl.node(n);
+  if (nd.type == GateType::Input) {
+    Path p;
+    p.nodes.assign(rev.rbegin(), rev.rend());
+    p.id = id_base;
+    out.push_back(std::move(p));
+  } else {
+    std::uint64_t off = 0;
+    for (NodeId f : nd.fanins) {
+      if (pc.np[f] != 0) emit_paths(nl, pc, f, id_base + off, rev, out, cap);
+      off += pc.np[f];
+      if (out.size() >= cap) break;
+    }
+  }
+  rev.pop_back();
+}
+
+}  // namespace
+
+std::vector<Path> enumerate_paths(const Netlist& nl, std::size_t cap) {
+  const PathCounts pc = count_paths(nl);
+  std::vector<Path> out;
+  out.reserve(static_cast<std::size_t>(std::min<std::uint64_t>(pc.total, cap)));
+  std::vector<NodeId> rev;
+  for (std::size_t k = 0; k < nl.outputs().size(); ++k) {
+    if (out.size() >= cap) break;
+    emit_paths(nl, pc, nl.outputs()[k], pc.output_offsets[k], rev, out, cap);
+  }
+  return out;
+}
+
+Path path_from_id(const Netlist& nl, const PathCounts& pc, std::uint64_t id) {
+  assert(id < pc.total);
+  // Find the output whose range contains id.
+  const auto it = std::upper_bound(pc.output_offsets.begin(),
+                                   pc.output_offsets.end(), id);
+  const std::size_t k = static_cast<std::size_t>(it - pc.output_offsets.begin()) - 1;
+  NodeId n = nl.outputs()[k];
+  std::uint64_t rem = id - pc.output_offsets[k];
+  std::vector<NodeId> rev{n};
+  while (nl.node(n).type != GateType::Input) {
+    const Node& nd = nl.node(n);
+    NodeId chosen = kNoNode;
+    for (NodeId f : nd.fanins) {
+      if (rem < pc.np[f]) {
+        chosen = f;
+        break;
+      }
+      rem -= pc.np[f];
+    }
+    assert(chosen != kNoNode);
+    n = chosen;
+    rev.push_back(n);
+  }
+  Path p;
+  p.nodes.assign(rev.rbegin(), rev.rend());
+  p.id = id;
+  return p;
+}
+
+}  // namespace compsyn

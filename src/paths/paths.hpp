@@ -1,0 +1,51 @@
+// Path accounting per Section 2 of the paper.
+//
+// Procedure 1: label every line g with N_p(g), the number of paths from the
+// primary inputs to g (inputs get 1, a gate output gets the sum of its fanin
+// labels, fanout branches inherit the stem label); the circuit's path count
+// is the sum of the primary-output labels.
+//
+// On top of the labels we define a global path numbering used by the path
+// delay fault machinery: paths are ordered lexicographically by (output
+// index, fanin choice at each gate from the output downwards), so the paths
+// terminating at output o occupy the contiguous id range
+// [offset(o), offset(o) + N_p(o)).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace compsyn {
+
+struct PathCounts {
+  /// N_p label per node (stem label; branches inherit it). Dead nodes and
+  /// constants get 0.
+  std::vector<std::uint64_t> np;
+  /// Sum of primary-output labels = number of physical paths.
+  std::uint64_t total = 0;
+  /// offsets[k] = first global path id of outputs()[k]; offsets.back() == total.
+  std::vector<std::uint64_t> output_offsets;
+};
+
+/// Procedure 1 (overflow-checked; throws std::overflow_error if the path
+/// count exceeds 2^63, far beyond anything the procedures are run on).
+PathCounts count_paths(const Netlist& nl);
+
+/// A structural path: nodes from its origin (a primary input) to a primary
+/// output, in input-to-output order.
+struct Path {
+  std::vector<NodeId> nodes;
+  std::uint64_t id = 0;  // global id under the numbering above
+};
+
+/// Enumerates all paths (in global-id order) up to `cap` paths; returns
+/// fewer only if the circuit has fewer. Intended for tests and for the
+/// brute-force side of the delay-fault experiments.
+std::vector<Path> enumerate_paths(const Netlist& nl, std::size_t cap = 1u << 20);
+
+/// Reconstructs the path with the given global id (inverse of the numbering).
+Path path_from_id(const Netlist& nl, const PathCounts& pc, std::uint64_t id);
+
+}  // namespace compsyn

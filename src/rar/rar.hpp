@@ -1,0 +1,69 @@
+// Gate-count-oriented baseline optimizer standing in for RAMBO_C [1]
+// (Cheng/Entrena, "Multi-Level Logic Optimization by Redundancy Addition and
+// Removal"). See DESIGN.md, "Substitutions".
+//
+// Three ingredients, applied in sequence:
+//   1. redundancy removal (shared with src/atpg);
+//   2. common-pair extraction: a literal pair occurring in >= 2 same-family
+//      gates is extracted into a new gate (fast_extract-style division) --
+//      strong equivalent-gate reduction, path-count neutral;
+//   3. redundancy addition and removal proper: a candidate connection
+//      ws -> gd is added when ATPG proves the new wire's stuck-at-
+//      non-controlling fault untestable (so the addition preserves the
+//      function); wires in the neighbourhood that the addition made
+//      redundant are then removed, and the addition is kept only when the
+//      transaction reduces the equivalent gate count.
+//
+// Like the published RAMBO_C, the result tends to have FEWER gates but MORE
+// paths than comparison-unit resynthesis -- the contrast Table 3 reports.
+#pragma once
+
+#include <cstdint>
+
+#include "atpg/podem.hpp"
+#include "netlist/netlist.hpp"
+
+namespace compsyn {
+
+struct RarOptions {
+  unsigned max_adds = 40;             // accepted additions budget
+  unsigned candidates_per_gate = 10;  // sampled sources per destination gate
+  unsigned neighborhood_depth = 3;    // TFI depth scanned for new redundancies
+  unsigned max_gate_arity = 5;        // do not grow gates beyond this
+  std::uint64_t seed = 1;
+  AtpgOptions atpg{.backtrack_limit = 2000};  // bounded: Untestable still proven
+  bool run_extraction = true;
+  bool run_factoring = true;  // quick-factor cone rewriting (see factor.hpp)
+  bool run_addition_removal = true;
+  bool run_redundancy_removal = true;
+};
+
+struct RarStats {
+  unsigned extracted = 0;       // extraction divisors created
+  unsigned additions = 0;       // accepted redundant additions
+  unsigned wires_removed = 0;   // wires removed thanks to additions
+  std::uint64_t gates_before = 0;
+  std::uint64_t gates_after = 0;
+  std::uint64_t paths_before = 0;
+  std::uint64_t paths_after = 0;
+};
+
+/// Optimizes in place; the circuit function is preserved exactly.
+RarStats rar_optimize(Netlist& nl, const RarOptions& opt = {});
+
+/// The extraction ingredient alone (exposed for tests/ablation).
+unsigned extract_common_pairs(Netlist& nl);
+
+/// Merges structurally identical gates (same type, same sorted fanins).
+/// Returns the number of gates merged away.
+unsigned merge_duplicate_gates(Netlist& nl);
+
+/// Divisor resubstitution: if an existing AND/OR gate's fanins are a subset
+/// of a same-family gate's fanins, the subset is replaced by the divisor
+/// output. Returns the number of rewrites.
+unsigned resubstitute_divisors(Netlist& nl);
+
+/// Total connection count (sum of live gate fanins) -- the RAMBO-style cost.
+std::uint64_t literal_count(const Netlist& nl);
+
+}  // namespace compsyn

@@ -1,0 +1,295 @@
+#include "techmap/techmap.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <memory>
+
+namespace compsyn {
+namespace {
+
+// ---------------------------------------------------------------- subject
+
+class SubjectBuilder {
+ public:
+  explicit SubjectBuilder(Netlist& out) : out_(out) {}
+
+  NodeId inv(NodeId x) {
+    // Collapse inverter pairs immediately.
+    if (out_.node(x).type == GateType::Not) return out_.node(x).fanins[0];
+    auto it = inv_cache_.find(x);
+    if (it != inv_cache_.end()) return it->second;
+    const NodeId n = out_.add_gate(GateType::Not, {x});
+    inv_cache_[x] = n;
+    return n;
+  }
+
+  NodeId nand2(NodeId a, NodeId b) { return out_.add_gate(GateType::Nand, {a, b}); }
+  NodeId and2(NodeId a, NodeId b) { return inv(nand2(a, b)); }
+  NodeId or2(NodeId a, NodeId b) { return nand2(inv(a), inv(b)); }
+  NodeId xor2(NodeId a, NodeId b) {
+    return nand2(nand2(a, inv(b)), nand2(inv(a), b));
+  }
+
+  NodeId fold(std::vector<NodeId> xs, NodeId (SubjectBuilder::*op)(NodeId, NodeId)) {
+    assert(!xs.empty());
+    while (xs.size() > 1) {
+      std::vector<NodeId> next;
+      for (std::size_t i = 0; i + 1 < xs.size(); i += 2) {
+        next.push_back((this->*op)(xs[i], xs[i + 1]));
+      }
+      if (xs.size() % 2) next.push_back(xs.back());
+      xs = std::move(next);
+    }
+    return xs[0];
+  }
+
+ private:
+  Netlist& out_;
+  std::map<NodeId, NodeId> inv_cache_;
+};
+
+}  // namespace
+
+Netlist to_subject_graph(const Netlist& nl) {
+  Netlist out(nl.name() + "_subject");
+  SubjectBuilder sb(out);
+  std::vector<NodeId> map(nl.size(), kNoNode);
+  for (NodeId pi : nl.inputs()) map[pi] = out.add_input(nl.node(pi).name);
+  for (NodeId n : nl.topo_order()) {
+    const Node& nd = nl.node(n);
+    std::vector<NodeId> fi;
+    for (NodeId f : nd.fanins) fi.push_back(map[f]);
+    switch (nd.type) {
+      case GateType::Input:
+        break;
+      case GateType::Const0:
+        map[n] = out.add_const(false);
+        break;
+      case GateType::Const1:
+        map[n] = out.add_const(true);
+        break;
+      case GateType::Buf:
+        map[n] = fi[0];
+        break;
+      case GateType::Not:
+        map[n] = sb.inv(fi[0]);
+        break;
+      case GateType::And:
+        map[n] = sb.fold(fi, &SubjectBuilder::and2);
+        break;
+      case GateType::Nand:
+        map[n] = sb.inv(sb.fold(fi, &SubjectBuilder::and2));
+        break;
+      case GateType::Or:
+        map[n] = sb.fold(fi, &SubjectBuilder::or2);
+        break;
+      case GateType::Nor:
+        map[n] = sb.inv(sb.fold(fi, &SubjectBuilder::or2));
+        break;
+      case GateType::Xor:
+        map[n] = sb.fold(fi, &SubjectBuilder::xor2);
+        break;
+      case GateType::Xnor:
+        map[n] = sb.inv(sb.fold(fi, &SubjectBuilder::xor2));
+        break;
+    }
+  }
+  for (NodeId o : nl.outputs()) out.mark_output(map[o]);
+  out.sweep();
+  return out;
+}
+
+namespace {
+
+// ---------------------------------------------------------------- library
+
+struct Pat {
+  enum Kind { Leaf, Inv, Nand } kind = Leaf;
+  unsigned var = 0;  // for Leaf
+  std::unique_ptr<Pat> a, b;
+};
+
+std::unique_ptr<Pat> L(unsigned v) {
+  auto p = std::make_unique<Pat>();
+  p->kind = Pat::Leaf;
+  p->var = v;
+  return p;
+}
+std::unique_ptr<Pat> I(std::unique_ptr<Pat> a) {
+  auto p = std::make_unique<Pat>();
+  p->kind = Pat::Inv;
+  p->a = std::move(a);
+  return p;
+}
+std::unique_ptr<Pat> N(std::unique_ptr<Pat> a, std::unique_ptr<Pat> b) {
+  auto p = std::make_unique<Pat>();
+  p->kind = Pat::Nand;
+  p->a = std::move(a);
+  p->b = std::move(b);
+  return p;
+}
+
+struct Cell {
+  std::string name;
+  std::uint32_t area;
+  unsigned n_vars;
+  std::unique_ptr<Pat> pat;
+};
+
+const std::vector<Cell>& library() {
+  static const std::vector<Cell> lib = [] {
+    std::vector<Cell> v;
+    auto add = [&](std::string name, std::uint32_t area, unsigned n_vars,
+                   std::unique_ptr<Pat> pat) {
+      v.push_back({std::move(name), area, n_vars, std::move(pat)});
+    };
+    add("inv1", 1, 1, I(L(0)));
+    add("nand2", 2, 2, N(L(0), L(1)));
+    add("nor2", 2, 2, I(N(I(L(0)), I(L(1)))));
+    add("and2", 3, 2, I(N(L(0), L(1))));
+    add("or2", 3, 2, N(I(L(0)), I(L(1))));
+    add("nand3", 3, 3, N(I(N(L(0), L(1))), L(2)));
+    add("nor3", 3, 3, I(N(I(N(I(L(0)), I(L(1)))), I(L(2)))));
+    add("aoi21", 3, 3, I(N(N(L(0), L(1)), I(L(2)))));
+    add("oai21", 3, 3, N(N(I(L(0)), I(L(1))), L(2)));
+    // nand4, balanced and left-leaning decompositions.
+    add("nand4", 4, 4, N(I(N(L(0), L(1))), I(N(L(2), L(3)))));
+    add("nand4b", 4, 4, N(I(N(I(N(L(0), L(1))), L(2))), L(3)));
+    add("xor2", 5, 2, N(N(L(0), I(L(1))), N(I(L(0)), L(1))));
+    add("xnor2", 5, 2, I(N(N(L(0), I(L(1))), N(I(L(0)), L(1)))));
+    return v;
+  }();
+  return lib;
+}
+
+// ---------------------------------------------------------------- covering
+
+class Mapper {
+ public:
+  explicit Mapper(const Netlist& subject) : s_(subject) {
+    fanout_count_.assign(s_.size(), 0);
+    for (NodeId n = 0; n < s_.size(); ++n) {
+      if (s_.is_dead(n)) continue;
+      for (NodeId f : s_.node(n).fanins) ++fanout_count_[f];
+    }
+    best_cell_.assign(s_.size(), -1);
+    best_cost_.assign(s_.size(), 0);
+    best_leaves_.resize(s_.size());
+  }
+
+  TechmapResult run() {
+    for (NodeId n : s_.topo_order()) cover(n);
+    TechmapResult res;
+    res.subject_nodes = s_.live_count();
+    // Reconstruct the chosen cover from the output roots.
+    std::vector<char> emitted(s_.size(), 0);
+    std::vector<std::uint32_t> depth(s_.size(), 0);
+    std::vector<NodeId> order;  // roots in dependency order
+    for (NodeId o : s_.outputs()) need(o, emitted, order);
+    for (NodeId r : order) {
+      const Cell& cell = library()[static_cast<std::size_t>(best_cell_[r])];
+      res.area += cell.area;
+      res.cell_count += 1;
+      res.cells.push_back({cell.name, cell.area});
+      std::uint32_t d = 0;
+      for (NodeId leaf : best_leaves_[r]) d = std::max(d, depth[leaf]);
+      depth[r] = d + 1;
+    }
+    for (NodeId o : s_.outputs()) res.longest_path = std::max(res.longest_path, depth[o]);
+    return res;
+  }
+
+ private:
+  bool is_gate(NodeId n) const {
+    const GateType t = s_.node(n).type;
+    return t == GateType::Nand || t == GateType::Not;
+  }
+
+  /// Pattern match rooted at n; appends bound leaves, returns success.
+  bool match(NodeId n, const Pat& p, bool is_root, std::vector<NodeId>& binding) {
+    if (p.kind == Pat::Leaf) {
+      if (binding[p.var] == kNoNode) {
+        binding[p.var] = n;
+        return true;
+      }
+      return binding[p.var] == n;
+    }
+    // Internal pattern nodes must not cross fanout/output boundaries.
+    if (!is_root && (fanout_count_[n] != 1 || s_.node(n).is_output)) return false;
+    const Node& nd = s_.node(n);
+    if (p.kind == Pat::Inv) {
+      if (nd.type != GateType::Not) return false;
+      return match(nd.fanins[0], *p.a, false, binding);
+    }
+    if (nd.type != GateType::Nand) return false;
+    // Try both argument orders (NAND is commutative).
+    {
+      std::vector<NodeId> save = binding;
+      if (match(nd.fanins[0], *p.a, false, binding) &&
+          match(nd.fanins[1], *p.b, false, binding)) {
+        return true;
+      }
+      binding = save;
+    }
+    {
+      std::vector<NodeId> save = binding;
+      if (match(nd.fanins[1], *p.a, false, binding) &&
+          match(nd.fanins[0], *p.b, false, binding)) {
+        return true;
+      }
+      binding = save;
+    }
+    return false;
+  }
+
+  void cover(NodeId n) {
+    if (!is_gate(n)) return;  // inputs/constants cost nothing
+    std::uint64_t best = ~0ull;
+    for (std::size_t ci = 0; ci < library().size(); ++ci) {
+      const Cell& cell = library()[ci];
+      std::vector<NodeId> binding(cell.n_vars, kNoNode);
+      if (!match(n, *cell.pat, true, binding)) continue;
+      std::uint64_t cost = cell.area;
+      bool ok = true;
+      for (NodeId leaf : binding) {
+        if (leaf == kNoNode) {
+          ok = false;  // unbound variable: malformed match
+          break;
+        }
+        cost += best_cost_[leaf];
+      }
+      if (!ok) continue;
+      if (cost < best) {
+        best = cost;
+        best_cell_[n] = static_cast<int>(ci);
+        best_leaves_[n] = binding;
+      }
+    }
+    assert(best != ~0ull && "inv1/nand2 must always match");
+    best_cost_[n] = best;
+  }
+
+  void need(NodeId n, std::vector<char>& emitted, std::vector<NodeId>& order) {
+    if (!is_gate(n) || emitted[n]) return;
+    emitted[n] = 1;
+    for (NodeId leaf : best_leaves_[n]) need(leaf, emitted, order);
+    order.push_back(n);
+  }
+
+  const Netlist& s_;
+  std::vector<std::uint32_t> fanout_count_;
+  std::vector<int> best_cell_;
+  std::vector<std::uint64_t> best_cost_;
+  std::vector<std::vector<NodeId>> best_leaves_;
+};
+
+}  // namespace
+
+TechmapResult technology_map(const Netlist& nl) {
+  Netlist subject = to_subject_graph(nl);
+  Mapper mapper(subject);
+  return mapper.run();
+}
+
+}  // namespace compsyn

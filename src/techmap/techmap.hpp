@@ -1,0 +1,44 @@
+// Tree-covering technology mapper -- the SIS-mapping substrate behind
+// Table 4 ("literals" and "gates on the longest path").
+//
+// Pipeline:
+//   1. decompose the netlist into a NAND2/INV subject graph (multi-input
+//      gates become balanced trees; XOR/XNOR get the 3-NAND+2-INV tree form
+//      with duplicated leaves; inverter pairs are collapsed);
+//   2. partition into trees at multi-fanout points and primary outputs;
+//   3. cover each tree bottom-up by dynamic programming over a small
+//      mcnc-style cell library (structural pattern matching with
+//      commutative branches and consistent leaf binding), minimising area;
+//   4. report the mapped netlist's total cell area ("literals") and the
+//      maximum number of cells on any input-to-output path.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace compsyn {
+
+struct MappedCellUse {
+  std::string cell;           // library cell name
+  std::uint32_t area = 0;
+};
+
+struct TechmapResult {
+  std::uint64_t area = 0;        // sum of cell areas ("literals", Table 4)
+  std::uint32_t longest_path = 0;  // cells on the longest PI->PO path
+  std::uint64_t cell_count = 0;
+  std::vector<MappedCellUse> cells;  // per mapped cell, for reports
+  std::uint64_t subject_nodes = 0;   // NAND2/INV subject-graph size
+};
+
+/// Maps the circuit and reports area/depth; the input netlist is untouched.
+TechmapResult technology_map(const Netlist& nl);
+
+/// The subject graph alone (exposed for tests): NAND2/INV/Input netlist
+/// functionally equivalent to the input.
+Netlist to_subject_graph(const Netlist& nl);
+
+}  // namespace compsyn

@@ -1,0 +1,42 @@
+#include "util/cli.hpp"
+
+#include <cstdlib>
+#include <string_view>
+
+namespace compsyn {
+
+Cli::Cli(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.emplace_back(arg);
+      continue;
+    }
+    arg.remove_prefix(2);
+    const std::size_t eq = arg.find('=');
+    if (eq != std::string_view::npos) {
+      flags_[std::string(arg.substr(0, eq))] = std::string(arg.substr(eq + 1));
+    } else {
+      flags_[std::string(arg)] = "1";
+    }
+  }
+}
+
+bool Cli::has(const std::string& name) const { return flags_.count(name) != 0; }
+
+std::string Cli::get(const std::string& name, const std::string& def) const {
+  auto it = flags_.find(name);
+  return it == flags_.end() ? def : it->second;
+}
+
+std::uint64_t Cli::get_u64(const std::string& name, std::uint64_t def) const {
+  auto it = flags_.find(name);
+  return it == flags_.end() ? def : std::strtoull(it->second.c_str(), nullptr, 0);
+}
+
+int Cli::get_int(const std::string& name, int def) const {
+  auto it = flags_.find(name);
+  return it == flags_.end() ? def : std::atoi(it->second.c_str());
+}
+
+}  // namespace compsyn

@@ -1,0 +1,31 @@
+// Minimal command-line flag parsing for the examples and bench harnesses.
+// Supports --name=value and boolean --name forms (the separated
+// "--name value" form is deliberately not supported: it is ambiguous with
+// boolean flags followed by positionals).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace compsyn {
+
+class Cli {
+ public:
+  Cli(int argc, char** argv);
+
+  bool has(const std::string& name) const;
+  std::string get(const std::string& name, const std::string& def = "") const;
+  std::uint64_t get_u64(const std::string& name, std::uint64_t def) const;
+  int get_int(const std::string& name, int def) const;
+
+  /// Non-flag positional arguments, in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace compsyn

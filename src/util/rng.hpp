@@ -1,0 +1,55 @@
+// Deterministic pseudo-random number generation for all randomized
+// components (pattern generation, synthetic circuits, permutation sampling).
+//
+// Every experiment in the bench suite takes an explicit 64-bit seed so tables
+// are reproducible bit-for-bit across runs and machines; std::mt19937 is
+// avoided because its distributions are not specified portably.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace compsyn {
+
+/// xoshiro256** 1.0 (Blackman/Vigna), seeded via splitmix64.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) { reseed(seed); }
+
+  void reseed(std::uint64_t seed);
+
+  /// Uniform 64-bit word.
+  std::uint64_t next();
+
+  /// Uniform in [0, bound) for bound >= 1 (unbiased via rejection).
+  std::uint64_t below(std::uint64_t bound);
+
+  /// Uniform in [lo, hi] inclusive.
+  std::uint64_t range(std::uint64_t lo, std::uint64_t hi);
+
+  /// Fair coin.
+  bool flip() { return (next() >> 63) != 0; }
+
+  /// True with probability num/den.
+  bool chance(std::uint64_t num, std::uint64_t den) { return below(den) < num; }
+
+  /// Uniform double in [0,1).
+  double unit();
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(below(i));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// A random permutation of 0..n-1.
+  std::vector<std::uint32_t> permutation(std::uint32_t n);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace compsyn

@@ -1,0 +1,23 @@
+// Small string helpers shared by the .bench parser and report printers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace compsyn {
+
+/// Strips leading/trailing ASCII whitespace.
+std::string_view trim(std::string_view s);
+
+/// Splits on a delimiter character, trimming each piece; empty pieces kept.
+std::vector<std::string> split(std::string_view s, char delim);
+
+/// Case-insensitive ASCII comparison.
+bool iequals(std::string_view a, std::string_view b);
+
+/// Formats an integer with thousands separators ("1234567" -> "1,234,567"),
+/// matching the style of the paper's tables.
+std::string with_commas(std::uint64_t v);
+
+}  // namespace compsyn

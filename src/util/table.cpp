@@ -1,0 +1,79 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <ostream>
+#include <sstream>
+
+#include "util/strings.hpp"
+
+namespace compsyn {
+namespace {
+
+bool looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (!std::isdigit(static_cast<unsigned char>(c)) && c != ',' && c != '.' &&
+        c != '-' && c != '+' && c != '%') {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+Table& Table::row() {
+  rows_.emplace_back();
+  return *this;
+}
+
+Table& Table::add(std::string cell) {
+  if (rows_.empty()) rows_.emplace_back();
+  rows_.back().push_back(std::move(cell));
+  return *this;
+}
+
+Table& Table::add(std::uint64_t v) { return add(std::to_string(v)); }
+
+Table& Table::add_commas(std::uint64_t v) { return add(with_commas(v)); }
+
+Table& Table::add(double v, int precision) {
+  std::ostringstream ss;
+  ss.setf(std::ios::fixed);
+  ss.precision(precision);
+  ss << v;
+  return add(ss.str());
+}
+
+void Table::print(std::ostream& os) const {
+  const std::size_t ncols = headers_.size();
+  std::vector<std::size_t> width(ncols);
+  std::vector<bool> numeric(ncols, true);
+  for (std::size_t c = 0; c < ncols; ++c) width[c] = headers_[c].size();
+  for (const auto& r : rows_) {
+    for (std::size_t c = 0; c < r.size() && c < ncols; ++c) {
+      width[c] = std::max(width[c], r[c].size());
+      if (!looks_numeric(r[c])) numeric[c] = false;
+    }
+  }
+  auto emit = [&](const std::vector<std::string>& cells, bool align_right) {
+    for (std::size_t c = 0; c < ncols; ++c) {
+      const std::string& s = c < cells.size() ? cells[c] : std::string{};
+      const std::size_t pad = width[c] - std::min(width[c], s.size());
+      if (c) os << "  ";
+      if (align_right && numeric[c]) os << std::string(pad, ' ') << s;
+      else os << s << std::string(pad, ' ');
+    }
+    os << '\n';
+  };
+  emit(headers_, false);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < ncols; ++c) total += width[c] + (c ? 2 : 0);
+  os << std::string(total, '-') << '\n';
+  for (const auto& r : rows_) emit(r, true);
+}
+
+}  // namespace compsyn

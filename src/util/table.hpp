@@ -1,0 +1,34 @@
+// Column-aligned plain-text table printer used by the bench harnesses to
+// emit rows in the same layout as the paper's tables.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace compsyn {
+
+class Table {
+ public:
+  /// Creates a table with the given column headers.
+  explicit Table(std::vector<std::string> headers);
+
+  /// Starts a new row; subsequent add() calls fill it left to right.
+  Table& row();
+
+  Table& add(std::string cell);
+  Table& add(std::uint64_t v);          // plain integer
+  Table& add_commas(std::uint64_t v);   // integer with thousands separators
+  Table& add(double v, int precision = 2);
+
+  /// Renders the table with a header rule, right-aligning numeric-looking
+  /// columns.
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace compsyn

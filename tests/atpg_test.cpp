@@ -1,0 +1,224 @@
+#include <gtest/gtest.h>
+
+#include "atpg/podem.hpp"
+#include "atpg/redundancy.hpp"
+#include "bench_io/bench_io.hpp"
+#include "faults/fault_sim.hpp"
+#include "netlist/equivalence.hpp"
+#include "util/rng.hpp"
+
+namespace compsyn {
+namespace {
+
+Netlist c17() {
+  return read_bench_string(R"(
+INPUT(1)
+INPUT(2)
+INPUT(3)
+INPUT(6)
+INPUT(7)
+OUTPUT(22)
+OUTPUT(23)
+10 = NAND(1, 3)
+11 = NAND(3, 6)
+16 = NAND(2, 11)
+19 = NAND(11, 7)
+22 = NAND(10, 16)
+23 = NAND(16, 19)
+)", "c17");
+}
+
+/// Confirms a PODEM test with the fault simulator.
+bool test_detects(const Netlist& nl, const StuckFault& f,
+                  const std::vector<bool>& test) {
+  FaultSimulator sim(nl, {f});
+  std::vector<std::uint64_t> pi(test.size());
+  for (std::size_t i = 0; i < test.size(); ++i) pi[i] = test[i] ? 1ull : 0ull;
+  return !sim.simulate_block(pi, 0).empty();
+}
+
+TEST(Podem, DetectsAllC17Faults) {
+  Netlist nl = c17();
+  for (const auto& f : enumerate_faults(nl, false)) {
+    AtpgResult r = run_podem(nl, f);
+    ASSERT_EQ(r.status, AtpgStatus::Detected) << to_string(nl, f);
+    EXPECT_TRUE(test_detects(nl, f, r.test)) << to_string(nl, f);
+  }
+}
+
+TEST(Podem, ProvesRedundancy) {
+  // y = OR(a, NOT a): constant 1. The s-a-1 on y is undetectable; so is the
+  // s-a-0 on any input branch of the OR observed through y.
+  Netlist nl("red");
+  NodeId a = nl.add_input("a");
+  NodeId na = nl.add_gate(GateType::Not, {a});
+  NodeId y = nl.add_gate(GateType::Or, {a, na});
+  NodeId b = nl.add_input("b");
+  NodeId g = nl.add_gate(GateType::And, {y, b});
+  nl.mark_output(g);
+  EXPECT_EQ(run_podem(nl, {y, -1, true}).status, AtpgStatus::Untestable);
+  EXPECT_EQ(run_podem(nl, {y, -1, false}).status, AtpgStatus::Detected);
+  EXPECT_EQ(run_podem(nl, {g, 0, true}).status, AtpgStatus::Untestable);
+}
+
+TEST(Podem, AgreesWithExhaustiveOracleOnRandomCircuits) {
+  Rng gen(17);
+  for (int trial = 0; trial < 10; ++trial) {
+    Netlist nl("r");
+    std::vector<NodeId> pool;
+    const unsigned n_in = 5;
+    for (unsigned i = 0; i < n_in; ++i) pool.push_back(nl.add_input());
+    const GateType kinds[] = {GateType::And, GateType::Or, GateType::Nand,
+                              GateType::Nor, GateType::Not, GateType::Xor};
+    for (int i = 0; i < 20; ++i) {
+      const GateType t = kinds[gen.below(6)];
+      const unsigned arity = t == GateType::Not ? 1 : 2;
+      std::vector<NodeId> fi;
+      for (unsigned j = 0; j < arity; ++j) fi.push_back(pool[gen.below(pool.size())]);
+      pool.push_back(nl.add_gate(t, fi));
+    }
+    nl.mark_output(pool.back());
+    nl.sweep();
+
+    for (const auto& f : enumerate_faults(nl, false)) {
+      const AtpgResult r = run_podem(nl, f);
+      ASSERT_NE(r.status, AtpgStatus::Aborted);
+      // Oracle: try all 32 input patterns through the fault simulator.
+      FaultSimulator sim(nl, {f});
+      std::vector<std::uint64_t> pi(n_in);
+      for (unsigned i = 0; i < n_in; ++i) pi[i] = exhaustive_mask(i);
+      const bool detectable = !sim.simulate_block(pi, 0).empty();
+      EXPECT_EQ(r.status == AtpgStatus::Detected, detectable)
+          << "trial " << trial << " " << to_string(nl, f);
+      if (r.status == AtpgStatus::Detected) {
+        EXPECT_TRUE(test_detects(nl, f, r.test)) << to_string(nl, f);
+      }
+    }
+  }
+}
+
+TEST(Podem, BacktrackLimitAborts) {
+  // An 18-input parity tree with an untestable fault takes many backtracks;
+  // with limit 1 the engine must abort rather than claim a proof.
+  Netlist nl("parity");
+  std::vector<NodeId> layer;
+  for (int i = 0; i < 16; ++i) layer.push_back(nl.add_input());
+  while (layer.size() > 1) {
+    std::vector<NodeId> next;
+    for (std::size_t i = 0; i + 1 < layer.size(); i += 2) {
+      next.push_back(nl.add_gate(GateType::Xor, {layer[i], layer[i + 1]}));
+    }
+    layer = next;
+  }
+  // Redundant cone: AND(parity, NOT parity) is constant 0, so its s-a-0
+  // fault can never be activated -- proving that exhausts the search space.
+  NodeId np = nl.add_gate(GateType::Not, {layer[0]});
+  NodeId g = nl.add_gate(GateType::And, {layer[0], np});
+  nl.mark_output(g);
+  AtpgOptions opt;
+  opt.backtrack_limit = 1;
+  const AtpgResult r = run_podem(nl, {g, -1, false}, opt);
+  EXPECT_EQ(r.status, AtpgStatus::Aborted);
+  // Unlimited search proves it (the 16-input parity cone needs more
+  // backtracks than the default budget).
+  AtpgOptions unlimited;
+  unlimited.backtrack_limit = 0;
+  EXPECT_EQ(run_podem(nl, {g, -1, false}, unlimited).status,
+            AtpgStatus::Untestable);
+  // The s-a-1 fault on a constant-0 line, by contrast, is trivially
+  // detectable.
+  EXPECT_EQ(run_podem(nl, {g, -1, true}).status, AtpgStatus::Detected);
+}
+
+TEST(Podem, SummarySweep) {
+  Netlist nl = c17();
+  auto faults = enumerate_faults(nl, true);
+  auto s = run_podem_all(nl, faults);
+  EXPECT_EQ(s.total, faults.size());
+  EXPECT_EQ(s.detected, faults.size());
+  EXPECT_EQ(s.untestable, 0u);
+  EXPECT_EQ(s.aborted, 0u);
+}
+
+TEST(Redundancy, C17AlreadyIrredundant) {
+  Netlist nl = c17();
+  EXPECT_TRUE(is_irredundant(nl));
+  auto stats = remove_redundancies(nl);
+  EXPECT_EQ(stats.removed, 0u);
+  EXPECT_TRUE(stats.irredundant);
+  EXPECT_EQ(nl.gate_count(), 6u);
+}
+
+TEST(Redundancy, RemovesClassicRedundancy) {
+  // f = ab + ~ac + bc: the consensus term bc is redundant logic in the
+  // two-level form. Redundancy removal must shrink the circuit and keep the
+  // function.
+  Netlist nl("consensus");
+  NodeId a = nl.add_input("a");
+  NodeId b = nl.add_input("b");
+  NodeId c = nl.add_input("c");
+  NodeId na = nl.add_gate(GateType::Not, {a});
+  NodeId t1 = nl.add_gate(GateType::And, {a, b});
+  NodeId t2 = nl.add_gate(GateType::And, {na, c});
+  NodeId t3 = nl.add_gate(GateType::And, {b, c});
+  NodeId f = nl.add_gate(GateType::Or, {t1, t2, t3});
+  nl.mark_output(f);
+  Netlist ref = nl.compacted();
+  const std::uint64_t gates_before = nl.equivalent_gate_count();
+  auto stats = remove_redundancies(nl);
+  EXPECT_GT(stats.removed, 0u);
+  EXPECT_TRUE(stats.irredundant);
+  EXPECT_LT(nl.equivalent_gate_count(), gates_before);
+  Rng rng(2);
+  auto res = check_equivalent(nl, ref, rng);
+  EXPECT_TRUE(res.equivalent) << res.message;
+  EXPECT_TRUE(res.exhaustive);
+  EXPECT_TRUE(is_irredundant(nl));
+}
+
+TEST(Redundancy, ConstantLogicCollapses) {
+  Netlist nl("const");
+  NodeId a = nl.add_input();
+  NodeId na = nl.add_gate(GateType::Not, {a});
+  NodeId one = nl.add_gate(GateType::Or, {a, na});  // constant 1
+  NodeId b = nl.add_input();
+  NodeId g = nl.add_gate(GateType::And, {one, b});  // == b
+  nl.mark_output(g);
+  Netlist ref = nl.compacted();
+  auto stats = remove_redundancies(nl);
+  EXPECT_GT(stats.removed, 0u);
+  EXPECT_EQ(nl.equivalent_gate_count(), 0u);  // reduces to a wire
+  Rng rng(6);
+  EXPECT_TRUE(check_equivalent(nl, ref, rng).equivalent);
+}
+
+TEST(Redundancy, RandomCircuitsBecomeIrredundantAndKeepFunction) {
+  Rng gen(31);
+  for (int trial = 0; trial < 6; ++trial) {
+    Netlist nl("r");
+    std::vector<NodeId> pool;
+    for (int i = 0; i < 6; ++i) pool.push_back(nl.add_input());
+    const GateType kinds[] = {GateType::And, GateType::Or, GateType::Nand,
+                              GateType::Nor, GateType::Not, GateType::And};
+    for (int i = 0; i < 25; ++i) {
+      const GateType t = kinds[gen.below(6)];
+      const unsigned arity = t == GateType::Not ? 1 : 2 + gen.below(2);
+      std::vector<NodeId> fi;
+      for (unsigned j = 0; j < arity; ++j) fi.push_back(pool[gen.below(pool.size())]);
+      pool.push_back(nl.add_gate(t, fi));
+    }
+    nl.mark_output(pool.back());
+    nl.mark_output(pool[pool.size() - 2]);
+    nl.sweep();
+    Netlist ref = nl.compacted();
+    auto stats = remove_redundancies(nl);
+    EXPECT_TRUE(stats.irredundant) << "trial " << trial;
+    EXPECT_TRUE(is_irredundant(nl)) << "trial " << trial;
+    Rng rng(trial);
+    auto res = check_equivalent(nl, ref, rng);
+    EXPECT_TRUE(res.equivalent) << "trial " << trial << ": " << res.message;
+  }
+}
+
+}  // namespace
+}  // namespace compsyn

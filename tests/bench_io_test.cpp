@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "bench_io/bench_io.hpp"
+#include "netlist/equivalence.hpp"
+#include "util/rng.hpp"
+
+namespace compsyn {
+namespace {
+
+const char* kC17 = R"(
+# c17 iscas example
+INPUT(1)
+INPUT(2)
+INPUT(3)
+INPUT(6)
+INPUT(7)
+
+OUTPUT(22)
+OUTPUT(23)
+
+10 = NAND(1, 3)
+11 = NAND(3, 6)
+16 = NAND(2, 11)
+19 = NAND(11, 7)
+22 = NAND(10, 16)
+23 = NAND(16, 19)
+)";
+
+const char* kS27 = R"(
+# s27 iscas89
+INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+OUTPUT(G17)
+
+G5 = DFF(G10)
+G6 = DFF(G11)
+G7 = DFF(G13)
+
+G14 = NOT(G0)
+G17 = NOT(G11)
+G8 = AND(G14, G6)
+G15 = OR(G12, G8)
+G16 = OR(G3, G8)
+G9 = NAND(G16, G15)
+G10 = NOR(G14, G11)
+G11 = NOR(G5, G9)
+G12 = NOR(G1, G7)
+G13 = NOR(G2, G12)
+)";
+
+TEST(BenchIo, ParsesC17) {
+  Netlist nl = read_bench_string(kC17, "c17");
+  EXPECT_EQ(nl.inputs().size(), 5u);
+  EXPECT_EQ(nl.outputs().size(), 2u);
+  EXPECT_EQ(nl.gate_count(), 6u);
+  EXPECT_EQ(nl.equivalent_gate_count(), 6u);
+  EXPECT_TRUE(nl.check().empty()) << nl.check();
+  // Spot-check the function: all inputs 0 -> both outputs are NAND(...)=...
+  auto v = nl.simulate({0, 0, 0, 0, 0});
+  // 10 = NAND(0,0)=1, 11=1, 16=NAND(0,1)=1, 19=NAND(1,0)=1,
+  // 22=NAND(1,1)=0, 23=NAND(1,1)=0
+  EXPECT_EQ(v[nl.outputs()[0]] & 1ull, 0ull);
+  EXPECT_EQ(v[nl.outputs()[1]] & 1ull, 0ull);
+}
+
+TEST(BenchIo, ScanConvertsS27) {
+  Netlist nl = read_bench_string(kS27, "s27");
+  // 4 PIs + 3 DFF pseudo-inputs; 1 PO + 3 DFF pseudo-outputs.
+  EXPECT_EQ(nl.inputs().size(), 7u);
+  EXPECT_EQ(nl.outputs().size(), 4u);
+  EXPECT_TRUE(nl.check().empty()) << nl.check();
+  EXPECT_EQ(nl.gate_count(), 10u);
+}
+
+TEST(BenchIo, RoundTripPreservesFunction) {
+  Netlist nl = read_bench_string(kS27, "s27");
+  Netlist again = read_bench_string(write_bench_string(nl), "s27rt");
+  Rng rng(17);
+  auto res = check_equivalent(nl, again, rng);
+  EXPECT_TRUE(res.equivalent) << res.message;
+  EXPECT_TRUE(res.exhaustive);
+}
+
+TEST(BenchIo, RoundTripPreservesNames) {
+  Netlist nl = read_bench_string(kC17, "c17");
+  Netlist again = read_bench_string(write_bench_string(nl));
+  ASSERT_EQ(again.inputs().size(), 5u);
+  EXPECT_EQ(again.node(again.inputs()[0]).name, "1");
+  EXPECT_EQ(again.node(again.outputs()[0]).name, "22");
+}
+
+TEST(BenchIo, ConstRoundTrip) {
+  Netlist nl("k");
+  NodeId a = nl.add_input("a");
+  NodeId k = nl.add_const(true, "one");
+  NodeId g = nl.add_gate(GateType::Xor, {a, k}, "out");
+  nl.mark_output(g);
+  Netlist again = read_bench_string(write_bench_string(nl));
+  Rng rng(19);
+  EXPECT_TRUE(check_equivalent(nl, again, rng).equivalent);
+}
+
+TEST(BenchIo, ForwardReferencesResolve) {
+  // `z` references `y` defined after it.
+  const char* text = R"(
+INPUT(a)
+OUTPUT(z)
+z = AND(y, a)
+y = NOT(a)
+)";
+  Netlist nl = read_bench_string(text);
+  EXPECT_EQ(nl.gate_count(), 2u);
+  auto v = nl.simulate({0b01ull});
+  EXPECT_EQ(v[nl.outputs()[0]] & 3ull, 0ull);  // a & ~a == 0
+}
+
+TEST(BenchIo, OneInputAndToleratedAsBuf) {
+  const char* text = "INPUT(a)\nOUTPUT(z)\nz = AND(a)\n";
+  Netlist nl = read_bench_string(text);
+  EXPECT_EQ(nl.node(nl.outputs()[0]).type, GateType::Buf);
+}
+
+class BenchIoMalformed : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(BenchIoMalformed, Throws) {
+  EXPECT_THROW(read_bench_string(GetParam()), std::runtime_error);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, BenchIoMalformed,
+    ::testing::Values(
+        "INPUT(a)\nOUTPUT(z)\nz = FROB(a)\n",        // unknown gate type
+        "INPUT(a)\nOUTPUT(z)\nz = AND(a, q)\n",      // undefined signal
+        "INPUT(a)\nOUTPUT(z)\nz = AND a, a\n",       // missing parens
+        "INPUT(a)\nOUTPUT(z)\nz = NOT(a, a)\n",      // NOT arity
+        "INPUT(a)\nOUTPUT(z)\nz = AND(z, a)\n",      // combinational cycle
+        "INPUT(a)\nWIBBLE(a)\nOUTPUT(a)\n",          // unknown directive
+        "INPUT(a)\nOUTPUT(z)\nz = AND(a,b)\nz = OR(a,a)\n",  // duplicate def
+        "INPUT(a)\nOUTPUT(missing)\n"));             // undefined output
+
+TEST(BenchIo, MissingFileThrows) {
+  EXPECT_THROW(read_bench_file("/nonexistent/path/x.bench"), std::runtime_error);
+}
+
+TEST(BenchIo, CommentsAndBlankLinesIgnored) {
+  const char* text =
+      "# full line comment\n\nINPUT(a)  # trailing\nOUTPUT(z)\nz = NOT(a)\n";
+  Netlist nl = read_bench_string(text);
+  EXPECT_EQ(nl.gate_count(), 1u);
+}
+
+}  // namespace
+}  // namespace compsyn

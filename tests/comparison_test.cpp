@@ -1,0 +1,220 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/comparison.hpp"
+#include "util/rng.hpp"
+
+namespace compsyn {
+namespace {
+
+/// Brute force ground truth: is the ON-set contiguous under SOME permutation?
+bool brute_force_is_comparison(const TruthTable& f) {
+  const unsigned n = f.num_vars();
+  if (f.is_const_zero() || f.is_const_one()) return true;
+  std::vector<unsigned> perm(n);
+  std::iota(perm.begin(), perm.end(), 0u);
+  do {
+    const auto on = f.permuted(perm).on_set();
+    if (!on.empty() && on.back() - on.front() + 1 == on.size()) return true;
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  return false;
+}
+
+TEST(Comparison, PaperSection3Example) {
+  // f2(y1..y4) with ON minterms {1, 5, 6, 9, 10, 14}; under the permutation
+  // x1=y4, x2=y3, x3=y2, x4=y1 the ON values become {5..10}, so L=5, U=10.
+  TruthTable f(4);
+  for (std::uint32_t m : {1u, 5u, 6u, 9u, 10u, 14u}) f.set(m, true);
+
+  IdentifyOptions opt;
+  opt.max_results = 64;
+  auto specs = identify_comparison(f, opt);
+  ASSERT_FALSE(specs.empty());
+  for (const auto& s : specs) EXPECT_TRUE(spec_matches(s, f));
+
+  // The paper's specific permutation (position j holds variable perm[j];
+  // x1=y4 means position 0 holds variable 3).
+  const std::vector<unsigned> paper_perm{3, 2, 1, 0};
+  bool found_paper_spec = false;
+  for (const auto& s : specs) {
+    if (!s.complemented && s.perm == paper_perm) {
+      EXPECT_EQ(s.lower, 5u);
+      EXPECT_EQ(s.upper, 10u);
+      found_paper_spec = true;
+    }
+  }
+  EXPECT_TRUE(found_paper_spec);
+}
+
+TEST(Comparison, ExactMatchesBruteForceOnAll3VarFunctions) {
+  for (std::uint32_t bits = 0; bits < 256; ++bits) {
+    TruthTable f(3);
+    for (std::uint32_t m = 0; m < 8; ++m) f.set(m, (bits >> m) & 1u);
+    EXPECT_EQ(is_comparison_function(f), brute_force_is_comparison(f))
+        << "truth table " << f.to_bits();
+  }
+}
+
+TEST(Comparison, ExactMatchesBruteForceOnRandom4And5VarFunctions) {
+  Rng rng(99);
+  for (int trial = 0; trial < 300; ++trial) {
+    const unsigned n = trial % 2 ? 4 : 5;
+    TruthTable f = TruthTable::from_function(
+        n, [&](std::uint32_t) { return rng.flip(); });
+    EXPECT_EQ(is_comparison_function(f), brute_force_is_comparison(f))
+        << "n=" << n << " bits=" << f.to_bits();
+  }
+}
+
+TEST(Comparison, AllSpecsDescribeTheFunction) {
+  Rng rng(5);
+  int checked = 0;
+  for (int trial = 0; trial < 500 && checked < 40; ++trial) {
+    // Random interval functions are comparison functions by construction.
+    const unsigned n = 3 + trial % 3;
+    const std::uint32_t max = (1u << n) - 1;
+    std::uint32_t lo = static_cast<std::uint32_t>(rng.below(max + 1));
+    std::uint32_t hi = static_cast<std::uint32_t>(rng.below(max + 1));
+    if (lo > hi) std::swap(lo, hi);
+    auto p32 = rng.permutation(n);
+    ComparisonSpec made;
+    made.n = n;
+    made.perm.assign(p32.begin(), p32.end());
+    made.lower = lo;
+    made.upper = hi;
+    TruthTable f = made.to_truth_table();
+    if (f.is_const_zero() || f.is_const_one()) continue;
+    auto specs = identify_comparison(f);
+    ASSERT_FALSE(specs.empty()) << f.to_bits();
+    for (const auto& s : specs) {
+      EXPECT_TRUE(spec_matches(s, f)) << f.to_bits();
+      EXPECT_LE(s.lower, s.upper);
+    }
+    ++checked;
+  }
+  EXPECT_GE(checked, 40);
+}
+
+TEST(Comparison, SingleMintermAlwaysComparison) {
+  Rng rng(11);
+  for (unsigned n = 1; n <= 6; ++n) {
+    TruthTable f(n);
+    f.set(static_cast<std::uint32_t>(rng.below(1u << n)), true);
+    EXPECT_TRUE(is_comparison_function(f));
+  }
+}
+
+TEST(Comparison, Xor2IsComparisonXor3IsNot) {
+  TruthTable x2 = TruthTable::from_bits("0110");
+  EXPECT_TRUE(is_comparison_function(x2));  // ON {1,2}
+  TruthTable x3 = TruthTable::from_bits("01101001");
+  EXPECT_FALSE(is_comparison_function(x3));
+  // ... and its complement is not either (it is symmetric too).
+  EXPECT_FALSE(is_comparison_function(x3.complemented()));
+  EXPECT_TRUE(identify_comparison(x3).empty());
+}
+
+TEST(Comparison, MajorityIsNotComparison) {
+  // maj(a,b,c): ON {3,5,6,7} -- not contiguous under any permutation
+  // (symmetric function, so permutations do not change the ON values).
+  TruthTable maj = TruthTable::from_bits("00010111");
+  EXPECT_FALSE(is_comparison_function(maj));
+}
+
+TEST(Comparison, ComplementHandling) {
+  // NAND3: OFF-set is {7}, a single minterm -> complemented spec exists.
+  TruthTable nand3 = TruthTable::from_function(3, [](std::uint32_t m) { return m != 7; });
+  auto specs = identify_comparison(nand3);
+  ASSERT_FALSE(specs.empty());
+  bool has_plain = false, has_complemented = false;
+  for (const auto& s : specs) {
+    EXPECT_TRUE(spec_matches(s, nand3));
+    (s.complemented ? has_complemented : has_plain) = true;
+  }
+  // NAND3 ON-set is [0,6]: contiguous directly, and via the complement.
+  EXPECT_TRUE(has_plain);
+  EXPECT_TRUE(has_complemented);
+}
+
+TEST(Comparison, ConstantFunctions) {
+  TruthTable one = TruthTable::from_function(3, [](std::uint32_t) { return true; });
+  auto specs = identify_comparison(one);
+  ASSERT_FALSE(specs.empty());
+  EXPECT_FALSE(specs[0].complemented);
+  EXPECT_EQ(specs[0].lower, 0u);
+  EXPECT_EQ(specs[0].upper, 7u);
+
+  TruthTable zero(3);
+  specs = identify_comparison(zero);
+  ASSERT_FALSE(specs.empty());
+  EXPECT_TRUE(specs[0].complemented);
+  EXPECT_TRUE(spec_matches(specs[0], zero));
+}
+
+TEST(Comparison, ZeroVarFunction) {
+  TruthTable t(0);
+  t.set(0, true);
+  auto specs = identify_comparison(t);
+  ASSERT_EQ(specs.size(), 1u);
+  EXPECT_FALSE(specs[0].complemented);
+  EXPECT_TRUE(spec_matches(specs[0], t));
+}
+
+TEST(Comparison, SampledEngineFindsEasyCases) {
+  Rng rng(21);
+  IdentifyOptions opt;
+  opt.exact = false;
+  opt.sample_tries = 200;
+  opt.rng = &rng;
+  // Threshold function >= 5 of 3 vars: ON {5,6,7} under identity.
+  TruthTable f = TruthTable::from_function(3, [](std::uint32_t m) { return m >= 5; });
+  auto specs = identify_comparison(f, opt);
+  ASSERT_FALSE(specs.empty());
+  for (const auto& s : specs) EXPECT_TRUE(spec_matches(s, f));
+}
+
+TEST(Comparison, SampledEngineNeverFalselyAccepts) {
+  Rng rng(22);
+  IdentifyOptions opt;
+  opt.exact = false;
+  opt.sample_tries = 100;
+  opt.rng = &rng;
+  TruthTable x3 = TruthTable::from_bits("01101001");
+  EXPECT_TRUE(identify_comparison(x3, opt).empty());
+}
+
+TEST(Comparison, AndOrGatesAreComparison) {
+  for (unsigned n = 2; n <= 5; ++n) {
+    TruthTable andf = TruthTable::from_function(
+        n, [&](std::uint32_t m) { return m == (1u << n) - 1; });
+    TruthTable orf = TruthTable::from_function(
+        n, [&](std::uint32_t m) { return m != 0; });
+    EXPECT_TRUE(is_comparison_function(andf)) << n;
+    EXPECT_TRUE(is_comparison_function(orf)) << n;
+  }
+}
+
+TEST(Comparison, ThresholdRelationship) {
+  // Section 3.1: a >=L block is a threshold function with weights 2^(n-i);
+  // check that the identified bounds of a weighted-threshold ON-set match.
+  const unsigned n = 4;
+  for (std::uint32_t L = 1; L < 16; ++L) {
+    TruthTable f = TruthTable::from_function(n, [&](std::uint32_t m) { return m >= L; });
+    auto specs = identify_comparison(f);
+    ASSERT_FALSE(specs.empty()) << L;
+    bool found_identity = false;
+    for (const auto& s : specs) {
+      if (!s.complemented && s.perm == std::vector<unsigned>({0, 1, 2, 3})) {
+        EXPECT_EQ(s.lower, L);
+        EXPECT_EQ(s.upper, 15u);
+        found_identity = true;
+      }
+    }
+    EXPECT_TRUE(found_identity) << L;
+  }
+}
+
+}  // namespace
+}  // namespace compsyn

@@ -1,0 +1,232 @@
+#include <gtest/gtest.h>
+
+#include "delay/algebra.hpp"
+#include "delay/robust.hpp"
+#include "util/rng.hpp"
+
+namespace compsyn {
+namespace {
+
+Wave S0{false, false, true};
+Wave S1{true, true, true};
+Wave R{false, true, true};
+Wave F{true, false, true};
+Wave S0H{false, false, false};
+Wave S1H{true, true, false};
+Wave RH{false, true, false};
+
+TEST(WaveAlgebra, AndRules) {
+  // Clean stable controlling input dominates everything.
+  EXPECT_EQ(eval_wave(GateType::And, {S0, RH}), S0);
+  EXPECT_EQ(eval_wave(GateType::And, {S0, F}), S0);
+  // All stable 1 and clean -> stable 1 clean.
+  EXPECT_EQ(eval_wave(GateType::And, {S1, S1}), S1);
+  // Hazardous stable 1 contaminates.
+  EXPECT_EQ(eval_wave(GateType::And, {S1, S1H}), S1H);
+  // Rising AND rising -> clean rising.
+  EXPECT_EQ(eval_wave(GateType::And, {R, R}), R);
+  EXPECT_EQ(eval_wave(GateType::And, {R, S1}), R);
+  // Crossing transitions: static 0 but glitch-prone.
+  EXPECT_EQ(eval_wave(GateType::And, {R, F}), S0H);
+  // Hazardous stable 0 (no clean controlling input) stays hazardous.
+  EXPECT_EQ(eval_wave(GateType::And, {S0H, S1}), S0H);
+  // Falling with clean side stays clean.
+  EXPECT_EQ(eval_wave(GateType::And, {F, S1}), F);
+  // Falling with a hazardous side input is hazardous.
+  EXPECT_EQ(eval_wave(GateType::And, {F, S1H}), (Wave{true, false, false}));
+}
+
+TEST(WaveAlgebra, OrRulesAreDual) {
+  EXPECT_EQ(eval_wave(GateType::Or, {S1, RH}), S1);
+  EXPECT_EQ(eval_wave(GateType::Or, {S0, S0}), S0);
+  EXPECT_EQ(eval_wave(GateType::Or, {R, F}), S1H);
+  EXPECT_EQ(eval_wave(GateType::Or, {R, S0}), R);
+  EXPECT_EQ(eval_wave(GateType::Or, {F, F}), F);
+}
+
+TEST(WaveAlgebra, InversionsFlipValuesKeepCleanliness) {
+  EXPECT_EQ(eval_wave(GateType::Not, {R}), F);
+  EXPECT_EQ(eval_wave(GateType::Not, {RH}), (Wave{true, false, false}));
+  EXPECT_EQ(eval_wave(GateType::Nand, {R, R}), F);
+  EXPECT_EQ(eval_wave(GateType::Nor, {S0, S0}), S1);
+  EXPECT_EQ(eval_wave(GateType::Nand, {R, F}), S1H);
+}
+
+TEST(WaveAlgebra, XorRules) {
+  EXPECT_EQ(eval_wave(GateType::Xor, {R, S0}), R);
+  EXPECT_EQ(eval_wave(GateType::Xor, {R, S1}), F);
+  // Two transitions through XOR can glitch even when aligned.
+  const Wave w = eval_wave(GateType::Xor, {R, R});
+  EXPECT_FALSE(w.clean);
+  EXPECT_TRUE(w.stable(false));
+  EXPECT_EQ(eval_wave(GateType::Xnor, {R, S0}), F);
+}
+
+TEST(WaveAlgebra, ConstsAreCleanStable) {
+  EXPECT_EQ(eval_wave(GateType::Const0, {}), S0);
+  EXPECT_EQ(eval_wave(GateType::Const1, {}), S1);
+}
+
+// Brute-force soundness check of the cleanliness flag: enumerate all gate
+// delay assignments of a tiny circuit as event orderings and confirm that a
+// line the algebra calls clean never shows more than one transition.
+// Instead of a full timing simulator, exploit the canonical glitch circuit.
+TEST(WaveAlgebra, GlitchCircuitIsFlaggedHazardous) {
+  // y = AND(a, NOT(a)): statically 0, but a rising `a` can pulse y.
+  Netlist nl("glitch");
+  NodeId a = nl.add_input();
+  NodeId na = nl.add_gate(GateType::Not, {a});
+  NodeId y = nl.add_gate(GateType::And, {a, na});
+  nl.mark_output(y);
+  auto waves = simulate_two_pattern(nl, {false}, {true});
+  EXPECT_TRUE(waves[y].stable(false));
+  EXPECT_FALSE(waves[y].clean);
+}
+
+TEST(RobustEdge, AndGateConditions) {
+  Netlist nl("re");
+  NodeId a = nl.add_input();
+  NodeId b = nl.add_input();
+  NodeId g = nl.add_gate(GateType::And, {a, b});
+  nl.mark_output(g);
+  {
+    // Rising on-path (to non-controlling): side needs final 1 only.
+    auto waves = simulate_two_pattern(nl, {false, false}, {true, true});
+    EXPECT_TRUE(robust_edge(nl, waves, g, 0));  // side b rises: allowed
+  }
+  {
+    // Falling on-path (to controlling): side must be steady 1.
+    auto waves = simulate_two_pattern(nl, {true, false}, {false, true});
+    EXPECT_FALSE(robust_edge(nl, waves, g, 0));  // side b rising: not robust
+    auto waves2 = simulate_two_pattern(nl, {true, true}, {false, true});
+    EXPECT_TRUE(robust_edge(nl, waves2, g, 0));  // side b steady 1
+  }
+  {
+    // Side with controlling final value blocks propagation.
+    auto waves = simulate_two_pattern(nl, {false, false}, {true, false});
+    EXPECT_FALSE(robust_edge(nl, waves, g, 0));
+  }
+  {
+    // No transition on the on-path input.
+    auto waves = simulate_two_pattern(nl, {true, true}, {true, true});
+    EXPECT_FALSE(robust_edge(nl, waves, g, 0));
+  }
+}
+
+TEST(RobustTests, SingleAndGatePathFaults) {
+  Netlist nl("and2");
+  NodeId a = nl.add_input();
+  NodeId b = nl.add_input();
+  NodeId g = nl.add_gate(GateType::And, {a, b});
+  nl.mark_output(g);
+  auto paths = enumerate_paths(nl);
+  ASSERT_EQ(paths.size(), 2u);
+  // Every fault of an AND gate is robustly testable.
+  for (const auto& p : paths) {
+    for (bool rising : {true, false}) {
+      EXPECT_TRUE(find_robust_test(nl, p, rising).has_value());
+    }
+  }
+  // And the canonical tests validate.
+  EXPECT_TRUE(robustly_tests(nl, paths[0], true, {false, true}, {true, true}));
+  EXPECT_FALSE(robustly_tests(nl, paths[0], true, {false, false}, {true, false}));
+}
+
+TEST(RobustTests, UntestablePathDetected) {
+  // y = OR(AND(a,b), AND(a, NOT b)) -- the path through NOT b ... OR is
+  // robustly untestable in the classic way? Use a simpler guaranteed case:
+  // g = AND(a, a): side input is the on-path signal itself, so falling
+  // transitions can never be robust and rising needs the duplicate to rise
+  // too, which robust_edge allows. Check the falling fault is untestable.
+  Netlist nl("dup");
+  NodeId a = nl.add_input();
+  NodeId g = nl.add_gate(GateType::And, {a, a});
+  nl.mark_output(g);
+  auto paths = enumerate_paths(nl);
+  ASSERT_EQ(paths.size(), 2u);
+  for (const auto& p : paths) {
+    EXPECT_FALSE(find_robust_test(nl, p, /*rising=*/false).has_value());
+    EXPECT_TRUE(find_robust_test(nl, p, /*rising=*/true).has_value());
+  }
+}
+
+TEST(RobustSimulator, MatchesPerPathCheckOnSmallCircuit) {
+  // Cross-validate the subgraph-walk simulator against robustly_tests().
+  Netlist nl("xv");
+  NodeId a = nl.add_input();
+  NodeId b = nl.add_input();
+  NodeId c = nl.add_input();
+  NodeId nb = nl.add_gate(GateType::Not, {b});
+  NodeId g1 = nl.add_gate(GateType::And, {a, nb});
+  NodeId g2 = nl.add_gate(GateType::Or, {g1, c});
+  NodeId g3 = nl.add_gate(GateType::Nand, {g1, b});
+  nl.mark_output(g2);
+  nl.mark_output(g3);
+
+  const auto paths = enumerate_paths(nl);
+  Rng rng(42);
+  const std::size_t n = nl.inputs().size();
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<bool> v1(n), v2(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      v1[i] = rng.flip();
+      v2[i] = rng.flip();
+    }
+    RobustPdfSimulator sim(nl);
+    sim.apply(v1, v2);
+    for (const auto& p : paths) {
+      for (bool rising : {true, false}) {
+        const std::uint64_t fid = 2 * p.id + (rising ? 0 : 1);
+        EXPECT_EQ(sim.is_detected(fid), robustly_tests(nl, p, rising, v1, v2))
+            << "trial " << trial << " path " << p.id << " rising " << rising;
+      }
+    }
+  }
+}
+
+TEST(RobustSimulator, DetectedCountsAccumulate) {
+  Netlist nl("acc");
+  NodeId a = nl.add_input();
+  NodeId b = nl.add_input();
+  NodeId g = nl.add_gate(GateType::And, {a, b});
+  nl.mark_output(g);
+  RobustPdfSimulator sim(nl);
+  EXPECT_EQ(sim.total_faults(), 4u);
+  std::uint64_t newly = sim.apply({false, true}, {true, true});  // a rising
+  EXPECT_EQ(newly, 1u);
+  newly = sim.apply({false, true}, {true, true});  // same pair: nothing new
+  EXPECT_EQ(newly, 0u);
+  newly = sim.apply({true, true}, {false, true});  // a falling
+  EXPECT_EQ(newly, 1u);
+  EXPECT_EQ(sim.detected_count(), 2u);
+}
+
+TEST(RobustSimulator, RandomExperimentConverges) {
+  Netlist nl("exp");
+  NodeId a = nl.add_input();
+  NodeId b = nl.add_input();
+  NodeId c = nl.add_input();
+  NodeId g1 = nl.add_gate(GateType::And, {a, b});
+  NodeId g2 = nl.add_gate(GateType::Or, {g1, c});
+  nl.mark_output(g2);
+  Rng rng(9);
+  auto res = random_robust_pdf(nl, rng, /*stop_window=*/2000, /*max_pairs=*/100000);
+  EXPECT_EQ(res.total_faults, 6u);
+  // This circuit is fully robustly testable; random pairs find everything.
+  EXPECT_EQ(res.detected, 6u);
+  EXPECT_GT(res.last_effective_pair, 0u);
+  EXPECT_LE(res.last_effective_pair, res.pairs_applied);
+}
+
+TEST(RobustSimulator, TestabilityCountOnKnownCircuit) {
+  Netlist nl("t");
+  NodeId a = nl.add_input();
+  NodeId g = nl.add_gate(GateType::And, {a, a});
+  nl.mark_output(g);
+  auto t = count_robustly_testable(nl);
+  EXPECT_EQ(t.total_faults, 4u);
+  EXPECT_EQ(t.testable, 2u);  // only the rising faults (see above)
+}
+
+}  // namespace
+}  // namespace compsyn

@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include "core/two_level.hpp"
+#include "gen/circuits.hpp"
+#include "netlist/equivalence.hpp"
+#include "paths/paths.hpp"
+#include "rar/factor.hpp"
+#include "util/rng.hpp"
+
+namespace compsyn {
+namespace {
+
+/// Evaluates a factored expression on a minterm (MSB-first convention).
+bool eval_expr(const FactorExpr& e, std::uint32_t m, unsigned n) {
+  switch (e.kind) {
+    case FactorExpr::Literal: {
+      const bool v = (m >> (n - 1 - e.var)) & 1u;
+      return v == e.positive;
+    }
+    case FactorExpr::And: {
+      for (const auto& a : e.args) {
+        if (!eval_expr(*a, m, n)) return false;
+      }
+      return true;
+    }
+    case FactorExpr::Or: {
+      for (const auto& a : e.args) {
+        if (eval_expr(*a, m, n)) return true;
+      }
+      return false;
+    }
+  }
+  return false;
+}
+
+TEST(QuickFactor, SingleCube) {
+  // x1 ~x3 over 3 vars.
+  auto e = quick_factor({Cube{0b101, 0b100}}, 3);
+  EXPECT_EQ(e->equiv_gates(), 1u);
+  EXPECT_EQ(e->literal_occurrences(), 2u);
+  for (std::uint32_t m = 0; m < 8; ++m) {
+    EXPECT_EQ(eval_expr(*e, m, 3), (m & 4u) && !(m & 1u)) << m;
+  }
+}
+
+TEST(QuickFactor, SharesCommonLiteral) {
+  // ab + ac -> a(b + c): 2 equivalent gates instead of 3.
+  const std::vector<Cube> cover{{0b110, 0b110}, {0b101, 0b101}};
+  auto e = quick_factor(cover, 3);
+  EXPECT_EQ(e->equiv_gates(), 2u);
+  EXPECT_EQ(e->literal_occurrences(), 3u);
+}
+
+TEST(QuickFactor, ThresholdBecomesChain) {
+  // >=3 over 4 vars: x1 + x2 + x3 x4 factors to 3 equivalent gates
+  // (what the comparison unit achieves too).
+  TruthTable f = TruthTable::from_function(4, [](std::uint32_t m) { return m >= 3; });
+  auto cover = irredundant_cover(f);
+  auto e = quick_factor(cover, 4);
+  EXPECT_LE(e->equiv_gates(), 3u);
+  for (std::uint32_t m = 0; m < 16; ++m) EXPECT_EQ(eval_expr(*e, m, 4), m >= 3);
+}
+
+TEST(QuickFactor, UnitLiteralAbsorbsQuotient) {
+  // a + ab == a.
+  const std::vector<Cube> cover{{0b10, 0b10}, {0b11, 0b11}};
+  auto e = quick_factor(cover, 2);
+  for (std::uint32_t m = 0; m < 4; ++m) {
+    EXPECT_EQ(eval_expr(*e, m, 2), (m & 2u) != 0);
+  }
+}
+
+TEST(QuickFactor, MatchesCoverOnRandomFunctions) {
+  Rng rng(21);
+  for (int trial = 0; trial < 300; ++trial) {
+    const unsigned n = 2 + trial % 4;
+    TruthTable f = TruthTable::from_function(
+        n, [&](std::uint32_t) { return rng.flip(); });
+    if (f.is_const_zero() || f.is_const_one()) continue;
+    auto cover = irredundant_cover(f);
+    auto e = quick_factor(cover, n);
+    for (std::uint32_t m = 0; m < f.num_minterms(); ++m) {
+      ASSERT_EQ(eval_expr(*e, m, n), f.get(m)) << f.to_bits() << " @ " << m;
+    }
+    // Factoring never uses more gates than the flat SOP.
+    std::uint64_t sop_gates = cover.size() - 1;
+    for (const Cube& c : cover) {
+      sop_gates += c.literal_count() > 0 ? c.literal_count() - 1 : 0;
+    }
+    EXPECT_LE(e->equiv_gates(), sop_gates) << f.to_bits();
+  }
+}
+
+TEST(BuildFactored, MatchesExpression) {
+  Rng rng(22);
+  for (int trial = 0; trial < 50; ++trial) {
+    const unsigned n = 3 + trial % 3;
+    TruthTable f = TruthTable::from_function(
+        n, [&](std::uint32_t) { return rng.flip(); });
+    if (f.is_const_zero() || f.is_const_one()) continue;
+    auto e = quick_factor(irredundant_cover(f), n);
+    Netlist nl("ff");
+    std::vector<NodeId> vars;
+    for (unsigned v = 0; v < n; ++v) vars.push_back(nl.add_input());
+    NodeId out = build_factored(nl, *e, vars);
+    nl.mark_output(out);
+    for (std::uint32_t m = 0; m < f.num_minterms(); ++m) {
+      std::vector<std::uint64_t> pi(n);
+      for (unsigned v = 0; v < n; ++v) pi[v] = ((m >> (n - 1 - v)) & 1u) ? ~0ull : 0;
+      ASSERT_EQ((nl.simulate(pi)[out] & 1ull) != 0, f.get(m));
+    }
+  }
+}
+
+TEST(FactorCones, ReducesGatesAndPreservesFunction) {
+  Netlist nl = make_benchmark("syn150");
+  Netlist ref = nl.compacted();
+  const std::uint64_t before = nl.equivalent_gate_count();
+  FactorConesStats st = factor_cones(nl);
+  EXPECT_EQ(st.gates_before, before);
+  EXPECT_LE(st.gates_after, before);
+  EXPECT_GT(st.replacements, 0u);
+  Rng rng(23);
+  auto res = check_equivalent(nl, ref, rng, 128);
+  EXPECT_TRUE(res.equivalent) << res.message;
+  EXPECT_TRUE(nl.check().empty()) << nl.check();
+}
+
+TEST(FactorCones, HandlesNonComparisonFunctions) {
+  // A 3-input majority SOP is not a comparison function, so Procedure 2
+  // leaves it alone -- but factoring can still rewrite it.
+  Netlist nl("maj");
+  NodeId a = nl.add_input();
+  NodeId b = nl.add_input();
+  NodeId c = nl.add_input();
+  NodeId t1 = nl.add_gate(GateType::And, {a, b});
+  NodeId t2 = nl.add_gate(GateType::And, {a, c});
+  NodeId t3 = nl.add_gate(GateType::And, {b, c});
+  NodeId f = nl.add_gate(GateType::Or, {t1, t2, t3});
+  nl.mark_output(f);
+  Netlist ref = nl.compacted();
+  factor_cones(nl);
+  Rng rng(24);
+  auto res = check_equivalent(nl, ref, rng);
+  EXPECT_TRUE(res.equivalent) << res.message;
+  EXPECT_TRUE(res.exhaustive);
+  // maj = ab + c(a + b): 3 equivalent gates vs the SOP's 5.
+  EXPECT_LE(nl.equivalent_gate_count(), 4u);
+}
+
+}  // namespace
+}  // namespace compsyn

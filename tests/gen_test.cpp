@@ -1,0 +1,203 @@
+#include <gtest/gtest.h>
+
+#include "gen/circuits.hpp"
+#include "netlist/equivalence.hpp"
+#include "paths/paths.hpp"
+#include "util/rng.hpp"
+
+namespace compsyn {
+namespace {
+
+TEST(Gen, C17Structure) {
+  Netlist nl = make_c17();
+  EXPECT_EQ(nl.inputs().size(), 5u);
+  EXPECT_EQ(nl.outputs().size(), 2u);
+  EXPECT_EQ(nl.gate_count(), 6u);
+  EXPECT_EQ(count_paths(nl).total, 11u);
+}
+
+TEST(Gen, S27ScanConverted) {
+  Netlist nl = make_s27();
+  EXPECT_EQ(nl.inputs().size(), 7u);
+  EXPECT_EQ(nl.outputs().size(), 4u);
+  EXPECT_TRUE(nl.check().empty()) << nl.check();
+}
+
+TEST(Gen, RippleAdderAddsCorrectly) {
+  const unsigned bits = 4;
+  Netlist nl = make_ripple_adder(bits);
+  ASSERT_EQ(nl.inputs().size(), 2 * bits + 1);
+  ASSERT_EQ(nl.outputs().size(), bits + 1);
+  for (unsigned a = 0; a < 16; a += 3) {
+    for (unsigned b = 0; b < 16; b += 5) {
+      for (unsigned cin = 0; cin < 2; ++cin) {
+        std::vector<std::uint64_t> pi(2 * bits + 1, 0);
+        for (unsigned i = 0; i < bits; ++i) {
+          pi[i] = (a >> i) & 1u ? ~0ull : 0;
+          pi[bits + i] = (b >> i) & 1u ? ~0ull : 0;
+        }
+        pi[2 * bits] = cin ? ~0ull : 0;
+        auto v = nl.simulate(pi);
+        unsigned sum = 0;
+        for (unsigned i = 0; i <= bits; ++i) {
+          sum |= static_cast<unsigned>(v[nl.outputs()[i]] & 1ull) << i;
+        }
+        EXPECT_EQ(sum, a + b + cin) << a << "+" << b << "+" << cin;
+      }
+    }
+  }
+}
+
+TEST(Gen, ComparatorOrdersCorrectly) {
+  const unsigned bits = 3;
+  Netlist nl = make_comparator(bits);
+  ASSERT_EQ(nl.outputs().size(), 3u);
+  for (unsigned a = 0; a < 8; ++a) {
+    for (unsigned b = 0; b < 8; ++b) {
+      std::vector<std::uint64_t> pi(2 * bits);
+      for (unsigned i = 0; i < bits; ++i) {
+        pi[i] = (a >> i) & 1u ? ~0ull : 0;
+        pi[bits + i] = (b >> i) & 1u ? ~0ull : 0;
+      }
+      auto v = nl.simulate(pi);
+      EXPECT_EQ(v[nl.outputs()[0]] & 1ull, a < b ? 1u : 0u) << a << "<" << b;
+      EXPECT_EQ(v[nl.outputs()[1]] & 1ull, a == b ? 1u : 0u) << a << "==" << b;
+      EXPECT_EQ(v[nl.outputs()[2]] & 1ull, a > b ? 1u : 0u) << a << ">" << b;
+    }
+  }
+}
+
+TEST(Gen, DecoderOneHot) {
+  Netlist nl = make_decoder(3);
+  ASSERT_EQ(nl.outputs().size(), 8u);
+  for (unsigned s = 0; s < 8; ++s) {
+    std::vector<std::uint64_t> pi(3);
+    for (unsigned i = 0; i < 3; ++i) pi[i] = (s >> i) & 1u ? ~0ull : 0;
+    auto v = nl.simulate(pi);
+    for (unsigned o = 0; o < 8; ++o) {
+      EXPECT_EQ(v[nl.outputs()[o]] & 1ull, o == s ? 1u : 0u) << "s=" << s;
+    }
+  }
+}
+
+TEST(Gen, MuxSelectsCorrectly) {
+  Netlist nl = make_mux_tree(2);
+  ASSERT_EQ(nl.inputs().size(), 6u);  // 4 data + 2 select
+  for (unsigned s = 0; s < 4; ++s) {
+    for (unsigned d = 0; d < 16; ++d) {
+      std::vector<std::uint64_t> pi(6);
+      for (unsigned i = 0; i < 4; ++i) pi[i] = (d >> i) & 1u ? ~0ull : 0;
+      for (unsigned i = 0; i < 2; ++i) pi[4 + i] = (s >> i) & 1u ? ~0ull : 0;
+      auto v = nl.simulate(pi);
+      EXPECT_EQ(v[nl.outputs()[0]] & 1ull, (d >> s) & 1u) << "s=" << s << " d=" << d;
+    }
+  }
+}
+
+TEST(Gen, ParityTreeComputesParity) {
+  Netlist nl = make_parity_tree(5);
+  for (unsigned x = 0; x < 32; ++x) {
+    std::vector<std::uint64_t> pi(5);
+    for (unsigned i = 0; i < 5; ++i) pi[i] = (x >> i) & 1u ? ~0ull : 0;
+    auto v = nl.simulate(pi);
+    EXPECT_EQ(v[nl.outputs()[0]] & 1ull, __builtin_popcount(x) & 1u);
+  }
+}
+
+TEST(Gen, AluSliceOpsCorrect) {
+  const unsigned bits = 3;
+  Netlist nl = make_alu_slice(bits);
+  for (unsigned op = 0; op < 4; ++op) {
+    for (unsigned a = 0; a < 8; a += 3) {
+      for (unsigned b = 0; b < 8; b += 2) {
+        std::vector<std::uint64_t> pi(2 * bits + 2);
+        for (unsigned i = 0; i < bits; ++i) {
+          pi[i] = (a >> i) & 1u ? ~0ull : 0;
+          pi[bits + i] = (b >> i) & 1u ? ~0ull : 0;
+        }
+        pi[2 * bits] = op & 1u ? ~0ull : 0;
+        pi[2 * bits + 1] = op & 2u ? ~0ull : 0;
+        auto v = nl.simulate(pi);
+        unsigned y = 0;
+        for (unsigned i = 0; i < bits; ++i) {
+          y |= static_cast<unsigned>(v[nl.outputs()[i]] & 1ull) << i;
+        }
+        unsigned expect = 0;
+        switch (op) {
+          case 0: expect = a & b; break;
+          case 1: expect = a | b; break;
+          case 2: expect = a ^ b; break;
+          case 3: expect = (a + b) & 7u; break;
+        }
+        EXPECT_EQ(y, expect) << "op=" << op << " a=" << a << " b=" << b;
+      }
+    }
+  }
+}
+
+TEST(Gen, MultiplierMultipliesCorrectly) {
+  const unsigned bits = 4;
+  Netlist nl = make_multiplier(bits);
+  ASSERT_EQ(nl.inputs().size(), 2 * bits);
+  ASSERT_EQ(nl.outputs().size(), 2 * bits);
+  for (unsigned a = 0; a < 16; ++a) {
+    for (unsigned b = 0; b < 16; ++b) {
+      std::vector<std::uint64_t> pi(2 * bits);
+      for (unsigned i = 0; i < bits; ++i) {
+        pi[i] = (a >> i) & 1u ? ~0ull : 0;
+        pi[bits + i] = (b >> i) & 1u ? ~0ull : 0;
+      }
+      auto v = nl.simulate(pi);
+      unsigned p = 0;
+      for (unsigned i = 0; i < 2 * bits; ++i) {
+        p |= static_cast<unsigned>(v[nl.outputs()[i]] & 1ull) << i;
+      }
+      EXPECT_EQ(p, a * b) << a << "*" << b;
+    }
+  }
+}
+
+TEST(Gen, MultiplierPathCountExplodes) {
+  // The array multiplier is the c6288-style path-rich circuit.
+  EXPECT_GT(count_paths(make_multiplier(8)).total, 100000u);
+}
+
+TEST(Gen, SyntheticIsDeterministic) {
+  SyntheticOptions opt;
+  opt.seed = 7;
+  Netlist a = make_synthetic(opt);
+  Netlist b = make_synthetic(opt);
+  ASSERT_EQ(a.size(), b.size());
+  Rng rng(1);
+  EXPECT_TRUE(check_equivalent(a, b, rng).equivalent);
+}
+
+TEST(Gen, SyntheticMeetsBudgets) {
+  SyntheticOptions opt;
+  opt.inputs = 12;
+  opt.outputs = 8;
+  opt.gates = 200;
+  Netlist nl = make_synthetic(opt);
+  EXPECT_EQ(nl.inputs().size(), 12u);
+  EXPECT_GE(nl.outputs().size(), 4u);
+  // The budget is approximate: unselected sinks are swept as dead logic.
+  EXPECT_GE(nl.gate_count(), 100u);
+  EXPECT_TRUE(nl.check().empty()) << nl.check();
+  EXPECT_GT(count_paths(nl).total, nl.gate_count());
+}
+
+TEST(Gen, SuiteBuildsAllEntries) {
+  for (const auto& e : benchmark_suite()) {
+    Netlist nl = make_benchmark(e.name);
+    EXPECT_TRUE(nl.check().empty()) << e.name << ": " << nl.check();
+    EXPECT_FALSE(nl.outputs().empty()) << e.name;
+    EXPECT_EQ(nl.name(), e.name);
+  }
+}
+
+TEST(Gen, UnknownBenchmarkThrows) {
+  EXPECT_THROW(make_benchmark("nope"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace compsyn

@@ -1,0 +1,157 @@
+// End-to-end pipeline tests: the full Section 5 flow (irredundant start ->
+// Procedure 2/3 -> redundancy removal -> testability measurements) wired
+// through every subsystem at once, on real suite circuits.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "atpg/redundancy.hpp"
+#include "bench_io/bench_io.hpp"
+#include "core/resynth.hpp"
+#include "delay/nonenum.hpp"
+#include "delay/robust.hpp"
+#include "faults/fault_sim.hpp"
+#include "gen/circuits.hpp"
+#include "netlist/equivalence.hpp"
+#include "paths/paths.hpp"
+#include "rar/rar.hpp"
+#include "techmap/techmap.hpp"
+#include "util/rng.hpp"
+
+namespace compsyn {
+namespace {
+
+class PaperFlow : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(PaperFlow, Procedure2PipelineInvariants) {
+  Netlist nl = make_benchmark(GetParam());
+  remove_redundancies(nl);
+  Netlist original = nl.compacted();
+  const std::uint64_t g0 = original.equivalent_gate_count();
+  const std::uint64_t p0 = count_paths(original).total;
+
+  ResynthStats st = procedure2(nl, 5);
+  remove_redundancies(nl);
+
+  // Function preserved through the whole pipeline.
+  Rng rng(1);
+  auto eq = check_equivalent(original, nl, rng, 128);
+  ASSERT_TRUE(eq.equivalent) << GetParam() << ": " << eq.message;
+  // Procedure 2 invariants.
+  EXPECT_LE(nl.equivalent_gate_count(), g0) << GetParam();
+  EXPECT_LE(count_paths(nl).total, p0) << GetParam();
+  EXPECT_EQ(st.gates_before, g0) << GetParam();
+  // Structural health.
+  EXPECT_TRUE(nl.check().empty()) << GetParam() << ": " << nl.check();
+  // The result round-trips through the .bench format.
+  Netlist again = read_bench_string(write_bench_string(nl.compacted()));
+  Rng rng2(2);
+  EXPECT_TRUE(check_equivalent(nl, again, rng2, 64).equivalent) << GetParam();
+}
+
+TEST_P(PaperFlow, Procedure3ReducesPathsAtLeastAsMuch) {
+  Netlist base = make_benchmark(GetParam());
+  remove_redundancies(base);
+  Netlist for2 = base.compacted();
+  Netlist for3 = base.compacted();
+  procedure2(for2, 5);
+  procedure3(for3, 5);
+  EXPECT_LE(count_paths(for3).total, count_paths(for2).total) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Suite, PaperFlow,
+                         ::testing::Values("c17", "s27", "add8", "cmp8", "alu4",
+                                           "syn150"));
+
+TEST(Integration, TestabilityClaimsOnSyn150) {
+  // The paper's two headline testability claims, end to end.
+  Netlist nl = make_benchmark("syn150");
+  remove_redundancies(nl);
+  Netlist original = nl.compacted();
+  procedure2(nl, 6);
+  remove_redundancies(nl);
+
+  // (1) Random-pattern stuck-at testability does not deteriorate.
+  Rng r1(99), r2(99);
+  const auto saf_orig = random_saf_experiment(original, r1, 1 << 16);
+  const auto saf_mod = random_saf_experiment(nl, r2, 1 << 16);
+  EXPECT_LE(saf_mod.remaining, saf_orig.remaining);
+
+  // (2) Robust PDF coverage rises: fewer total faults, similar detections.
+  Rng r3(7), r4(7);
+  const auto pdf_orig = random_robust_pdf(original, r3, 2000, 100000);
+  const auto pdf_mod = random_robust_pdf(nl, r4, 2000, 100000);
+  EXPECT_LT(pdf_mod.total_faults, pdf_orig.total_faults);
+  const double cov_orig = static_cast<double>(pdf_orig.detected) /
+                          static_cast<double>(pdf_orig.total_faults);
+  const double cov_mod = static_cast<double>(pdf_mod.detected) /
+                         static_cast<double>(pdf_mod.total_faults);
+  EXPECT_GT(cov_mod, cov_orig);
+}
+
+TEST(Integration, BaselinePlusProcedure2Composition) {
+  Netlist nl = make_benchmark("syn150");
+  remove_redundancies(nl);
+  Netlist original = nl.compacted();
+
+  RarOptions ropt;
+  ropt.max_adds = 8;
+  rar_optimize(nl, ropt);
+  Netlist after_rar = nl.compacted();
+  procedure2(nl, 5);
+
+  Rng rng(5);
+  EXPECT_TRUE(check_equivalent(original, nl, rng, 128).equivalent);
+  // Procedure 2 after the baseline cannot increase gates or paths.
+  EXPECT_LE(nl.equivalent_gate_count(), after_rar.equivalent_gate_count());
+  EXPECT_LE(count_paths(nl).total, count_paths(after_rar).total);
+}
+
+TEST(Integration, MappingTracksGateReduction) {
+  Netlist nl = make_benchmark("syn300");
+  remove_redundancies(nl);
+  const TechmapResult before = technology_map(nl);
+  procedure2(nl, 6);
+  const TechmapResult after = technology_map(nl);
+  // Mapped area must move in the same direction as the equivalent-gate
+  // count (the Table 4 observation); allow a small tolerance for library
+  // granularity.
+  EXPECT_LT(after.area, before.area + before.area / 10);
+}
+
+TEST(Integration, NonEnumBoundsBracketTable7Simulation) {
+  Netlist nl = make_benchmark("cmp8");
+  remove_redundancies(nl);
+  Rng r1(3), r2(3);
+  RobustPdfSimulator sim(nl);
+  NonEnumerativePdfEstimator est(nl);
+  const std::size_t n = nl.inputs().size();
+  std::vector<bool> v1(n), v2(n);
+  for (int p = 0; p < 1000; ++p) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint64_t r = r1.next();
+      v1[i] = r & 1;
+      v2[i] = (r >> 1) & 1;
+    }
+    sim.apply(v1, v2);
+    est.apply(v1, v2);
+  }
+  EXPECT_LE(est.lower_bound(), sim.detected_count());
+  EXPECT_GE(est.upper_bound(), sim.detected_count());
+}
+
+TEST(Integration, ScanCircuitFullFlow) {
+  // s27 exercises the DFF scan conversion path end to end.
+  Netlist nl = make_s27();
+  EXPECT_TRUE(is_irredundant(nl));
+  Netlist original = nl.compacted();
+  ResynthStats st = procedure3(nl, 5);
+  EXPECT_LT(st.paths_after, st.paths_before);
+  Rng rng(11);
+  auto eq = check_equivalent(original, nl, rng);
+  EXPECT_TRUE(eq.equivalent) << eq.message;
+  EXPECT_TRUE(eq.exhaustive);
+}
+
+}  // namespace
+}  // namespace compsyn

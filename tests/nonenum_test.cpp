@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include "delay/nonenum.hpp"
+#include "delay/robust.hpp"
+#include "gen/circuits.hpp"
+#include "paths/paths.hpp"
+#include "util/rng.hpp"
+
+namespace compsyn {
+namespace {
+
+Netlist small_circuit() {
+  Netlist nl("s");
+  NodeId a = nl.add_input();
+  NodeId b = nl.add_input();
+  NodeId c = nl.add_input();
+  NodeId nb = nl.add_gate(GateType::Not, {b});
+  NodeId g1 = nl.add_gate(GateType::And, {a, nb});
+  NodeId g2 = nl.add_gate(GateType::Or, {g1, c});
+  NodeId g3 = nl.add_gate(GateType::Nand, {g1, b});
+  nl.mark_output(g2);
+  nl.mark_output(g3);
+  return nl;
+}
+
+TEST(NonEnum, TotalFaultsMatchesExactWhenSmall) {
+  Netlist nl = small_circuit();
+  NonEnumerativePdfEstimator est(nl);
+  EXPECT_EQ(est.total_faults(), 2 * count_paths(nl).total);
+}
+
+TEST(NonEnum, PerPairLowerBoundIsExactSinglePairCount) {
+  Netlist nl = small_circuit();
+  Rng rng(5);
+  const std::size_t n = nl.inputs().size();
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<bool> v1(n), v2(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      v1[i] = rng.flip();
+      v2[i] = rng.flip();
+    }
+    NonEnumerativePdfEstimator est(nl);
+    est.apply(v1, v2);
+    RobustPdfSimulator sim(nl);
+    const std::uint64_t exact = sim.apply(v1, v2);
+    EXPECT_EQ(est.lower_bound(), exact) << "trial " << trial;
+    // A single pair's upper bound must also contain the exact set.
+    EXPECT_GE(est.upper_bound(), exact);
+  }
+}
+
+TEST(NonEnum, BoundsBracketExactUnionOverManyPairs) {
+  for (const char* name : {"c17", "s27", "cmp8"}) {
+    Netlist nl = make_benchmark(name);
+    Rng r1(9), r2(9);
+    NonEnumerativePdfEstimator est(nl);
+    RobustPdfSimulator sim(nl);
+    const std::size_t n = nl.inputs().size();
+    std::vector<bool> v1(n), v2(n);
+    for (int pair = 0; pair < 400; ++pair) {
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::uint64_t r = r1.next();
+        v1[i] = r & 1;
+        v2[i] = (r >> 1) & 1;
+      }
+      est.apply(v1, v2);
+      sim.apply(v1, v2);
+      ASSERT_LE(est.lower_bound(), sim.detected_count()) << name << " @ " << pair;
+      ASSERT_GE(est.upper_bound(), sim.detected_count()) << name << " @ " << pair;
+    }
+    EXPECT_LE(est.upper_bound(), est.total_faults());
+  }
+}
+
+TEST(NonEnum, LowerBoundMonotone) {
+  Netlist nl = make_benchmark("cmp8");
+  Rng rng(11);
+  NonEnumerativePdfEstimator est(nl);
+  const std::size_t n = nl.inputs().size();
+  std::vector<bool> v1(n), v2(n);
+  std::uint64_t prev = 0;
+  for (int pair = 0; pair < 200; ++pair) {
+    for (std::size_t i = 0; i < n; ++i) {
+      v1[i] = rng.flip();
+      v2[i] = rng.flip();
+    }
+    est.apply(v1, v2);
+    EXPECT_GE(est.lower_bound(), prev);
+    prev = est.lower_bound();
+  }
+}
+
+TEST(NonEnum, HandlesHugePathCountsWithoutOverflow) {
+  // A 14x14 multiplier's path count is astronomically large; the estimator
+  // must saturate rather than overflow (count_paths would throw).
+  Netlist nl = make_multiplier(14);
+  NonEnumerativePdfEstimator est(nl);
+  EXPECT_GT(est.total_faults(), 1ull << 32);
+  Rng rng(3);
+  const std::size_t n = nl.inputs().size();
+  std::vector<bool> v1(n), v2(n);
+  for (int pair = 0; pair < 10; ++pair) {
+    for (std::size_t i = 0; i < n; ++i) {
+      v1[i] = rng.flip();
+      v2[i] = rng.flip();
+    }
+    est.apply(v1, v2);
+  }
+  EXPECT_LE(est.lower_bound(), est.upper_bound());
+  EXPECT_LE(est.upper_bound(), est.total_faults());
+}
+
+TEST(NonEnum, DriverReportsConsistentBounds) {
+  Netlist nl = make_benchmark("alu4");
+  Rng rng(13);
+  auto res = random_nonenum_pdf(nl, rng, 500);
+  EXPECT_EQ(res.pairs_applied, 500u);
+  EXPECT_LE(res.lower, res.upper);
+  EXPECT_LE(res.upper, res.total_faults);
+  EXPECT_GT(res.lower, 0u);
+}
+
+}  // namespace
+}  // namespace compsyn

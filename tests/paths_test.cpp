@@ -1,0 +1,219 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <stdexcept>
+
+#include "bench_io/bench_io.hpp"
+#include "paths/paths.hpp"
+
+namespace compsyn {
+namespace {
+
+TEST(PathCount, SingleGate) {
+  Netlist nl("g");
+  NodeId a = nl.add_input();
+  NodeId b = nl.add_input();
+  NodeId g = nl.add_gate(GateType::And, {a, b});
+  nl.mark_output(g);
+  auto pc = count_paths(nl);
+  EXPECT_EQ(pc.total, 2u);
+  EXPECT_EQ(pc.np[g], 2u);
+  EXPECT_EQ(pc.np[a], 1u);
+}
+
+TEST(PathCount, ChainHasOnePathPerInput) {
+  Netlist nl("chain");
+  NodeId a = nl.add_input();
+  NodeId prev = a;
+  for (int i = 0; i < 10; ++i) prev = nl.add_gate(GateType::Not, {prev});
+  nl.mark_output(prev);
+  EXPECT_EQ(count_paths(nl).total, 1u);
+}
+
+TEST(PathCount, ReconvergentFanoutMultiplies) {
+  // a fans out to two NOTs that reconverge: 2 paths.
+  Netlist nl("recon");
+  NodeId a = nl.add_input();
+  NodeId n1 = nl.add_gate(GateType::Not, {a});
+  NodeId n2 = nl.add_gate(GateType::Buf, {a});
+  NodeId g = nl.add_gate(GateType::And, {n1, n2});
+  nl.mark_output(g);
+  EXPECT_EQ(count_paths(nl).total, 2u);
+}
+
+TEST(PathCount, OutputBranchesCountPerOutput) {
+  // One stem marked as feeding two outputs through separate gates.
+  Netlist nl("mo");
+  NodeId a = nl.add_input();
+  NodeId b = nl.add_input();
+  NodeId g = nl.add_gate(GateType::And, {a, b});
+  NodeId o1 = nl.add_gate(GateType::Buf, {g});
+  NodeId o2 = nl.add_gate(GateType::Not, {g});
+  nl.mark_output(o1);
+  nl.mark_output(o2);
+  EXPECT_EQ(count_paths(nl).total, 4u);
+}
+
+TEST(PathCount, ConstantsContributeNoPaths) {
+  Netlist nl("k");
+  NodeId a = nl.add_input();
+  NodeId k = nl.add_const(true);
+  NodeId g = nl.add_gate(GateType::And, {a, k});
+  nl.mark_output(g);
+  EXPECT_EQ(count_paths(nl).total, 1u);
+}
+
+/// Builds the SOP f = sum of products over already-created literal nodes.
+/// Each product term lists (input index, positive?) pairs.
+NodeId build_sop(Netlist& nl, const std::vector<NodeId>& x,
+                 const std::vector<std::vector<std::pair<int, bool>>>& terms) {
+  std::map<int, NodeId> inverted;
+  std::vector<NodeId> ands;
+  for (const auto& term : terms) {
+    std::vector<NodeId> lits;
+    for (auto [i, pos] : term) {
+      if (pos) {
+        lits.push_back(x[i]);
+      } else {
+        auto it = inverted.find(i);
+        if (it == inverted.end()) {
+          it = inverted.emplace(i, nl.add_gate(GateType::Not, {x[i]})).first;
+        }
+        lits.push_back(it->second);
+      }
+    }
+    ands.push_back(nl.add_gate(GateType::And, lits));
+  }
+  return nl.add_gate(GateType::Or, ands);
+}
+
+// Section 2 example: inputs with N_p = 10, 100, 20, 20 feed
+// f_{1,1} = ~x1 x2 x4 + x1 ~x2 ~x3 + x2 ~x3 x4, whose literal counts are
+// K_p = (2, 3, 2, 2), giving N_p(f) = 2*10 + 3*100 + 2*20 + 2*20 = 400.
+// (The paper prints 310 for this sum, which is an arithmetic typo:
+// 20 + 300 + 40 + 40 = 400. The K_p values themselves match.)
+TEST(PathCount, PaperSection2Example) {
+  Netlist nl("sec2");
+  std::vector<NodeId> pi, x;
+  const int mult[4] = {10, 100, 20, 20};
+  for (int i = 0; i < 4; ++i) {
+    pi.push_back(nl.add_input());
+    // Give input i exactly mult[i] paths by driving it through a gate with
+    // mult[i] duplicate fanins.
+    std::vector<NodeId> dup(mult[i], pi[i]);
+    x.push_back(nl.add_gate(GateType::Or, dup));
+  }
+  NodeId f = build_sop(nl, x,
+                       {{{0, false}, {1, true}, {3, true}},
+                        {{0, true}, {1, false}, {2, false}},
+                        {{1, true}, {2, false}, {3, true}}});
+  nl.mark_output(f);
+  EXPECT_EQ(count_paths(nl).total, 400u);
+}
+
+// The K_p-weighted formula N_p(g) = sum N_p(leaf) * K_p(leaf) from Section 2,
+// checked on an arbitrary two-level implementation.
+TEST(PathCount, KpWeightedFormulaHolds) {
+  Netlist nl("kp");
+  std::vector<NodeId> x;
+  for (int i = 0; i < 3; ++i) x.push_back(nl.add_input());
+  NodeId f = build_sop(nl, x,
+                       {{{0, true}, {1, true}},
+                        {{1, false}, {2, true}},
+                        {{0, false}, {2, false}}});
+  nl.mark_output(f);
+  // Literal counts: x0: 2, x1: 2, x2: 2; all inputs have N_p = 1.
+  EXPECT_EQ(count_paths(nl).total, 6u);
+}
+
+TEST(PathCount, OverflowThrows) {
+  Netlist nl("ovf");
+  NodeId prev = nl.add_input();
+  for (int i = 0; i < 70; ++i) prev = nl.add_gate(GateType::And, {prev, prev});
+  nl.mark_output(prev);
+  EXPECT_THROW(count_paths(nl), std::overflow_error);
+}
+
+Netlist c17() {
+  return read_bench_string(R"(
+INPUT(1)
+INPUT(2)
+INPUT(3)
+INPUT(6)
+INPUT(7)
+OUTPUT(22)
+OUTPUT(23)
+10 = NAND(1, 3)
+11 = NAND(3, 6)
+16 = NAND(2, 11)
+19 = NAND(11, 7)
+22 = NAND(10, 16)
+23 = NAND(16, 19)
+)", "c17");
+}
+
+TEST(PathCount, C17HasElevenPaths) {
+  // By hand: 22 <- {10:{1,3}, 16:{2, 11:{3,6}}} = 2+1+2 = 5
+  //          23 <- {16:{2,11:{3,6}}, 19:{11:{3,6}, 7}} = 3+3 = 6
+  EXPECT_EQ(count_paths(c17()).total, 11u);
+}
+
+TEST(PathEnum, MatchesCountAndIdsAreDense) {
+  Netlist nl = c17();
+  auto pc = count_paths(nl);
+  auto paths = enumerate_paths(nl);
+  ASSERT_EQ(paths.size(), pc.total);
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    EXPECT_EQ(paths[i].id, i) << "ids must be dense and in order";
+    // Path structure: starts at an input, ends at an output, consecutive
+    // nodes are fanin-connected.
+    const auto& p = paths[i].nodes;
+    EXPECT_EQ(nl.node(p.front()).type, GateType::Input);
+    EXPECT_TRUE(nl.node(p.back()).is_output);
+    for (std::size_t j = 1; j < p.size(); ++j) {
+      bool connected = false;
+      for (NodeId f : nl.node(p[j]).fanins) connected |= f == p[j - 1];
+      EXPECT_TRUE(connected) << "path " << i << " hop " << j;
+    }
+  }
+}
+
+TEST(PathEnum, CapRespected) {
+  Netlist nl = c17();
+  auto paths = enumerate_paths(nl, 4);
+  EXPECT_EQ(paths.size(), 4u);
+}
+
+TEST(PathEnum, PathFromIdInvertsEnumeration) {
+  Netlist nl = c17();
+  auto pc = count_paths(nl);
+  auto paths = enumerate_paths(nl);
+  for (const auto& p : paths) {
+    Path q = path_from_id(nl, pc, p.id);
+    EXPECT_EQ(q.nodes, p.nodes) << "id " << p.id;
+  }
+}
+
+TEST(PathCount, DeadNodesIgnored) {
+  Netlist nl("dead");
+  NodeId a = nl.add_input();
+  NodeId b = nl.add_input();
+  NodeId g = nl.add_gate(GateType::And, {a, b});
+  NodeId junk = nl.add_gate(GateType::Or, {a, b});
+  (void)junk;
+  nl.mark_output(g);
+  nl.sweep();
+  EXPECT_EQ(count_paths(nl).total, 2u);
+}
+
+TEST(PathCount, OutputOffsetsPartitionIds) {
+  Netlist nl = c17();
+  auto pc = count_paths(nl);
+  ASSERT_EQ(pc.output_offsets.size(), 3u);
+  EXPECT_EQ(pc.output_offsets[0], 0u);
+  EXPECT_EQ(pc.output_offsets[1], 5u);
+  EXPECT_EQ(pc.output_offsets[2], 11u);
+}
+
+}  // namespace
+}  // namespace compsyn

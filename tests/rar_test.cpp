@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include "gen/circuits.hpp"
+#include "netlist/equivalence.hpp"
+#include "paths/paths.hpp"
+#include "rar/rar.hpp"
+#include "util/rng.hpp"
+
+namespace compsyn {
+namespace {
+
+TEST(Extraction, SharedPairExtractedOnce) {
+  // Two AND3 gates sharing the pair (a, b): extraction saves one equivalent
+  // gate (2x AND3 = 4 equiv -> 2x AND2 + AND2 divisor = 3 equiv).
+  Netlist nl("x");
+  NodeId a = nl.add_input("a");
+  NodeId b = nl.add_input("b");
+  NodeId c = nl.add_input("c");
+  NodeId d = nl.add_input("d");
+  NodeId g1 = nl.add_gate(GateType::And, {a, b, c});
+  NodeId g2 = nl.add_gate(GateType::And, {a, b, d});
+  nl.mark_output(g1);
+  nl.mark_output(g2);
+  Netlist ref = nl.compacted();
+  EXPECT_EQ(nl.equivalent_gate_count(), 4u);
+  const unsigned created = extract_common_pairs(nl);
+  EXPECT_EQ(created, 1u);
+  EXPECT_EQ(nl.equivalent_gate_count(), 3u);
+  Rng rng(1);
+  auto res = check_equivalent(nl, ref, rng);
+  EXPECT_TRUE(res.equivalent) << res.message;
+  EXPECT_TRUE(res.exhaustive);
+}
+
+TEST(Extraction, WorksForNorFamily) {
+  Netlist nl("x");
+  NodeId a = nl.add_input();
+  NodeId b = nl.add_input();
+  NodeId c = nl.add_input();
+  NodeId d = nl.add_input();
+  NodeId g1 = nl.add_gate(GateType::Nor, {a, b, c});
+  NodeId g2 = nl.add_gate(GateType::Nor, {a, b, d});
+  NodeId g3 = nl.add_gate(GateType::Or, {a, b, c, d});
+  nl.mark_output(g1);
+  nl.mark_output(g2);
+  nl.mark_output(g3);
+  Netlist ref = nl.compacted();
+  const std::uint64_t before = nl.equivalent_gate_count();
+  extract_common_pairs(nl);
+  EXPECT_LT(nl.equivalent_gate_count(), before);
+  Rng rng(2);
+  EXPECT_TRUE(check_equivalent(nl, ref, rng).equivalent);
+}
+
+TEST(Extraction, PathCountNotIncreased) {
+  Netlist nl = make_benchmark("syn150");
+  const std::uint64_t paths_before = count_paths(nl).total;
+  extract_common_pairs(nl);
+  EXPECT_LE(count_paths(nl).total, paths_before);
+}
+
+TEST(Extraction, NoPairNoChange) {
+  Netlist nl("none");
+  NodeId a = nl.add_input();
+  NodeId b = nl.add_input();
+  NodeId g = nl.add_gate(GateType::And, {a, b});
+  nl.mark_output(g);
+  EXPECT_EQ(extract_common_pairs(nl), 0u);
+}
+
+TEST(Rar, PreservesFunctionOnSuiteCircuits) {
+  for (const char* name : {"add8", "cmp8", "syn150"}) {
+    Netlist nl = make_benchmark(name);
+    Netlist ref = nl.compacted();
+    RarOptions opt;
+    opt.max_adds = 8;
+    opt.seed = 3;
+    RarStats st = rar_optimize(nl, opt);
+    EXPECT_LE(st.gates_after, st.gates_before) << name;
+    Rng rng(4);
+    auto res = check_equivalent(nl, ref, rng, /*random_words=*/128);
+    EXPECT_TRUE(res.equivalent) << name << ": " << res.message;
+    EXPECT_TRUE(nl.check().empty()) << name << ": " << nl.check();
+  }
+}
+
+TEST(Rar, ReducesGatesOnSopHeavyCircuit) {
+  // Synthetic circuits carry two-level SOP blobs; extraction plus RAR must
+  // find substantial sharing.
+  Netlist nl = make_benchmark("syn300");
+  RarOptions opt;
+  opt.max_adds = 10;
+  RarStats st = rar_optimize(nl, opt);
+  EXPECT_LT(st.gates_after, st.gates_before);
+}
+
+TEST(Rar, StatsConsistent) {
+  Netlist nl = make_benchmark("syn150");
+  const std::uint64_t g0 = nl.equivalent_gate_count();
+  const std::uint64_t p0 = count_paths(nl).total;
+  RarOptions opt;
+  opt.max_adds = 4;
+  RarStats st = rar_optimize(nl, opt);
+  EXPECT_EQ(st.gates_before, g0);
+  EXPECT_EQ(st.paths_before, p0);
+  EXPECT_EQ(st.gates_after, nl.equivalent_gate_count());
+  EXPECT_EQ(st.paths_after, count_paths(nl).total);
+}
+
+TEST(Rar, IngredientsCanBeDisabled) {
+  Netlist nl = make_benchmark("syn150");
+  Netlist ref = nl.compacted();
+  RarOptions opt;
+  opt.run_extraction = false;
+  opt.run_addition_removal = false;
+  opt.run_redundancy_removal = false;
+  RarStats st = rar_optimize(nl, opt);
+  EXPECT_EQ(st.extracted, 0u);
+  EXPECT_EQ(st.additions, 0u);
+  Rng rng(5);
+  EXPECT_TRUE(check_equivalent(nl, ref, rng).equivalent);
+}
+
+TEST(Rar, AdditionRemovalAloneKeepsFunction) {
+  Netlist nl = make_benchmark("cmp8");
+  Netlist ref = nl.compacted();
+  RarOptions opt;
+  opt.run_extraction = false;
+  opt.run_redundancy_removal = false;
+  opt.max_adds = 6;
+  opt.seed = 11;
+  rar_optimize(nl, opt);
+  Rng rng(6);
+  auto res = check_equivalent(nl, ref, rng);
+  EXPECT_TRUE(res.equivalent) << res.message;
+  EXPECT_TRUE(res.exhaustive);
+}
+
+}  // namespace
+}  // namespace compsyn

@@ -1,0 +1,253 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "bench_io/bench_io.hpp"
+#include "core/resynth.hpp"
+#include "netlist/equivalence.hpp"
+#include "paths/paths.hpp"
+#include "util/rng.hpp"
+
+namespace compsyn {
+namespace {
+
+/// Builds a naive two-level SOP for an interval function [lo, hi] over n
+/// inputs: one AND per minterm, ORed together -- maximally wasteful, so the
+/// procedures have something to find.
+Netlist interval_sop(unsigned n, std::uint32_t lo, std::uint32_t hi) {
+  Netlist nl("sop");
+  std::vector<NodeId> x, xn;
+  for (unsigned i = 0; i < n; ++i) x.push_back(nl.add_input("x" + std::to_string(i)));
+  for (unsigned i = 0; i < n; ++i) xn.push_back(nl.add_gate(GateType::Not, {x[i]}));
+  std::vector<NodeId> terms;
+  for (std::uint32_t m = lo; m <= hi; ++m) {
+    std::vector<NodeId> lits;
+    for (unsigned i = 0; i < n; ++i) {
+      lits.push_back(((m >> (n - 1 - i)) & 1u) ? x[i] : xn[i]);
+    }
+    terms.push_back(nl.add_gate(GateType::And, lits));
+  }
+  NodeId out = terms.size() == 1 ? terms[0] : nl.add_gate(GateType::Or, terms);
+  nl.mark_output(out);
+  return nl;
+}
+
+/// A deterministic random multilevel circuit for property tests.
+Netlist random_circuit(Rng& rng, unsigned n_in, unsigned n_gates, unsigned n_out) {
+  Netlist nl("rand");
+  std::vector<NodeId> pool;
+  for (unsigned i = 0; i < n_in; ++i) pool.push_back(nl.add_input());
+  const GateType kinds[] = {GateType::And, GateType::Or,   GateType::Nand,
+                            GateType::Nor, GateType::Not,  GateType::And,
+                            GateType::Or,  GateType::Xor};
+  for (unsigned i = 0; i < n_gates; ++i) {
+    const GateType t = kinds[rng.below(8)];
+    const unsigned arity = t == GateType::Not ? 1 : 2 + rng.below(2);
+    std::vector<NodeId> fi;
+    for (unsigned j = 0; j < arity; ++j) {
+      fi.push_back(pool[rng.below(pool.size())]);
+    }
+    pool.push_back(nl.add_gate(t, fi));
+  }
+  for (unsigned i = 0; i < n_out; ++i) {
+    nl.mark_output(pool[pool.size() - 1 - i]);
+  }
+  nl.sweep();
+  return nl;
+}
+
+TEST(Resynth, SopOfIntervalCollapsesToUnit) {
+  // Minterm-level SOP of [1,6] over 3 vars: 6 AND3 terms + one OR6 = 17
+  // equivalent gates, 18 paths. The comparison unit needs 5 gates, 6 paths.
+  // Reaching the full cone requires expanding through intermediate cones
+  // wider than K (the expand_slack extension).
+  Netlist nl = interval_sop(3, 1, 6);
+  Netlist ref = nl.compacted();
+  const std::uint64_t gates_before = nl.equivalent_gate_count();
+  EXPECT_EQ(gates_before, 17u);
+  const std::uint64_t paths_before = count_paths(nl).total;
+  ResynthOptions opt;
+  opt.objective = ResynthObjective::Gates;
+  opt.k = 5;
+  opt.cone_slack = 8;
+  opt.max_cones = 5000;
+  ResynthStats st = resynthesize(nl, opt);
+  EXPECT_GT(st.replacements, 0u);
+  EXPECT_LT(nl.equivalent_gate_count(), gates_before);
+  EXPECT_LT(count_paths(nl).total, paths_before);
+  EXPECT_LE(nl.equivalent_gate_count(), 5u);
+  Rng rng(1);
+  auto res = check_equivalent(nl, ref, rng);
+  EXPECT_TRUE(res.equivalent) << res.message;
+  EXPECT_TRUE(res.exhaustive);
+}
+
+TEST(Resynth, Procedure2NeverIncreasesGatesOrChangesFunction) {
+  Rng rng(1234);
+  for (int trial = 0; trial < 15; ++trial) {
+    Netlist nl = random_circuit(rng, 6 + trial % 4, 25 + trial * 3, 3);
+    if (nl.outputs().empty()) continue;
+    Netlist ref = nl.compacted();
+    const std::uint64_t gates_before = nl.equivalent_gate_count();
+    ResynthStats st = procedure2(nl, 5);
+    EXPECT_LE(st.gates_after, gates_before) << "trial " << trial;
+    EXPECT_EQ(st.gates_after, nl.equivalent_gate_count());
+    Rng r2(trial);
+    auto res = check_equivalent(nl, ref, r2);
+    EXPECT_TRUE(res.equivalent) << "trial " << trial << ": " << res.message;
+    EXPECT_TRUE(nl.check().empty()) << nl.check();
+  }
+}
+
+TEST(Resynth, Procedure3NeverIncreasesPathsOrChangesFunction) {
+  Rng rng(777);
+  for (int trial = 0; trial < 15; ++trial) {
+    Netlist nl = random_circuit(rng, 6 + trial % 4, 25 + trial * 3, 3);
+    if (nl.outputs().empty()) continue;
+    Netlist ref = nl.compacted();
+    const std::uint64_t paths_before = count_paths(nl).total;
+    ResynthStats st = procedure3(nl, 5);
+    EXPECT_LE(st.paths_after, paths_before) << "trial " << trial;
+    Rng r2(trial);
+    auto res = check_equivalent(nl, ref, r2);
+    EXPECT_TRUE(res.equivalent) << "trial " << trial << ": " << res.message;
+  }
+}
+
+TEST(Resynth, StatsAreConsistent) {
+  Netlist nl = interval_sop(4, 3, 12);
+  const std::uint64_t g0 = nl.equivalent_gate_count();
+  const std::uint64_t p0 = count_paths(nl).total;
+  ResynthStats st = procedure2(nl, 6);
+  EXPECT_EQ(st.gates_before, g0);
+  EXPECT_EQ(st.paths_before, p0);
+  EXPECT_EQ(st.gates_after, nl.equivalent_gate_count());
+  EXPECT_EQ(st.paths_after, count_paths(nl).total);
+  EXPECT_GE(st.passes, 1u);
+  EXPECT_GE(st.cones_considered, st.comparison_cones);
+}
+
+TEST(Resynth, C17IsStable) {
+  Netlist nl = read_bench_string(R"(
+INPUT(1)
+INPUT(2)
+INPUT(3)
+INPUT(6)
+INPUT(7)
+OUTPUT(22)
+OUTPUT(23)
+10 = NAND(1, 3)
+11 = NAND(3, 6)
+16 = NAND(2, 11)
+19 = NAND(11, 7)
+22 = NAND(10, 16)
+23 = NAND(16, 19)
+)", "c17");
+  Netlist ref = nl.compacted();
+  ResynthStats st = procedure2(nl, 5);
+  EXPECT_LE(st.gates_after, st.gates_before);
+  EXPECT_LE(st.paths_after, st.paths_before);
+  Rng rng(3);
+  auto res = check_equivalent(nl, ref, rng);
+  EXPECT_TRUE(res.equivalent) << res.message;
+  EXPECT_TRUE(res.exhaustive);
+}
+
+TEST(Resynth, ConstantConeEliminated) {
+  // g = AND(a, NOT(a), b): constant 0; Procedure 2 must fold it away.
+  Netlist nl("const");
+  NodeId a = nl.add_input();
+  NodeId b = nl.add_input();
+  NodeId na = nl.add_gate(GateType::Not, {a});
+  NodeId g = nl.add_gate(GateType::And, {a, na, b});
+  NodeId out = nl.add_gate(GateType::Or, {g, b});
+  nl.mark_output(out);
+  Netlist ref = nl.compacted();
+  ResynthStats st = procedure2(nl, 5);
+  (void)st;
+  EXPECT_LE(nl.equivalent_gate_count(), 1u);
+  Rng rng(4);
+  EXPECT_TRUE(check_equivalent(nl, ref, rng).equivalent);
+}
+
+TEST(Resynth, RedundantLiteralDropsViaSupportReduction) {
+  // g = (a AND b) OR (a AND NOT b) == a: support reduction inside the cone
+  // should let the procedures simplify it to a wire.
+  Netlist nl("vac");
+  NodeId a = nl.add_input();
+  NodeId b = nl.add_input();
+  NodeId nb = nl.add_gate(GateType::Not, {b});
+  NodeId t1 = nl.add_gate(GateType::And, {a, b});
+  NodeId t2 = nl.add_gate(GateType::And, {a, nb});
+  NodeId g = nl.add_gate(GateType::Or, {t1, t2});
+  NodeId out = nl.add_gate(GateType::And, {g, b});
+  nl.mark_output(out);
+  Netlist ref = nl.compacted();
+  procedure2(nl, 5);
+  EXPECT_LE(nl.equivalent_gate_count(), 1u);  // just AND(a, b) remains
+  Rng rng(5);
+  auto res = check_equivalent(nl, ref, rng);
+  EXPECT_TRUE(res.equivalent) << res.message;
+}
+
+TEST(Resynth, CombinedObjectiveBetweenExtremes) {
+  Rng rng(55);
+  Netlist base = random_circuit(rng, 8, 60, 4);
+  Netlist for2 = base.compacted();
+  Netlist for3 = base.compacted();
+  Netlist forC = base.compacted();
+  procedure2(for2, 5);
+  procedure3(for3, 5);
+  ResynthOptions copt;
+  copt.objective = ResynthObjective::Combined;
+  copt.k = 5;
+  copt.allow_gate_increase = true;
+  resynthesize(forC, copt);
+  // The combined run must preserve the function...
+  Rng r2(56);
+  EXPECT_TRUE(check_equivalent(forC, base, r2).equivalent);
+  // ... and improve (or hold) the combined measure it optimizes. Individual
+  // metrics may trade off, but their weighted sum cannot get worse.
+  const double before = static_cast<double>(base.equivalent_gate_count()) +
+                        static_cast<double>(count_paths(base).total);
+  const double after = static_cast<double>(forC.equivalent_gate_count()) +
+                       static_cast<double>(count_paths(forC).total);
+  EXPECT_LE(after, before);
+}
+
+TEST(Resynth, SampledIdentificationAlsoWorks) {
+  Rng rng(66);
+  Netlist nl = interval_sop(4, 5, 10);
+  Netlist ref = nl.compacted();
+  ResynthOptions opt;
+  opt.objective = ResynthObjective::Gates;
+  opt.k = 5;
+  opt.identify.exact = false;
+  opt.identify.sample_tries = 200;
+  opt.identify.rng = &rng;
+  ResynthStats st = resynthesize(nl, opt);
+  EXPECT_LE(st.gates_after, st.gates_before);
+  Rng r2(67);
+  EXPECT_TRUE(check_equivalent(nl, ref, r2).equivalent);
+}
+
+TEST(Resynth, RespectsMaxPasses) {
+  Netlist nl = interval_sop(4, 1, 14);
+  ResynthOptions opt;
+  opt.max_passes = 1;
+  ResynthStats st = resynthesize(nl, opt);
+  EXPECT_EQ(st.passes, 1u);
+}
+
+TEST(Resynth, PreservesPrimaryOutputCount) {
+  Rng rng(88);
+  Netlist nl = random_circuit(rng, 8, 40, 5);
+  const std::size_t n_out = nl.outputs().size();
+  const std::size_t n_in = nl.inputs().size();
+  procedure2(nl, 5);
+  EXPECT_EQ(nl.outputs().size(), n_out);
+  EXPECT_EQ(nl.inputs().size(), n_in);
+}
+
+}  // namespace
+}  // namespace compsyn

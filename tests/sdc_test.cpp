@@ -1,0 +1,217 @@
+#include <gtest/gtest.h>
+
+#include "core/resynth.hpp"
+#include "core/sdc.hpp"
+#include "netlist/equivalence.hpp"
+#include "paths/paths.hpp"
+#include "util/rng.hpp"
+
+namespace compsyn {
+namespace {
+
+TEST(Reachability, ComplementaryPairExcludesEqualCombos) {
+  Netlist nl("r");
+  NodeId a = nl.add_input();
+  NodeId na = nl.add_gate(GateType::Not, {a});
+  nl.mark_output(na);
+  ReachabilityTable reach(nl);
+  TruthTable combos = reach.reachable_combos({a, na});
+  // (a, ~a) can only be 01 or 10.
+  EXPECT_FALSE(combos.get(0b00));
+  EXPECT_TRUE(combos.get(0b01));
+  EXPECT_TRUE(combos.get(0b10));
+  EXPECT_FALSE(combos.get(0b11));
+}
+
+TEST(Reachability, AndOrImplicationVisible) {
+  // u = a AND b, v = a OR b: (u, v) = (1, 0) is unreachable.
+  Netlist nl("uv");
+  NodeId a = nl.add_input();
+  NodeId b = nl.add_input();
+  NodeId u = nl.add_gate(GateType::And, {a, b});
+  NodeId v = nl.add_gate(GateType::Or, {a, b});
+  nl.mark_output(u);
+  nl.mark_output(v);
+  ReachabilityTable reach(nl);
+  TruthTable combos = reach.reachable_combos({u, v});
+  EXPECT_TRUE(combos.get(0b00));
+  EXPECT_TRUE(combos.get(0b01));
+  EXPECT_FALSE(combos.get(0b10));
+  EXPECT_TRUE(combos.get(0b11));
+}
+
+TEST(Reachability, IndependentInputsFullyReachable) {
+  Netlist nl("ind");
+  NodeId a = nl.add_input();
+  NodeId b = nl.add_input();
+  NodeId c = nl.add_input();
+  NodeId g = nl.add_gate(GateType::And, {a, b, c});
+  nl.mark_output(g);
+  ReachabilityTable reach(nl);
+  EXPECT_TRUE(reach.reachable_combos({a, b, c}).is_const_one());
+}
+
+TEST(Reachability, TooManyInputsRejected) {
+  Netlist nl("big");
+  std::vector<NodeId> ins;
+  for (int i = 0; i < 18; ++i) ins.push_back(nl.add_input());
+  nl.mark_output(nl.add_gate(GateType::And, ins));
+  EXPECT_THROW(ReachabilityTable(nl, 16), std::invalid_argument);
+}
+
+TEST(Reachability, UnknownNodeConservative) {
+  Netlist nl("u");
+  NodeId a = nl.add_input();
+  nl.mark_output(nl.add_gate(GateType::Not, {a}));
+  ReachabilityTable reach(nl);
+  NodeId later = nl.add_gate(GateType::Buf, {a});
+  EXPECT_TRUE(reach.reachable_combos({a, later}).is_const_one());
+}
+
+TEST(IdentifyDc, DontCaresFillGaps) {
+  // ON = {0, 3}: 0 maps to 0 under every permutation and 011 can never map
+  // to 001, so no permutation makes the pair contiguous (nor the
+  // complement) -- NOT a comparison function. With minterms {1, 2} as
+  // don't-cares the window [0, 3] becomes valid.
+  TruthTable f(3);
+  f.set(0, true);
+  f.set(3, true);
+  TruthTable care = TruthTable::from_function(
+      3, [](std::uint32_t m) { return m != 1 && m != 2; });
+  // Plain identification must fail on the completed-with-0 function...
+  EXPECT_TRUE(identify_comparison(f).empty());
+  // ... while the DC-aware search succeeds.
+  auto specs = identify_comparison_dc(f, care);
+  ASSERT_FALSE(specs.empty());
+  for (const auto& s : specs) {
+    // Verify the spec agrees with f on every care minterm.
+    const TruthTable impl = s.to_truth_table();
+    for (std::uint32_t m = 0; m < 8; ++m) {
+      if (care.get(m)) EXPECT_EQ(impl.get(m), f.get(m)) << "minterm " << m;
+    }
+  }
+}
+
+TEST(IdentifyDc, FullCareMatchesPlainEngine) {
+  Rng rng(41);
+  TruthTable care = TruthTable::from_function(4, [](std::uint32_t) { return true; });
+  int agreements = 0;
+  for (int trial = 0; trial < 100; ++trial) {
+    TruthTable f = TruthTable::from_function(4, [&](std::uint32_t) { return rng.flip(); });
+    if (f.is_const_zero() || f.is_const_one()) continue;
+    const bool plain = !identify_comparison(f).empty();
+    IdentifyOptions opt;
+    opt.sample_tries = 200;
+    opt.rng = &rng;
+    const bool with_dc = !identify_comparison_dc(f, care, opt).empty();
+    // The sampled DC engine may miss (it is a heuristic) but must never
+    // find a spec for something the exact engine proves impossible.
+    if (with_dc) EXPECT_TRUE(plain) << f.to_bits();
+    agreements += plain == with_dc;
+  }
+  EXPECT_GT(agreements, 80);
+}
+
+TEST(IdentifyDc, SpecsAlwaysSoundOnRandomIsfs) {
+  Rng rng(43);
+  for (int trial = 0; trial < 200; ++trial) {
+    const unsigned n = 3 + trial % 2;
+    TruthTable f = TruthTable::from_function(n, [&](std::uint32_t) { return rng.flip(); });
+    TruthTable care = TruthTable::from_function(
+        n, [&](std::uint32_t) { return rng.chance(3, 4); });
+    for (const auto& s : identify_comparison_dc(f, care)) {
+      const TruthTable impl = s.to_truth_table();
+      for (std::uint32_t m = 0; m < f.num_minterms(); ++m) {
+        if (care.get(m)) {
+          ASSERT_EQ(impl.get(m), f.get(m))
+              << "f=" << f.to_bits() << " care=" << care.to_bits() << " m=" << m;
+        }
+      }
+    }
+  }
+}
+
+TEST(SdcResynthesis, PreservesCircuitFunction) {
+  // The critical safety property: SDC-based rewrites may change cone
+  // functions on unreachable combinations only, so the circuit function as
+  // seen from the primary inputs must be exactly preserved.
+  Rng gen(91);
+  for (int trial = 0; trial < 10; ++trial) {
+    Netlist nl("s");
+    std::vector<NodeId> pool;
+    for (int i = 0; i < 8; ++i) pool.push_back(nl.add_input());
+    const GateType kinds[] = {GateType::And, GateType::Or, GateType::Nand,
+                              GateType::Nor, GateType::Not, GateType::Xor};
+    for (int i = 0; i < 30; ++i) {
+      const GateType t = kinds[gen.below(6)];
+      const unsigned arity = t == GateType::Not ? 1 : 2 + gen.below(2);
+      std::vector<NodeId> fi;
+      for (unsigned j = 0; j < arity; ++j) fi.push_back(pool[gen.below(pool.size())]);
+      pool.push_back(nl.add_gate(t, fi));
+    }
+    nl.mark_output(pool.back());
+    nl.mark_output(pool[pool.size() - 2]);
+    nl.sweep();
+    Netlist ref = nl.compacted();
+    ResynthOptions opt;
+    opt.k = 5;
+    opt.use_sdc = true;
+    resynthesize(nl, opt);
+    Rng rng(trial);
+    auto res = check_equivalent(nl, ref, rng);
+    ASSERT_TRUE(res.equivalent) << "trial " << trial << ": " << res.message;
+    ASSERT_TRUE(res.exhaustive);
+  }
+}
+
+TEST(SdcResynthesis, CorrelatedConesNeverWorseThanPlain) {
+  // Strongly correlated cone leaves: u = AND(a,b), v = OR(a,b),
+  // w = XOR(a,b). Only the (u,v,w) combinations {000, 011, 110} are
+  // reachable, so the don't-care engine sees windows the plain engine
+  // cannot. (Plain cone absorption can often re-express the same cone over
+  // the independent signals, so strict improvement is not guaranteed at
+  // circuit level -- see IdentifyDc.DontCaresFillGaps for the strict
+  // identification-level win; here we require soundness and no regression.)
+  // a and b themselves come from wider disjoint logic so that cones at the
+  // output cannot absorb past (u, v, w) with K = 3 (the full-support cone
+  // would need 4 leaves).
+  Netlist nl("corr");
+  NodeId p = nl.add_input();
+  NodeId q = nl.add_input();
+  NodeId r = nl.add_input();
+  NodeId s = nl.add_input();
+  NodeId a = nl.add_gate(GateType::And, {p, q});
+  NodeId b = nl.add_gate(GateType::Or, {r, s});
+  NodeId u = nl.add_gate(GateType::And, {a, b});
+  NodeId v = nl.add_gate(GateType::Or, {a, b});
+  NodeId w = nl.add_gate(GateType::Xor, {a, b});
+  NodeId nu = nl.add_gate(GateType::Not, {u});
+  NodeId nw = nl.add_gate(GateType::Not, {w});
+  // f = ~u v w + u v ~w  (minterms 3 and 6 of (u,v,w)).
+  NodeId t1 = nl.add_gate(GateType::And, {nu, v, w});
+  NodeId t2 = nl.add_gate(GateType::And, {u, v, nw});
+  NodeId f = nl.add_gate(GateType::Or, {t1, t2});
+  nl.mark_output(f);
+  Netlist ref = nl.compacted();
+
+  Netlist plain = nl.compacted();
+  ResynthOptions popt;
+  popt.objective = ResynthObjective::Gates;
+  popt.k = 3;
+  resynthesize(plain, popt);
+
+  ResynthOptions opt;
+  opt.objective = ResynthObjective::Gates;
+  opt.k = 3;
+  opt.use_sdc = true;
+  resynthesize(nl, opt);
+  Rng rng(7);
+  auto res = check_equivalent(nl, ref, rng);
+  EXPECT_TRUE(res.equivalent) << res.message;
+  EXPECT_TRUE(res.exhaustive);
+  // The don't-care engine only ADDS candidate windows, so it never loses.
+  EXPECT_LE(nl.equivalent_gate_count(), plain.equivalent_gate_count());
+}
+
+}  // namespace
+}  // namespace compsyn

@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include "core/truth_table.hpp"
+#include "util/rng.hpp"
+
+namespace compsyn {
+namespace {
+
+TEST(TruthTable, ZeroVarTable) {
+  TruthTable t(0);
+  EXPECT_EQ(t.num_minterms(), 1u);
+  EXPECT_FALSE(t.get(0));
+  t.set(0, true);
+  EXPECT_TRUE(t.get(0));
+  EXPECT_TRUE(t.is_const_one());
+}
+
+TEST(TruthTable, SetGetRoundTrip) {
+  TruthTable t(4);
+  for (std::uint32_t m = 0; m < 16; m += 3) t.set(m, true);
+  for (std::uint32_t m = 0; m < 16; ++m) EXPECT_EQ(t.get(m), m % 3 == 0);
+  EXPECT_EQ(t.count_ones(), 6u);
+}
+
+TEST(TruthTable, FromBitsAndBack) {
+  const std::string bits = "0110100110010110";  // 4-var parity-ish
+  TruthTable t = TruthTable::from_bits(bits);
+  EXPECT_EQ(t.num_vars(), 4u);
+  EXPECT_EQ(t.to_bits(), bits);
+}
+
+TEST(TruthTable, FromBitsRejectsBadInput) {
+  EXPECT_THROW(TruthTable::from_bits("011"), std::invalid_argument);
+  EXPECT_THROW(TruthTable::from_bits("01x1"), std::invalid_argument);
+}
+
+TEST(TruthTable, TooManyVarsRejected) {
+  EXPECT_THROW(TruthTable(17), std::invalid_argument);
+}
+
+TEST(TruthTable, MsbConvention) {
+  // f = x1 (variable 0 is the MSB): ON minterms are the upper half.
+  TruthTable t = TruthTable::from_function(3, [](std::uint32_t m) { return m >= 4; });
+  const auto on = t.on_set();
+  ASSERT_EQ(on.size(), 4u);
+  EXPECT_EQ(on.front(), 4u);
+  EXPECT_EQ(on.back(), 7u);
+  // Cofactor on variable 0 (the MSB).
+  EXPECT_TRUE(t.cofactor(0, true).is_const_one());
+  EXPECT_TRUE(t.cofactor(0, false).is_const_zero());
+}
+
+TEST(TruthTable, ComplementAndConsts) {
+  TruthTable t(5);
+  EXPECT_TRUE(t.is_const_zero());
+  TruthTable c = t.complemented();
+  EXPECT_TRUE(c.is_const_one());
+  EXPECT_EQ(c.count_ones(), 32u);
+  EXPECT_EQ(c.complemented(), t);
+}
+
+TEST(TruthTable, Complement6VarMasksNothing) {
+  TruthTable t(6);
+  t.set(0, true);
+  TruthTable c = t.complemented();
+  EXPECT_EQ(c.count_ones(), 63u);
+  EXPECT_FALSE(c.get(0));
+  EXPECT_TRUE(c.get(63));
+}
+
+TEST(TruthTable, PermutedIdentity) {
+  Rng rng(1);
+  TruthTable t = TruthTable::from_function(4, [&](std::uint32_t) { return rng.flip(); });
+  EXPECT_EQ(t.permuted({0, 1, 2, 3}), t);
+}
+
+TEST(TruthTable, PermutedSwapsVariables) {
+  // f = x1 (MSB). After moving variable 1 into position 0, f = x2' ... i.e.
+  // the permuted function should be "variable at position 1".
+  TruthTable t = TruthTable::from_function(2, [](std::uint32_t m) { return m >= 2; });
+  TruthTable p = t.permuted({1, 0});
+  // p(b0 b1) = t(b1 b0): ON where the new LSB (old MSB) is 1: minterms 1, 3.
+  EXPECT_FALSE(p.get(0));
+  EXPECT_TRUE(p.get(1));
+  EXPECT_FALSE(p.get(2));
+  EXPECT_TRUE(p.get(3));
+}
+
+TEST(TruthTable, PermutedComposes) {
+  Rng rng(7);
+  TruthTable t = TruthTable::from_function(5, [&](std::uint32_t) { return rng.flip(); });
+  const std::vector<unsigned> p1{2, 0, 4, 1, 3};
+  // Applying p1 then its inverse returns the original.
+  std::vector<unsigned> inv(5);
+  for (unsigned j = 0; j < 5; ++j) inv[p1[j]] = j;
+  EXPECT_EQ(t.permuted(p1).permuted(inv), t);
+}
+
+TEST(TruthTable, CofactorShannonExpansion) {
+  Rng rng(3);
+  TruthTable t = TruthTable::from_function(5, [&](std::uint32_t) { return rng.flip(); });
+  for (unsigned v = 0; v < 5; ++v) {
+    const TruthTable f0 = t.cofactor(v, false);
+    const TruthTable f1 = t.cofactor(v, true);
+    // Rebuild t from the cofactors.
+    const unsigned shift = 5 - 1 - v;
+    for (std::uint32_t m = 0; m < 32; ++m) {
+      const bool bit = (m >> shift) & 1u;
+      const std::uint32_t low = m & ((1u << shift) - 1u);
+      const std::uint32_t reduced = ((m >> (shift + 1)) << shift) | low;
+      EXPECT_EQ(t.get(m), bit ? f1.get(reduced) : f0.get(reduced));
+    }
+  }
+}
+
+TEST(TruthTable, VacuousAndSupport) {
+  // f = x1 AND x3 over 3 vars: variable 1 is vacuous.
+  TruthTable t = TruthTable::from_function(
+      3, [](std::uint32_t m) { return ((m >> 2) & 1u) && (m & 1u); });
+  EXPECT_FALSE(t.is_vacuous(0));
+  EXPECT_TRUE(t.is_vacuous(1));
+  EXPECT_FALSE(t.is_vacuous(2));
+  EXPECT_EQ(t.support(), (std::vector<unsigned>{0, 2}));
+  std::vector<unsigned> kept;
+  TruthTable r = t.support_reduced(&kept);
+  EXPECT_EQ(kept, (std::vector<unsigned>{0, 2}));
+  EXPECT_EQ(r.num_vars(), 2u);
+  // Reduced function is AND of its two vars: ON-set = {3}.
+  EXPECT_EQ(r.on_set(), (std::vector<std::uint32_t>{3}));
+}
+
+TEST(TruthTable, SupportReducedOfConstant) {
+  TruthTable t = TruthTable::from_function(4, [](std::uint32_t) { return true; });
+  TruthTable r = t.support_reduced();
+  EXPECT_EQ(r.num_vars(), 0u);
+  EXPECT_TRUE(r.is_const_one());
+}
+
+TEST(TruthTable, HashDiscriminates) {
+  TruthTable a = TruthTable::from_bits("01101001");
+  TruthTable b = TruthTable::from_bits("01101000");
+  EXPECT_NE(a.hash(), b.hash());
+  EXPECT_EQ(a.hash(), TruthTable::from_bits("01101001").hash());
+}
+
+TEST(TruthTable, OnSetSortedAscending) {
+  TruthTable t = TruthTable::from_bits("10010110");
+  const auto on = t.on_set();
+  EXPECT_EQ(on, (std::vector<std::uint32_t>{0, 3, 5, 6}));
+}
+
+}  // namespace
+}  // namespace compsyn

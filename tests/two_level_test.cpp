@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include "core/two_level.hpp"
+#include "netlist/equivalence.hpp"
+#include "util/rng.hpp"
+
+namespace compsyn {
+namespace {
+
+TruthTable random_table(Rng& rng, unsigned n) {
+  return TruthTable::from_function(n, [&](std::uint32_t) { return rng.flip(); });
+}
+
+TEST(Cube, CoversRespectsCareSet) {
+  // Over 3 vars: cube x1 ~x3 (care 101, value 100).
+  Cube c{0b101, 0b100};
+  EXPECT_TRUE(c.covers(0b100));
+  EXPECT_TRUE(c.covers(0b110));
+  EXPECT_FALSE(c.covers(0b101));
+  EXPECT_FALSE(c.covers(0b000));
+  EXPECT_EQ(c.literal_count(), 2u);
+}
+
+TEST(Primes, KnownExample) {
+  // f = ab + ~a c (3 vars a,b,c): primes are ab, ~ac, bc.
+  TruthTable f = TruthTable::from_function(3, [](std::uint32_t m) {
+    const bool a = m & 4, b = m & 2, c = m & 1;
+    return (a && b) || (!a && c);
+  });
+  const auto primes = prime_implicants(f);
+  EXPECT_EQ(primes.size(), 3u);
+  for (const Cube& p : primes) {
+    // Each prime must be an implicant.
+    for (std::uint32_t m = 0; m < 8; ++m) {
+      if (p.covers(m)) EXPECT_TRUE(f.get(m)) << m;
+    }
+  }
+}
+
+TEST(Primes, ConstantFunctions) {
+  TruthTable one = TruthTable::from_function(2, [](std::uint32_t) { return true; });
+  auto p = prime_implicants(one);
+  ASSERT_EQ(p.size(), 1u);
+  EXPECT_EQ(p[0].care, 0u);  // the tautology cube
+  TruthTable zero(2);
+  EXPECT_TRUE(prime_implicants(zero).empty());
+}
+
+TEST(Primes, EveryPrimeIsPrime) {
+  // Removing any literal from a prime must stop it being an implicant.
+  Rng rng(4);
+  for (int trial = 0; trial < 50; ++trial) {
+    const unsigned n = 3 + trial % 2;
+    TruthTable f = random_table(rng, n);
+    for (const Cube& p : prime_implicants(f)) {
+      for (unsigned v = 0; v < n; ++v) {
+        const std::uint32_t bit = 1u << (n - 1 - v);
+        if (!(p.care & bit)) continue;
+        Cube wider = p;
+        wider.care &= ~bit;
+        wider.value &= ~bit;
+        bool still_implicant = true;
+        for (std::uint32_t m = 0; m < f.num_minterms(); ++m) {
+          if (wider.covers(m) && !f.get(m)) still_implicant = false;
+        }
+        EXPECT_FALSE(still_implicant)
+            << "prime has a removable literal: " << f.to_bits();
+      }
+    }
+  }
+}
+
+TEST(Cover, EqualsFunctionOnRandomTables) {
+  Rng rng(9);
+  for (int trial = 0; trial < 200; ++trial) {
+    const unsigned n = 2 + trial % 4;
+    TruthTable f = random_table(rng, n);
+    const auto cover = irredundant_cover(f);
+    EXPECT_TRUE(cover_equals(cover, f)) << f.to_bits();
+  }
+}
+
+TEST(Cover, IsIrredundant) {
+  Rng rng(10);
+  for (int trial = 0; trial < 100; ++trial) {
+    const unsigned n = 3 + trial % 3;
+    TruthTable f = random_table(rng, n);
+    const auto cover = irredundant_cover(f);
+    // Dropping any single cube must break the cover.
+    for (std::size_t i = 0; i < cover.size(); ++i) {
+      std::vector<Cube> reduced;
+      for (std::size_t j = 0; j < cover.size(); ++j) {
+        if (j != i) reduced.push_back(cover[j]);
+      }
+      EXPECT_FALSE(cover_equals(reduced, f))
+          << "redundant cube in cover of " << f.to_bits();
+    }
+  }
+}
+
+TEST(Cover, AllCubesArePrimes) {
+  Rng rng(11);
+  for (int trial = 0; trial < 50; ++trial) {
+    TruthTable f = random_table(rng, 4);
+    const auto primes = prime_implicants(f);
+    for (const Cube& c : irredundant_cover(f)) {
+      EXPECT_NE(std::find(primes.begin(), primes.end(), c), primes.end());
+    }
+  }
+}
+
+TEST(Cover, IntervalFunctionsHaveCompactCovers) {
+  // [3, 12] over 4 vars has the classic 4-cube cover.
+  TruthTable f = TruthTable::from_function(
+      4, [](std::uint32_t m) { return m >= 3 && m <= 12; });
+  const auto cover = irredundant_cover(f);
+  EXPECT_TRUE(cover_equals(cover, f));
+  EXPECT_LE(cover.size(), 6u);
+}
+
+TEST(BuildSop, MatchesFunction) {
+  Rng rng(12);
+  for (int trial = 0; trial < 50; ++trial) {
+    const unsigned n = 2 + trial % 4;
+    TruthTable f = random_table(rng, n);
+    const auto cover = irredundant_cover(f);
+    Netlist nl("sop");
+    std::vector<NodeId> vars;
+    for (unsigned v = 0; v < n; ++v) vars.push_back(nl.add_input());
+    NodeId out = build_sop(nl, vars, cover, n);
+    nl.mark_output(out);
+    for (std::uint32_t m = 0; m < f.num_minterms(); ++m) {
+      std::vector<std::uint64_t> pi(n);
+      for (unsigned v = 0; v < n; ++v) pi[v] = ((m >> (n - 1 - v)) & 1u) ? ~0ull : 0;
+      EXPECT_EQ((nl.simulate(pi)[out] & 1ull) != 0, f.get(m))
+          << f.to_bits() << " @ " << m;
+    }
+  }
+}
+
+TEST(BuildSop, ConstantsHandled) {
+  Netlist nl("k");
+  std::vector<NodeId> vars{nl.add_input(), nl.add_input()};
+  NodeId zero = build_sop(nl, vars, {}, 2);
+  EXPECT_EQ(nl.node(zero).type, GateType::Const0);
+  NodeId one = build_sop(nl, vars, {{0, 0}}, 2);
+  EXPECT_EQ(nl.node(one).type, GateType::Const1);
+}
+
+}  // namespace
+}  // namespace compsyn

@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/unit_testgen.hpp"
+#include "delay/robust.hpp"
+#include "util/rng.hpp"
+
+namespace compsyn {
+namespace {
+
+ComparisonSpec make_spec(unsigned n, std::uint32_t lower, std::uint32_t upper,
+                         bool complemented = false) {
+  ComparisonSpec s;
+  s.n = n;
+  s.perm.resize(n);
+  std::iota(s.perm.begin(), s.perm.end(), 0u);
+  s.lower = lower;
+  s.upper = upper;
+  s.complemented = complemented;
+  return s;
+}
+
+// Section 3.3 / Table 1: the L=11, U=12 unit has 7 paths (one from the free
+// variable x1, two from each of x2..x4), i.e. 14 path delay faults, and all
+// of them are robustly testable.
+TEST(UnitTestgen, Table1UnitFullyTestable) {
+  const auto spec = make_spec(4, 11, 12);
+  UnitTestSet set = generate_unit_tests(spec);
+  EXPECT_TRUE(set.complete);
+  EXPECT_EQ(set.total_faults, 14u);
+  EXPECT_EQ(set.tests.size(), 14u);
+  for (const auto& t : set.tests) {
+    EXPECT_TRUE(robustly_tests(set.unit, t.path, t.rising, t.v1, t.v2));
+  }
+}
+
+TEST(UnitTestgen, Table1TestsAreConstructive) {
+  const auto spec = make_spec(4, 11, 12);
+  UnitTestSet set = generate_unit_tests(spec);
+  for (const auto& t : set.tests) {
+    EXPECT_TRUE(t.constructive)
+        << "the paper's recipe should cover every unit fault";
+  }
+}
+
+// Table 1 row 1: faults on x1 use x2x3x4 = 011 (the L_F value) held stable.
+TEST(UnitTestgen, Table1FreeVariableTestMatchesPaper) {
+  const auto spec = make_spec(4, 11, 12);
+  UnitTestSet set = generate_unit_tests(spec);
+  bool saw_free_var_test = false;
+  for (const auto& t : set.tests) {
+    if (t.path.nodes.front() != set.unit.inputs()[0]) continue;
+    saw_free_var_test = true;
+    // Static inputs must keep both blocks at 1 for both vectors: the
+    // non-free value must lie in [L_F, U_F] = [3, 4].
+    const unsigned v_static1 = (t.v1[1] << 2) | (t.v1[2] << 1) | t.v1[3];
+    const unsigned v_static2 = (t.v2[1] << 2) | (t.v2[2] << 1) | t.v2[3];
+    EXPECT_EQ(v_static1, v_static2) << "side inputs must be stable";
+    EXPECT_GE(v_static1, 3u);
+    EXPECT_LE(v_static1, 4u);
+    EXPECT_NE(t.v1[0], t.v2[0]);
+  }
+  EXPECT_TRUE(saw_free_var_test);
+}
+
+// The paper's central testability claim (Section 3.3): every comparison unit
+// is fully robustly testable for path delay faults. Checked exhaustively for
+// every (L, U) pair at each width.
+class UnitTestability : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(UnitTestability, AllUnitsFullyRobustlyTestable) {
+  const unsigned n = GetParam();
+  const std::uint32_t max = (1u << n) - 1;
+  for (std::uint32_t lower = 0; lower <= max; ++lower) {
+    for (std::uint32_t upper = lower; upper <= max; ++upper) {
+      const auto spec = make_spec(n, lower, upper);
+      UnitTestSet set = generate_unit_tests(spec);
+      EXPECT_TRUE(set.complete) << "n=" << n << " L=" << lower << " U=" << upper;
+      for (const auto& t : set.tests) {
+        ASSERT_TRUE(robustly_tests(set.unit, t.path, t.rising, t.v1, t.v2))
+            << "n=" << n << " L=" << lower << " U=" << upper;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, UnitTestability, ::testing::Values(1u, 2u, 3u, 4u),
+                         ::testing::PrintToStringParamName());
+
+TEST(UnitTestgen, ComplementedUnitsAlsoFullyTestable) {
+  for (std::uint32_t lower = 0; lower <= 6; ++lower) {
+    const auto spec = make_spec(3, lower, std::min(lower + 2, 7u), true);
+    UnitTestSet set = generate_unit_tests(spec);
+    EXPECT_TRUE(set.complete) << "L=" << lower;
+  }
+}
+
+TEST(UnitTestgen, RandomWiderUnitsFullyTestable) {
+  Rng rng(12);
+  for (int trial = 0; trial < 20; ++trial) {
+    const unsigned n = 5 + trial % 2;
+    const std::uint32_t max = (1u << n) - 1;
+    std::uint32_t lo = static_cast<std::uint32_t>(rng.below(max + 1));
+    std::uint32_t hi = static_cast<std::uint32_t>(rng.below(max + 1));
+    if (lo > hi) std::swap(lo, hi);
+    const auto spec = make_spec(n, lo, hi);
+    UnitTestSet set = generate_unit_tests(spec);
+    EXPECT_TRUE(set.complete) << "n=" << n << " L=" << lo << " U=" << hi;
+  }
+}
+
+TEST(UnitTestgen, TestCountMatchesPathFaultUniverse) {
+  const auto spec = make_spec(4, 5, 10);
+  UnitTestSet set = generate_unit_tests(spec);
+  const auto pc = count_paths(set.unit);
+  EXPECT_EQ(set.total_faults, 2 * pc.total);
+  EXPECT_EQ(set.tests.size(), set.total_faults);
+}
+
+TEST(UnitTestgen, PermutedSpecStillComplete) {
+  ComparisonSpec spec;
+  spec.n = 4;
+  spec.perm = {2, 0, 3, 1};
+  spec.lower = 5;
+  spec.upper = 11;
+  UnitTestSet set = generate_unit_tests(spec);
+  EXPECT_TRUE(set.complete);
+  for (const auto& t : set.tests) {
+    EXPECT_TRUE(robustly_tests(set.unit, t.path, t.rising, t.v1, t.v2));
+  }
+}
+
+}  // namespace
+}  // namespace compsyn
