@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_units.dir/ablation_units.cpp.o"
+  "CMakeFiles/ablation_units.dir/ablation_units.cpp.o.d"
+  "ablation_units"
+  "ablation_units.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_units.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_blocks.dir/fig_blocks.cpp.o"
+  "CMakeFiles/fig_blocks.dir/fig_blocks.cpp.o.d"
+  "fig_blocks"
+  "fig_blocks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_blocks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_unit_tests.dir/table1_unit_tests.cpp.o"
+  "CMakeFiles/table1_unit_tests.dir/table1_unit_tests.cpp.o.d"
+  "table1_unit_tests"
+  "table1_unit_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_unit_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_proc2.dir/table2_proc2.cpp.o"
+  "CMakeFiles/table2_proc2.dir/table2_proc2.cpp.o.d"
+  "table2_proc2"
+  "table2_proc2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_proc2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_rambo.dir/table3_rambo.cpp.o"
+  "CMakeFiles/table3_rambo.dir/table3_rambo.cpp.o.d"
+  "table3_rambo"
+  "table3_rambo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_rambo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

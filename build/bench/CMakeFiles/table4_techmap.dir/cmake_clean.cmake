@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_techmap.dir/table4_techmap.cpp.o"
+  "CMakeFiles/table4_techmap.dir/table4_techmap.cpp.o.d"
+  "table4_techmap"
+  "table4_techmap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_techmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

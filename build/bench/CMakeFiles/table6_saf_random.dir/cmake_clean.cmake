@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_saf_random.dir/table6_saf_random.cpp.o"
+  "CMakeFiles/table6_saf_random.dir/table6_saf_random.cpp.o.d"
+  "table6_saf_random"
+  "table6_saf_random.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_saf_random.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table7_pdf_random.dir/table7_pdf_random.cpp.o"
+  "CMakeFiles/table7_pdf_random.dir/table7_pdf_random.cpp.o.d"
+  "table7_pdf_random"
+  "table7_pdf_random.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_pdf_random.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adder_optimizer.dir/adder_optimizer.cpp.o"
+  "CMakeFiles/adder_optimizer.dir/adder_optimizer.cpp.o.d"
+  "adder_optimizer"
+  "adder_optimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adder_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resynth_flow.dir/resynth_flow.cpp.o"
+  "CMakeFiles/resynth_flow.dir/resynth_flow.cpp.o.d"
+  "resynth_flow"
+  "resynth_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resynth_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

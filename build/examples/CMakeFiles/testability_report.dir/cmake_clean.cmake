@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/testability_report.dir/testability_report.cpp.o"
+  "CMakeFiles/testability_report.dir/testability_report.cpp.o.d"
+  "testability_report"
+  "testability_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/testability_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compsyn_atpg.dir/podem.cpp.o"
+  "CMakeFiles/compsyn_atpg.dir/podem.cpp.o.d"
+  "CMakeFiles/compsyn_atpg.dir/redundancy.cpp.o"
+  "CMakeFiles/compsyn_atpg.dir/redundancy.cpp.o.d"
+  "libcompsyn_atpg.a"
+  "libcompsyn_atpg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compsyn_atpg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

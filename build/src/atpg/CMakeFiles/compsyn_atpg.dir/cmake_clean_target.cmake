@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcompsyn_atpg.a"
+)

@@ -1,0 +1,2 @@
+# Empty dependencies file for compsyn_atpg.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compsyn_bench_io.dir/bench_io.cpp.o"
+  "CMakeFiles/compsyn_bench_io.dir/bench_io.cpp.o.d"
+  "libcompsyn_bench_io.a"
+  "libcompsyn_bench_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compsyn_bench_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/comparison.cpp" "src/core/CMakeFiles/compsyn_core.dir/comparison.cpp.o" "gcc" "src/core/CMakeFiles/compsyn_core.dir/comparison.cpp.o.d"
+  "/root/repo/src/core/comparison_unit.cpp" "src/core/CMakeFiles/compsyn_core.dir/comparison_unit.cpp.o" "gcc" "src/core/CMakeFiles/compsyn_core.dir/comparison_unit.cpp.o.d"
+  "/root/repo/src/core/cones.cpp" "src/core/CMakeFiles/compsyn_core.dir/cones.cpp.o" "gcc" "src/core/CMakeFiles/compsyn_core.dir/cones.cpp.o.d"
+  "/root/repo/src/core/multi_unit.cpp" "src/core/CMakeFiles/compsyn_core.dir/multi_unit.cpp.o" "gcc" "src/core/CMakeFiles/compsyn_core.dir/multi_unit.cpp.o.d"
+  "/root/repo/src/core/resynth.cpp" "src/core/CMakeFiles/compsyn_core.dir/resynth.cpp.o" "gcc" "src/core/CMakeFiles/compsyn_core.dir/resynth.cpp.o.d"
+  "/root/repo/src/core/sdc.cpp" "src/core/CMakeFiles/compsyn_core.dir/sdc.cpp.o" "gcc" "src/core/CMakeFiles/compsyn_core.dir/sdc.cpp.o.d"
+  "/root/repo/src/core/truth_table.cpp" "src/core/CMakeFiles/compsyn_core.dir/truth_table.cpp.o" "gcc" "src/core/CMakeFiles/compsyn_core.dir/truth_table.cpp.o.d"
+  "/root/repo/src/core/two_level.cpp" "src/core/CMakeFiles/compsyn_core.dir/two_level.cpp.o" "gcc" "src/core/CMakeFiles/compsyn_core.dir/two_level.cpp.o.d"
+  "/root/repo/src/core/unit_testgen.cpp" "src/core/CMakeFiles/compsyn_core.dir/unit_testgen.cpp.o" "gcc" "src/core/CMakeFiles/compsyn_core.dir/unit_testgen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/compsyn_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/paths/CMakeFiles/compsyn_paths.dir/DependInfo.cmake"
+  "/root/repo/build/src/delay/CMakeFiles/compsyn_delay.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/compsyn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

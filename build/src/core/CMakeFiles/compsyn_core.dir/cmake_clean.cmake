@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compsyn_core.dir/comparison.cpp.o"
+  "CMakeFiles/compsyn_core.dir/comparison.cpp.o.d"
+  "CMakeFiles/compsyn_core.dir/comparison_unit.cpp.o"
+  "CMakeFiles/compsyn_core.dir/comparison_unit.cpp.o.d"
+  "CMakeFiles/compsyn_core.dir/cones.cpp.o"
+  "CMakeFiles/compsyn_core.dir/cones.cpp.o.d"
+  "CMakeFiles/compsyn_core.dir/multi_unit.cpp.o"
+  "CMakeFiles/compsyn_core.dir/multi_unit.cpp.o.d"
+  "CMakeFiles/compsyn_core.dir/resynth.cpp.o"
+  "CMakeFiles/compsyn_core.dir/resynth.cpp.o.d"
+  "CMakeFiles/compsyn_core.dir/sdc.cpp.o"
+  "CMakeFiles/compsyn_core.dir/sdc.cpp.o.d"
+  "CMakeFiles/compsyn_core.dir/truth_table.cpp.o"
+  "CMakeFiles/compsyn_core.dir/truth_table.cpp.o.d"
+  "CMakeFiles/compsyn_core.dir/two_level.cpp.o"
+  "CMakeFiles/compsyn_core.dir/two_level.cpp.o.d"
+  "CMakeFiles/compsyn_core.dir/unit_testgen.cpp.o"
+  "CMakeFiles/compsyn_core.dir/unit_testgen.cpp.o.d"
+  "libcompsyn_core.a"
+  "libcompsyn_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compsyn_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/delay/algebra.cpp" "src/delay/CMakeFiles/compsyn_delay.dir/algebra.cpp.o" "gcc" "src/delay/CMakeFiles/compsyn_delay.dir/algebra.cpp.o.d"
+  "/root/repo/src/delay/nonenum.cpp" "src/delay/CMakeFiles/compsyn_delay.dir/nonenum.cpp.o" "gcc" "src/delay/CMakeFiles/compsyn_delay.dir/nonenum.cpp.o.d"
+  "/root/repo/src/delay/robust.cpp" "src/delay/CMakeFiles/compsyn_delay.dir/robust.cpp.o" "gcc" "src/delay/CMakeFiles/compsyn_delay.dir/robust.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/compsyn_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/paths/CMakeFiles/compsyn_paths.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/compsyn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compsyn_delay.dir/algebra.cpp.o"
+  "CMakeFiles/compsyn_delay.dir/algebra.cpp.o.d"
+  "CMakeFiles/compsyn_delay.dir/nonenum.cpp.o"
+  "CMakeFiles/compsyn_delay.dir/nonenum.cpp.o.d"
+  "CMakeFiles/compsyn_delay.dir/robust.cpp.o"
+  "CMakeFiles/compsyn_delay.dir/robust.cpp.o.d"
+  "libcompsyn_delay.a"
+  "libcompsyn_delay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compsyn_delay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

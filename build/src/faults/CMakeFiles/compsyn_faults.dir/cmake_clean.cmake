@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compsyn_faults.dir/fault.cpp.o"
+  "CMakeFiles/compsyn_faults.dir/fault.cpp.o.d"
+  "CMakeFiles/compsyn_faults.dir/fault_sim.cpp.o"
+  "CMakeFiles/compsyn_faults.dir/fault_sim.cpp.o.d"
+  "libcompsyn_faults.a"
+  "libcompsyn_faults.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compsyn_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

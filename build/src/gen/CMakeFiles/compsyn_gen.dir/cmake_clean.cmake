@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compsyn_gen.dir/circuits.cpp.o"
+  "CMakeFiles/compsyn_gen.dir/circuits.cpp.o.d"
+  "libcompsyn_gen.a"
+  "libcompsyn_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compsyn_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

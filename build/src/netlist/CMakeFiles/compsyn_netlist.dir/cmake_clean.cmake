@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compsyn_netlist.dir/equivalence.cpp.o"
+  "CMakeFiles/compsyn_netlist.dir/equivalence.cpp.o.d"
+  "CMakeFiles/compsyn_netlist.dir/netlist.cpp.o"
+  "CMakeFiles/compsyn_netlist.dir/netlist.cpp.o.d"
+  "libcompsyn_netlist.a"
+  "libcompsyn_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compsyn_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compsyn_paths.dir/paths.cpp.o"
+  "CMakeFiles/compsyn_paths.dir/paths.cpp.o.d"
+  "libcompsyn_paths.a"
+  "libcompsyn_paths.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compsyn_paths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

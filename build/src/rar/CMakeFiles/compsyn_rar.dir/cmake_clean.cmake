@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compsyn_rar.dir/factor.cpp.o"
+  "CMakeFiles/compsyn_rar.dir/factor.cpp.o.d"
+  "CMakeFiles/compsyn_rar.dir/rar.cpp.o"
+  "CMakeFiles/compsyn_rar.dir/rar.cpp.o.d"
+  "libcompsyn_rar.a"
+  "libcompsyn_rar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compsyn_rar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

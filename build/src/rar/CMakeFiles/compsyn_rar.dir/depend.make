@@ -1,0 +1,2 @@
+# Empty dependencies file for compsyn_rar.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compsyn_techmap.dir/techmap.cpp.o"
+  "CMakeFiles/compsyn_techmap.dir/techmap.cpp.o.d"
+  "libcompsyn_techmap.a"
+  "libcompsyn_techmap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compsyn_techmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

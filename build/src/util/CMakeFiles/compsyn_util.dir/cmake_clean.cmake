@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compsyn_util.dir/cli.cpp.o"
+  "CMakeFiles/compsyn_util.dir/cli.cpp.o.d"
+  "CMakeFiles/compsyn_util.dir/rng.cpp.o"
+  "CMakeFiles/compsyn_util.dir/rng.cpp.o.d"
+  "CMakeFiles/compsyn_util.dir/strings.cpp.o"
+  "CMakeFiles/compsyn_util.dir/strings.cpp.o.d"
+  "CMakeFiles/compsyn_util.dir/table.cpp.o"
+  "CMakeFiles/compsyn_util.dir/table.cpp.o.d"
+  "libcompsyn_util.a"
+  "libcompsyn_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compsyn_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/comparison_test.cpp" "tests/CMakeFiles/comparison_test.dir/comparison_test.cpp.o" "gcc" "tests/CMakeFiles/comparison_test.dir/comparison_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rar/CMakeFiles/compsyn_rar.dir/DependInfo.cmake"
+  "/root/repo/build/src/atpg/CMakeFiles/compsyn_atpg.dir/DependInfo.cmake"
+  "/root/repo/build/src/faults/CMakeFiles/compsyn_faults.dir/DependInfo.cmake"
+  "/root/repo/build/src/techmap/CMakeFiles/compsyn_techmap.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/compsyn_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/bench_io/CMakeFiles/compsyn_bench_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/compsyn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/delay/CMakeFiles/compsyn_delay.dir/DependInfo.cmake"
+  "/root/repo/build/src/paths/CMakeFiles/compsyn_paths.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/compsyn_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/compsyn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/comparison_unit_test.dir/comparison_unit_test.cpp.o"
+  "CMakeFiles/comparison_unit_test.dir/comparison_unit_test.cpp.o.d"
+  "comparison_unit_test"
+  "comparison_unit_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comparison_unit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

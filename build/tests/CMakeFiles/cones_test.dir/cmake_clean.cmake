@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cones_test.dir/cones_test.cpp.o"
+  "CMakeFiles/cones_test.dir/cones_test.cpp.o.d"
+  "cones_test"
+  "cones_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cones_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

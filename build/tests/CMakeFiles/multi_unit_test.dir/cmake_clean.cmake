@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_unit_test.dir/multi_unit_test.cpp.o"
+  "CMakeFiles/multi_unit_test.dir/multi_unit_test.cpp.o.d"
+  "multi_unit_test"
+  "multi_unit_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_unit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

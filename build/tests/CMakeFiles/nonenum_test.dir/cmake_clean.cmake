@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nonenum_test.dir/nonenum_test.cpp.o"
+  "CMakeFiles/nonenum_test.dir/nonenum_test.cpp.o.d"
+  "nonenum_test"
+  "nonenum_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nonenum_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rar_test.dir/rar_test.cpp.o"
+  "CMakeFiles/rar_test.dir/rar_test.cpp.o.d"
+  "rar_test"
+  "rar_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rar_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resynth_test.dir/resynth_test.cpp.o"
+  "CMakeFiles/resynth_test.dir/resynth_test.cpp.o.d"
+  "resynth_test"
+  "resynth_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resynth_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

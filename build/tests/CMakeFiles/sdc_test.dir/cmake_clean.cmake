@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdc_test.dir/sdc_test.cpp.o"
+  "CMakeFiles/sdc_test.dir/sdc_test.cpp.o.d"
+  "sdc_test"
+  "sdc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

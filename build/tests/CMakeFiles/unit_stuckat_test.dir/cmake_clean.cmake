@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unit_stuckat_test.dir/unit_stuckat_test.cpp.o"
+  "CMakeFiles/unit_stuckat_test.dir/unit_stuckat_test.cpp.o.d"
+  "unit_stuckat_test"
+  "unit_stuckat_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unit_stuckat_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

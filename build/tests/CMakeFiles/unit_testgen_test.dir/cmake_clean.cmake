@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unit_testgen_test.dir/unit_testgen_test.cpp.o"
+  "CMakeFiles/unit_testgen_test.dir/unit_testgen_test.cpp.o.d"
+  "unit_testgen_test"
+  "unit_testgen_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unit_testgen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
