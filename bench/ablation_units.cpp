@@ -5,7 +5,7 @@
 //   * single-unit (paper) vs multi-unit replacement (Section 6, issue 2),
 //   * cone expand-slack 0 (paper's enumeration) vs the default slack.
 //
-// Flags: --circuits=a,b,c
+// Flags: --circuits=a,b,c   --report=<file>.json   --trace
 #include "bench/common.hpp"
 #include "util/table.hpp"
 
@@ -23,6 +23,7 @@ struct Variant {
 
 int main(int argc, char** argv) {
   Cli cli(argc, argv);
+  BenchRun run("ablation_units", cli);
   const auto circuits = select_circuits(cli, {"cmp8", "alu4", "syn150", "syn300"});
 
   std::vector<Variant> variants;
@@ -61,6 +62,7 @@ int main(int argc, char** argv) {
   Table t({"circuit", "variant", "gates", "paths", "replacements"});
   for (const std::string& name : circuits) {
     Netlist base = prepare_irredundant(name);
+    run.add_circuit("original", base);
     for (Variant& v : variants) {
       Netlist nl = base;
       Rng rng(42);
@@ -76,5 +78,6 @@ int main(int argc, char** argv) {
     }
   }
   t.print(std::cout);
-  return 0;
+  run.report().add_table("ablation", t);
+  return run.finish();
 }

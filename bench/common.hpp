@@ -13,12 +13,69 @@
 #include "gen/circuits.hpp"
 #include "netlist/equivalence.hpp"
 #include "netlist/netlist.hpp"
+#include "obs/counters.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
 #include "paths/paths.hpp"
 #include "util/cli.hpp"
 #include "util/rng.hpp"
 #include "util/strings.hpp"
 
 namespace compsyn::bench {
+
+/// Shared observability wiring for every table harness:
+///   --report=<file>   write a machine-readable JSON (or .jsonl) run report
+///   --trace           print the span/counter summary after the tables
+/// Either flag also enables runtime recording, so without them the binaries'
+/// stdout is byte-identical to an uninstrumented build.
+class BenchRun {
+ public:
+  BenchRun(std::string name, const Cli& cli) : cli_(cli), report_(std::move(name)) {
+    if (cli_.has("report") || cli_.has("trace")) obs_set_enabled(true);
+    Json flags = Json::object();
+    for (const auto& [flag, value] : cli_.flags()) flags.set(flag, value);
+    report_.set_meta("flags", std::move(flags));
+  }
+
+  RunReport& report() { return report_; }
+
+  /// Records the standard per-circuit stats line under the "circuits" section.
+  void add_circuit(const std::string& role, const Netlist& nl) {
+    Json rec = Json::object();
+    rec.set("role", role);
+    rec.set("name", nl.name());
+    rec.set("inputs", static_cast<std::uint64_t>(nl.inputs().size()));
+    rec.set("outputs", static_cast<std::uint64_t>(nl.outputs().size()));
+    rec.set("gates", nl.equivalent_gate_count());
+    rec.set("paths", count_paths(nl).total);
+    rec.set("depth", static_cast<std::uint64_t>(nl.depth()));
+    report_.add_record("circuits", std::move(rec));
+  }
+
+  /// Flag-gated sinks + unknown-flag warnings; returns a process exit code
+  /// (nonzero only when a requested report could not be written).
+  int finish() {
+    int rc = 0;
+    if (cli_.has("report")) {
+      const std::string path = cli_.get("report");
+      std::string err;
+      if (!report_.write(path, &err)) {
+        std::cerr << "error: " << err << "\n";
+        rc = 1;
+      }
+    }
+    if (cli_.has("trace")) {
+      std::cout << "\n";
+      report_.print_summary(std::cout);
+    }
+    cli_.warn_unrecognized(std::cerr);
+    return rc;
+  }
+
+ private:
+  const Cli& cli_;
+  RunReport report_;
+};
 
 /// Suite selection: --circuits=a,b,c overrides; --full includes the largest
 /// entries; the default keeps the whole binary in the tens-of-seconds range.

@@ -3,14 +3,18 @@
 // notation (000 / 111 stable, 0x1 rising, 1x0 falling) and validates every
 // test against the robust waveform algebra. Also re-checks the Section 3.3
 // claim: every path delay fault of the unit is robustly testable.
+//
+// Flags: --report=<file>.json   --trace
 #include <iostream>
 #include <numeric>
 
+#include "bench/common.hpp"
 #include "core/unit_testgen.hpp"
 #include "delay/robust.hpp"
 #include "util/table.hpp"
 
 using namespace compsyn;
+using namespace compsyn::bench;
 
 namespace {
 
@@ -21,7 +25,9 @@ std::string wave_str(bool v1, bool v2) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  BenchRun run("table1_unit_tests", cli);
   ComparisonSpec spec;
   spec.n = 4;
   spec.perm = {0, 1, 2, 3};
@@ -52,5 +58,12 @@ int main() {
             << "   tests generated: " << set.tests.size()
             << "   validated robust: " << validated
             << "   complete: " << (set.complete ? "yes" : "NO") << "\n";
-  return set.complete && validated == set.tests.size() ? 0 : 1;
+  run.report().set_meta("total_faults", static_cast<std::uint64_t>(set.total_faults));
+  run.report().set_meta("tests", static_cast<std::uint64_t>(set.tests.size()));
+  run.report().set_meta("validated", static_cast<std::uint64_t>(validated));
+  run.report().set_meta("complete", set.complete);
+  run.report().add_table("table1", t);
+  const int rc = run.finish();
+  const bool ok = set.complete && validated == set.tests.size();
+  return ok ? rc : 1;
 }

@@ -3,6 +3,7 @@
 // original, modified, and redundancy-removed circuits; paths likewise.
 //
 // Flags: --circuits=a,b,c   --full   --k=5,6 (Ks to try)
+//        --report=<file>.json   --trace   (see bench/common.hpp)
 #include "bench/common.hpp"
 #include "util/table.hpp"
 
@@ -11,6 +12,7 @@ using namespace compsyn::bench;
 
 int main(int argc, char** argv) {
   Cli cli(argc, argv);
+  BenchRun run("table2_proc2", cli);
   const auto circuits = select_circuits(
       cli, {"c17", "s27", "add8", "cmp8", "dec5", "mux4", "alu4", "syn150",
             "syn300", "syn600", "syn1000"});
@@ -18,12 +20,19 @@ int main(int argc, char** argv) {
   for (const std::string& s : split(cli.get("k", "5,6"), ',')) {
     if (!s.empty()) ks.push_back(static_cast<unsigned>(std::stoul(s)));
   }
+  run.report().set_meta("k", cli.get("k", "5,6"));
+  {
+    Json names = Json::array();
+    for (const std::string& c : circuits) names.push(c);
+    run.report().set_meta("circuits", std::move(names));
+  }
 
   std::cout << "Table 2: Results of Procedure 2 (reduce gates) + redundancy removal\n\n";
   Table t({"circuit(K)", "2inp orig", "2inp modif", "2inp red.rem", "paths orig",
            "paths modif", "paths red.rem"});
   for (const std::string& name : circuits) {
     Netlist orig = prepare_irredundant(name);
+    run.add_circuit("original", orig);
     const std::uint64_t g0 = orig.equivalent_gate_count();
     const std::uint64_t p0 = count_paths(orig).total;
 
@@ -52,5 +61,6 @@ int main(int argc, char** argv) {
   t.print(std::cout);
   std::cout << "\n(\"-\" means no redundant stuck-at faults were found after "
                "Procedure 2, as in the paper's blank entries.)\n";
-  return 0;
+  run.report().add_table("table2", t);
+  return run.finish();
 }

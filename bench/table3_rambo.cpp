@@ -4,6 +4,7 @@
 // of the RAR result (recovering paths while trimming a few more gates).
 //
 // Flags: --circuits=a,b,c  --k=5,6  --adds=N (RAR addition budget)
+//        --report=<file>.json   --trace
 #include "bench/common.hpp"
 #include "rar/rar.hpp"
 #include "util/table.hpp"
@@ -13,18 +14,21 @@ using namespace compsyn::bench;
 
 int main(int argc, char** argv) {
   Cli cli(argc, argv);
+  BenchRun run("table3_rambo", cli);
   const auto circuits =
       select_circuits(cli, {"cmp8", "alu4", "syn150", "syn300", "syn600"});
   std::vector<unsigned> ks;
   for (const std::string& s : split(cli.get("k", "5,6"), ',')) {
     if (!s.empty()) ks.push_back(static_cast<unsigned>(std::stoul(s)));
   }
+  run.report().set_meta("k", cli.get("k", "5,6"));
 
   std::cout << "Table 3: Comparison with the RAMBO_C-style baseline [1]\n\n";
   Table t({"circuit", "2inp orig", "paths orig", "2inp RAR", "paths RAR", "K",
            "2inp RAR+P2", "paths RAR+P2"});
   for (const std::string& name : circuits) {
     Netlist orig = prepare_irredundant(name);
+    run.add_circuit("original", orig);
 
     Netlist rar = orig;
     RarOptions ropt;
@@ -47,5 +51,6 @@ int main(int argc, char** argv) {
         .add_commas(count_paths(best.netlist).total);
   }
   t.print(std::cout);
-  return 0;
+  run.report().add_table("table3", t);
+  return run.finish();
 }

@@ -3,6 +3,7 @@
 // mapped literals (total cell area) and gates on the longest path.
 //
 // Flags: --circuits=a,b,c  --k=5,6  --adds=N
+//        --report=<file>.json   --trace
 #include "bench/common.hpp"
 #include "rar/rar.hpp"
 #include "techmap/techmap.hpp"
@@ -13,18 +14,21 @@ using namespace compsyn::bench;
 
 int main(int argc, char** argv) {
   Cli cli(argc, argv);
+  BenchRun run("table4_techmap", cli);
   const auto circuits =
       select_circuits(cli, {"cmp8", "alu4", "syn150", "syn300", "syn600"});
   std::vector<unsigned> ks;
   for (const std::string& s : split(cli.get("k", "5,6"), ',')) {
     if (!s.empty()) ks.push_back(static_cast<unsigned>(std::stoul(s)));
   }
+  run.report().set_meta("k", cli.get("k", "5,6"));
 
   std::cout << "Table 4(a): technology mapping, original vs Procedure 2\n\n";
   Table ta({"circuit", "lits orig", "longest orig", "lits Proc2", "longest Proc2"});
   std::vector<Netlist> originals;
   for (const std::string& name : circuits) {
     Netlist orig = prepare_irredundant(name);
+    run.add_circuit("original", orig);
     const TechmapResult m0 = technology_map(orig);
     BestOfK p2 = best_of_k(orig, ResynthObjective::Gates, ks);
     verify_or_die(orig, p2.netlist, name + " Procedure 2");
@@ -60,5 +64,7 @@ int main(int argc, char** argv) {
         .add(static_cast<std::uint64_t>(m1.longest_path));
   }
   tb.print(std::cout);
-  return 0;
+  run.report().add_table("table4a", ta);
+  run.report().add_table("table4b", tb);
+  return run.finish();
 }

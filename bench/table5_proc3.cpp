@@ -3,6 +3,7 @@
 // Gate count may increase -- Procedure 3 has no gate objective.
 //
 // Flags: --circuits=a,b,c   --full   --k=5,6
+//        --report=<file>.json   --trace
 #include "bench/common.hpp"
 #include "util/table.hpp"
 
@@ -11,6 +12,7 @@ using namespace compsyn::bench;
 
 int main(int argc, char** argv) {
   Cli cli(argc, argv);
+  BenchRun run("table5_proc3", cli);
   const auto circuits = select_circuits(
       cli, {"c17", "s27", "add8", "cmp8", "dec5", "mux4", "alu4", "syn150",
             "syn300", "syn600", "syn1000"});
@@ -18,12 +20,14 @@ int main(int argc, char** argv) {
   for (const std::string& s : split(cli.get("k", "5,6"), ',')) {
     if (!s.empty()) ks.push_back(static_cast<unsigned>(std::stoul(s)));
   }
+  run.report().set_meta("k", cli.get("k", "5,6"));
 
   std::cout << "Table 5: Results of Procedure 3 (reduce paths)\n\n";
   Table t({"circuit(K)", "inp", "out", "2inp orig", "2inp modif", "paths orig",
            "paths modif"});
   for (const std::string& name : circuits) {
     Netlist orig = prepare_irredundant(name);
+    run.add_circuit("original", orig);
     BestOfK best = best_of_k(orig, ResynthObjective::Paths, ks);
     verify_or_die(orig, best.netlist, name + " Procedure 3");
     t.row()
@@ -36,5 +40,6 @@ int main(int argc, char** argv) {
         .add_commas(count_paths(best.netlist).total);
   }
   t.print(std::cout);
-  return 0;
+  run.report().add_table("table5", t);
+  return run.finish();
 }

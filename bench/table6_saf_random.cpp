@@ -5,7 +5,7 @@
 // deteriorate after the modification.
 //
 // Flags: --circuits=a,b,c  --patterns=N (default 2^20; the paper used 3e7)
-//        --k=5,6  --seed=S
+//        --k=5,6  --seed=S  --report=<file>.json  --trace
 #include "bench/common.hpp"
 #include "faults/fault_sim.hpp"
 #include "util/table.hpp"
@@ -15,6 +15,7 @@ using namespace compsyn::bench;
 
 int main(int argc, char** argv) {
   Cli cli(argc, argv);
+  BenchRun run("table6_saf_random", cli);
   const auto circuits = select_circuits(
       cli, {"c17", "s27", "add8", "cmp8", "alu4", "syn150", "syn300", "syn600"});
   const std::uint64_t max_patterns = cli.get_u64("patterns", 1ull << 20);
@@ -23,6 +24,9 @@ int main(int argc, char** argv) {
   for (const std::string& s : split(cli.get("k", "5,6"), ',')) {
     if (!s.empty()) ks.push_back(static_cast<unsigned>(std::stoul(s)));
   }
+  run.report().set_meta("k", cli.get("k", "5,6"));
+  run.report().set_meta("patterns", max_patterns);
+  run.report().set_meta("seed", seed);
 
   std::cout << "Table 6: random-pattern stuck-at testability (" << max_patterns
             << " patterns, seed " << seed << ")\n\n";
@@ -30,10 +34,12 @@ int main(int argc, char** argv) {
            "eff.patt mod"});
   for (const std::string& name : circuits) {
     Netlist orig = prepare_irredundant(name);
+    run.add_circuit("original", orig);
     BestOfK p2 = best_of_k(orig, ResynthObjective::Gates, ks);
     Netlist modified = p2.netlist;
     remove_redundancies(modified);
     verify_or_die(orig, modified, name + " Proc2+red.rem");
+    run.add_circuit("modified", modified);
 
     Rng r1(seed), r2(seed);  // identical pattern streams
     const auto a = random_saf_experiment(orig, r1, max_patterns);
@@ -50,5 +56,6 @@ int main(int argc, char** argv) {
   t.print(std::cout);
   std::cout << "\n(Collapsed fault universes; both columns use the same "
                "pattern stream.)\n";
-  return 0;
+  run.report().add_table("table6", t);
+  return run.finish();
 }

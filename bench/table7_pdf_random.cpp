@@ -10,6 +10,7 @@
 //
 // Flags: --circuit=name (default syn300)  --window=N (default 20000)
 //        --pairs=N (default 2e6)  --seed=S  --k=5,6  --adds=N
+//        --report=<file>.json  --trace
 #include "bench/common.hpp"
 #include "delay/nonenum.hpp"
 #include "delay/robust.hpp"
@@ -21,6 +22,7 @@ using namespace compsyn::bench;
 
 int main(int argc, char** argv) {
   Cli cli(argc, argv);
+  BenchRun run("table7_pdf_random", cli);
   const std::string name = cli.get("circuit", "syn300");
   const std::uint64_t window = cli.get_u64("window", 20000);
   const std::uint64_t max_pairs = cli.get_u64("pairs", 2000000);
@@ -29,8 +31,14 @@ int main(int argc, char** argv) {
   for (const std::string& s : split(cli.get("k", "5,6"), ',')) {
     if (!s.empty()) ks.push_back(static_cast<unsigned>(std::stoul(s)));
   }
+  run.report().set_meta("circuit", name);
+  run.report().set_meta("window", window);
+  run.report().set_meta("pairs", max_pairs);
+  run.report().set_meta("seed", seed);
+  run.report().set_meta("k", cli.get("k", "5,6"));
 
   Netlist orig = prepare_irredundant(name);
+  run.add_circuit("original", orig);
 
   Netlist proc2 = best_of_k(orig, ResynthObjective::Gates, ks).netlist;
   remove_redundancies(proc2);
@@ -46,6 +54,9 @@ int main(int argc, char** argv) {
   Netlist rar_p2 = best_of_k(rar, ResynthObjective::Gates, ks).netlist;
   remove_redundancies(rar_p2);
   verify_or_die(rar, rar_p2, "RAR+Proc2");
+  run.add_circuit("proc2", proc2);
+  run.add_circuit("rar", rar);
+  run.add_circuit("rar+proc2", rar_p2);
 
   std::cout << "Table 7: robust path-delay-fault detection by random pairs in irs_"
             << name << " (window " << window << ", seed " << seed << ")\n\n";
@@ -89,5 +100,7 @@ int main(int argc, char** argv) {
         .add_commas(res.total_faults);
   }
   e.print(std::cout);
-  return 0;
+  run.report().add_table("table7", t);
+  run.report().add_table("nonenum", e);
+  return run.finish();
 }

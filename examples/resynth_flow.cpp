@@ -4,7 +4,8 @@
 //
 //   $ ./resynth_flow syn300
 //   $ ./resynth_flow --proc=3 --k=6 path/to/circuit.bench
-//   $ ./resynth_flow --out=result.bench syn150
+//   $ ./resynth_flow --proc=combined --weight-gates=1 --weight-paths=0.25 syn150
+//   $ ./resynth_flow --out=result.bench --report=run.json syn150
 #include <fstream>
 #include <iostream>
 
@@ -13,6 +14,8 @@
 #include "core/resynth.hpp"
 #include "gen/circuits.hpp"
 #include "netlist/equivalence.hpp"
+#include "obs/obs.hpp"
+#include "obs/report.hpp"
 #include "paths/paths.hpp"
 #include "util/cli.hpp"
 
@@ -21,12 +24,16 @@ using namespace compsyn;
 int main(int argc, char** argv) {
   Cli cli(argc, argv);
   if (cli.positional().empty()) {
-    std::cerr << "usage: resynth_flow [--proc=2|3] [--k=K] [--out=file.bench] "
-                 "<suite-name | file.bench>\n  suite names:";
+    std::cerr << "usage: resynth_flow [--proc=2|3|combined] [--k=K] "
+                 "[--weight-gates=W --weight-paths=W] [--out=file.bench] "
+                 "[--report=file.json] [--trace] <suite-name | file.bench>\n"
+                 "  suite names:";
     for (const auto& e : benchmark_suite()) std::cerr << " " << e.name;
     std::cerr << "\n";
     return 2;
   }
+  if (cli.has("report") || cli.has("trace")) obs_set_enabled(true);
+  RunReport report("resynth_flow");
   const std::string source = cli.positional()[0];
   Netlist nl;
   try {
@@ -50,14 +57,34 @@ int main(int argc, char** argv) {
             << count_paths(original).total << " paths, depth "
             << original.depth() << "\n";
 
-  const int proc = cli.get_int("proc", 2);
+  const std::string proc = cli.get("proc", "2");
   const unsigned k = static_cast<unsigned>(cli.get_u64("k", 6));
-  ResynthStats st = proc == 3 ? procedure3(nl, k) : procedure2(nl, k);
-  std::cout << "Procedure " << proc << " (K=" << k << "): " << st.replacements
-            << " replacements over " << st.passes << " pass(es)\n"
-            << "  gates " << st.gates_before << " -> " << st.gates_after
+  ResynthStats st;
+  if (proc == "combined") {
+    // Section 4.3: weighted gate/path objective. Weights default to (1,1);
+    // (1,0) recovers Procedure 2's primary criterion, (0,1) Procedure 3's.
+    ResynthOptions opt;
+    opt.objective = ResynthObjective::Combined;
+    opt.k = k;
+    opt.weight_gates = cli.get_double("weight-gates", 1.0);
+    opt.weight_paths = cli.get_double("weight-paths", 1.0);
+    st = resynthesize(nl, opt);
+    std::cout << "Combined objective (K=" << k << ", wg=" << opt.weight_gates
+              << ", wp=" << opt.weight_paths << "): " << st.replacements
+              << " replacements over " << st.passes << " pass(es)\n";
+  } else {
+    st = proc == "3" ? procedure3(nl, k) : procedure2(nl, k);
+    std::cout << "Procedure " << proc << " (K=" << k << "): " << st.replacements
+              << " replacements over " << st.passes << " pass(es)\n";
+  }
+  std::cout << "  gates " << st.gates_before << " -> " << st.gates_after
             << "\n  paths " << st.paths_before << " -> " << st.paths_after
             << "\n";
+  for (const ResynthPassRecord& pr : st.history) {
+    std::cout << "  pass " << pr.pass << ": " << pr.replacements
+              << " replacement(s) -> " << pr.gates << " gates, " << pr.paths
+              << " paths\n";
+  }
 
   auto rr1 = remove_redundancies(nl);
   if (rr1.removed) {
@@ -80,5 +107,35 @@ int main(int argc, char** argv) {
     write_bench(nl.compacted(), os);
     std::cout << "wrote " << cli.get("out") << "\n";
   }
-  return eq.equivalent ? 0 : 1;
+
+  int rc = eq.equivalent ? 0 : 1;
+  if (cli.has("report")) {
+    report.set_meta("circuit", source);
+    report.set_meta("proc", proc);
+    report.set_meta("k", static_cast<std::uint64_t>(k));
+    report.set_meta("gates_before", st.gates_before);
+    report.set_meta("gates_after", st.gates_after);
+    report.set_meta("paths_before", st.paths_before);
+    report.set_meta("paths_after", st.paths_after);
+    report.set_meta("function_preserved", eq.equivalent);
+    for (const ResynthPassRecord& pr : st.history) {
+      Json rec = Json::object();
+      rec.set("pass", static_cast<std::uint64_t>(pr.pass));
+      rec.set("replacements", pr.replacements);
+      rec.set("gates", pr.gates);
+      rec.set("paths", pr.paths);
+      report.add_record("passes", std::move(rec));
+    }
+    std::string err;
+    if (!report.write(cli.get("report"), &err)) {
+      std::cerr << "error: " << err << "\n";
+      rc = rc ? rc : 1;
+    }
+  }
+  if (cli.has("trace")) {
+    std::cout << "\n";
+    report.print_summary(std::cout);
+  }
+  cli.warn_unrecognized(std::cerr);
+  return rc;
 }

@@ -3,6 +3,9 @@
 #include <cassert>
 #include <tuple>
 
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
+
 namespace compsyn {
 namespace {
 
@@ -115,6 +118,7 @@ class Podem {
         }
       }
       stack_.push_back({pi, val, false});
+      ++res.decisions;
       pi_val_[pi] = val;
       imply();
     }
@@ -290,8 +294,19 @@ class Podem {
 
 AtpgResult run_podem(const Netlist& nl, const StuckFault& fault,
                      const AtpgOptions& opt) {
+  const auto sp = Trace::span("atpg.podem");
   Podem engine(nl, fault, opt);
-  return engine.run();
+  AtpgResult res = engine.run();
+  // Batched per call: one counter update per fault, nothing in the search.
+  Counters::incr("atpg.calls");
+  Counters::incr("atpg.decisions", res.decisions);
+  Counters::incr("atpg.backtracks", res.backtracks);
+  switch (res.status) {
+    case AtpgStatus::Detected: Counters::incr("atpg.detected"); break;
+    case AtpgStatus::Untestable: Counters::incr("atpg.redundancy_proofs"); break;
+    case AtpgStatus::Aborted: Counters::incr("atpg.aborts"); break;
+  }
+  return res;
 }
 
 AtpgSummary run_podem_all(const Netlist& nl, const std::vector<StuckFault>& faults,

@@ -39,6 +39,7 @@ struct AtpgResult {
   // are filled with 0), valid when status == Detected.
   std::vector<bool> test;
   std::uint64_t backtracks = 0;
+  std::uint64_t decisions = 0;  // PI assignments tried (excluding flips)
 };
 
 AtpgResult run_podem(const Netlist& nl, const StuckFault& fault,

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cassert>
 #include <numeric>
+#include <unordered_map>
+
+#include "obs/counters.hpp"
 
 namespace compsyn {
 
@@ -241,6 +244,31 @@ void collect_specs(const TruthTable& f, bool complemented, const IdentifyOptions
 
 }  // namespace
 
+namespace {
+
+/// Memo for the exact engine. identify_comparison with opt.exact is a pure
+/// function of (f, max_results, try_complement), and resynthesis sweeps ask
+/// about the same reduced cone functions over and over; caching the answer is
+/// behaviour-preserving (identical spec vectors) and removes the dominant
+/// repeated work. Thread-local (the procedures are single-threaded per
+/// netlist) and bounded: the map is dropped wholesale past kMemoCap entries.
+using ExactMemoMap = std::unordered_map<std::string, std::vector<ComparisonSpec>>;
+constexpr std::size_t kMemoCap = 1u << 16;
+
+ExactMemoMap& exact_memo() {
+  thread_local ExactMemoMap memo;
+  return memo;
+}
+
+std::string memo_key(const TruthTable& f, const IdentifyOptions& opt) {
+  std::string key = f.to_bits();  // length encodes num_vars
+  key += opt.try_complement ? "|c" : "|n";
+  key += std::to_string(opt.max_results);
+  return key;
+}
+
+}  // namespace
+
 std::vector<ComparisonSpec> identify_comparison(const TruthTable& f,
                                                 const IdentifyOptions& opt) {
   std::vector<ComparisonSpec> out;
@@ -266,10 +294,32 @@ std::vector<ComparisonSpec> identify_comparison(const TruthTable& f,
     out.push_back(spec);
     return out;
   }
+  if (opt.exact) {
+    Counters::incr("identify.exact.attempts");
+    ExactMemoMap& memo = exact_memo();
+    std::string key = memo_key(f, opt);
+    if (auto it = memo.find(key); it != memo.end()) {
+      Counters::incr("identify.memo.hits");
+      if (!it->second.empty()) Counters::incr("identify.exact.hits");
+      return it->second;
+    }
+    Counters::incr("identify.memo.misses");
+    collect_specs(f, /*complemented=*/false, opt, out);
+    if (opt.try_complement) {
+      collect_specs(f.complemented(), /*complemented=*/true, opt, out);
+    }
+    if (memo.size() >= kMemoCap) memo.clear();
+    memo.emplace(std::move(key), out);
+    if (!out.empty()) Counters::incr("identify.exact.hits");
+    return out;
+  }
+
+  Counters::incr("identify.sampled.attempts");
   collect_specs(f, /*complemented=*/false, opt, out);
   if (opt.try_complement) {
     collect_specs(f.complemented(), /*complemented=*/true, opt, out);
   }
+  if (!out.empty()) Counters::incr("identify.sampled.hits");
   return out;
 }
 

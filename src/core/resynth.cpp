@@ -7,6 +7,8 @@
 
 #include "core/multi_unit.hpp"
 #include "core/sdc.hpp"
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
 #include "paths/paths.hpp"
 
 namespace compsyn {
@@ -214,18 +216,42 @@ std::uint64_t run_pass(Netlist& nl, const ResynthOptions& opt, ResynthStats& sta
 }  // namespace
 
 ResynthStats resynthesize(Netlist& nl, const ResynthOptions& opt) {
+  const auto whole = Trace::span("resynth");
   ResynthStats stats;
   stats.gates_before = nl.equivalent_gate_count();
   stats.paths_before = count_paths(nl).total;
   for (unsigned pass = 0; pass < opt.max_passes; ++pass) {
     ++stats.passes;
-    const std::uint64_t replaced = run_pass(nl, opt, stats);
-    stats.replacements += replaced;
-    nl.simplify();
+    std::uint64_t replaced = 0;
+    {
+      const auto sp = Trace::span("resynth.pass");
+      replaced = run_pass(nl, opt, stats);
+      stats.replacements += replaced;
+      nl.simplify();
+    }
+    ResynthPassRecord rec;
+    rec.pass = stats.passes;
+    rec.replacements = replaced;
+    rec.gates = nl.equivalent_gate_count();
+    rec.paths = count_paths(nl).total;
+    stats.history.push_back(rec);
     if (replaced == 0) break;
   }
   stats.gates_after = nl.equivalent_gate_count();
   stats.paths_after = count_paths(nl).total;
+  // Counters mirror the struct so cross-run aggregates line up with the
+  // per-run stats; batched here to keep the sweep itself untouched.
+  Counters::incr("resynth.runs");
+  Counters::incr("resynth.passes", stats.passes);
+  Counters::incr("resynth.replacements", stats.replacements);
+  Counters::incr("resynth.cones_considered", stats.cones_considered);
+  Counters::incr("resynth.comparison_cones", stats.comparison_cones);
+  if (stats.gates_before >= stats.gates_after) {
+    Counters::incr("resynth.gates_saved", stats.gates_before - stats.gates_after);
+  }
+  if (stats.paths_before >= stats.paths_after) {
+    Counters::incr("resynth.paths_saved", stats.paths_before - stats.paths_after);
+  }
   return stats;
 }
 

@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <vector>
 
 #include "core/comparison.hpp"
 #include "core/cones.hpp"
@@ -62,6 +63,15 @@ struct ResynthOptions {
   bool allow_gate_increase = false;
 };
 
+/// Snapshot taken after one full pass (post-simplify), so fixpoint
+/// convergence is visible: gates/paths are the circuit totals at that point.
+struct ResynthPassRecord {
+  unsigned pass = 0;               // 1-based
+  std::uint64_t replacements = 0;  // replacements applied during this pass
+  std::uint64_t gates = 0;         // equivalent 2-input gates after the pass
+  std::uint64_t paths = 0;         // total paths after the pass
+};
+
 struct ResynthStats {
   unsigned passes = 0;
   std::uint64_t replacements = 0;
@@ -71,6 +81,7 @@ struct ResynthStats {
   std::uint64_t gates_after = 0;
   std::uint64_t paths_before = 0;
   std::uint64_t paths_after = 0;
+  std::vector<ResynthPassRecord> history;  // one record per pass, in order
 };
 
 /// Runs the selected procedure in place until a fixpoint (or max_passes).

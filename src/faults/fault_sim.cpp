@@ -4,6 +4,9 @@
 #include <cassert>
 #include <queue>
 
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
+
 namespace compsyn {
 
 FaultSimulator::FaultSimulator(const Netlist& nl, std::vector<StuckFault> faults)
@@ -21,6 +24,9 @@ FaultSimulator::FaultSimulator(const Netlist& nl, std::vector<StuckFault> faults
 
 std::vector<std::size_t> FaultSimulator::simulate_block(
     const std::vector<std::uint64_t>& pi_words, std::uint64_t base_pattern) {
+  const auto sp = Trace::span("fsim.block");
+  std::uint64_t events = 0;     // faulty-value propagation events
+  std::uint64_t activated = 0;  // faults whose origin differed this block
   nl_.simulate_into(pi_words, good_);
   const auto& fanouts = nl_.fanouts();
 
@@ -59,6 +65,7 @@ std::vector<std::size_t> FaultSimulator::simulate_block(
       origin_val = eval_gate(nd.type, ins);
     }
     if (origin_val == good_[origin]) continue;  // not activated this block
+    ++activated;
     set_faulty(origin, origin_val);
 
     std::uint64_t po_diff = 0;
@@ -76,6 +83,7 @@ std::vector<std::size_t> FaultSimulator::simulate_block(
         const std::uint64_t yv = eval_gate(nd.type, ins);
         const std::uint64_t prev = faulty_of(y);
         if (yv == prev) continue;
+        ++events;
         set_faulty(y, yv);
         if (is_po_[y]) po_diff |= yv ^ good_[y];
         heap.push({topo_rank_[y], y});
@@ -89,6 +97,14 @@ std::vector<std::size_t> FaultSimulator::simulate_block(
       newly.push_back(fi);
     }
   }
+  // Batched per 64-pattern block; patterns/sec falls out of the patterns
+  // counter over the fsim.block span's total time.
+  Counters::incr("fsim.blocks");
+  Counters::incr("fsim.patterns", 64);
+  Counters::incr("fsim.events", events);
+  Counters::incr("fsim.faults_activated", activated);
+  Counters::incr("fsim.faults_dropped", newly.size());
+  Counters::observe("fsim.dropped_per_block", static_cast<double>(newly.size()));
   return newly;
 }
 

@@ -1,0 +1,410 @@
+#include "obs/json.hpp"
+
+#include <cassert>
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+namespace compsyn {
+
+Json& Json::set(std::string key, Json value) {
+  assert(type_ == Type::Object);
+  for (auto& [k, v] : obj_) {
+    if (k == key) {
+      v = std::move(value);
+      return *this;
+    }
+  }
+  obj_.emplace_back(std::move(key), std::move(value));
+  return *this;
+}
+
+Json& Json::push(Json value) {
+  assert(type_ == Type::Array);
+  arr_.push_back(std::move(value));
+  return *this;
+}
+
+const Json* Json::find(std::string_view key) const {
+  if (type_ != Type::Object) return nullptr;
+  for (const auto& [k, v] : obj_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+std::size_t Json::size() const {
+  if (type_ == Type::Array) return arr_.size();
+  if (type_ == Type::Object) return obj_.size();
+  return 0;
+}
+
+const Json& Json::at(std::size_t i) const {
+  assert(type_ == Type::Array && i < arr_.size());
+  return arr_[i];
+}
+
+std::int64_t Json::as_i64() const {
+  if (type_ == Type::Uint) return static_cast<std::int64_t>(u_);
+  if (type_ == Type::Double) return static_cast<std::int64_t>(d_);
+  return i_;
+}
+
+std::uint64_t Json::as_u64() const {
+  if (type_ == Type::Int) return static_cast<std::uint64_t>(i_);
+  if (type_ == Type::Double) return static_cast<std::uint64_t>(d_);
+  return u_;
+}
+
+double Json::as_double() const {
+  if (type_ == Type::Int) return static_cast<double>(i_);
+  if (type_ == Type::Uint) return static_cast<double>(u_);
+  return d_;
+}
+
+namespace {
+
+void write_escaped(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\b': os << "\\b"; break;
+      case '\f': os << "\\f"; break;
+      case '\n': os << "\\n"; break;
+      case '\r': os << "\\r"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+void write_double(std::ostream& os, double v) {
+  if (!std::isfinite(v)) {
+    os << "null";  // JSON has no inf/nan
+    return;
+  }
+  char buf[32];
+  const auto res = std::to_chars(buf, buf + sizeof buf, v);
+  os.write(buf, res.ptr - buf);
+}
+
+void newline_indent(std::ostream& os, int indent, int depth) {
+  if (indent <= 0) return;
+  os << '\n';
+  for (int i = 0; i < indent * depth; ++i) os << ' ';
+}
+
+}  // namespace
+
+void Json::write_impl(std::ostream& os, int indent, int depth) const {
+  switch (type_) {
+    case Type::Null: os << "null"; break;
+    case Type::Bool: os << (b_ ? "true" : "false"); break;
+    case Type::Int: os << i_; break;
+    case Type::Uint: os << u_; break;
+    case Type::Double: write_double(os, d_); break;
+    case Type::String: write_escaped(os, s_); break;
+    case Type::Array: {
+      if (arr_.empty()) {
+        os << "[]";
+        break;
+      }
+      os << '[';
+      for (std::size_t i = 0; i < arr_.size(); ++i) {
+        if (i) os << ',';
+        newline_indent(os, indent, depth + 1);
+        arr_[i].write_impl(os, indent, depth + 1);
+      }
+      newline_indent(os, indent, depth);
+      os << ']';
+      break;
+    }
+    case Type::Object: {
+      if (obj_.empty()) {
+        os << "{}";
+        break;
+      }
+      os << '{';
+      for (std::size_t i = 0; i < obj_.size(); ++i) {
+        if (i) os << ',';
+        newline_indent(os, indent, depth + 1);
+        write_escaped(os, obj_[i].first);
+        os << (indent > 0 ? ": " : ":");
+        obj_[i].second.write_impl(os, indent, depth + 1);
+      }
+      newline_indent(os, indent, depth);
+      os << '}';
+      break;
+    }
+  }
+}
+
+void Json::write(std::ostream& os, int indent) const {
+  write_impl(os, indent, 0);
+}
+
+std::string Json::dump(int indent) const {
+  std::ostringstream ss;
+  write(ss, indent);
+  return ss.str();
+}
+
+namespace {
+
+class Parser {
+ public:
+  Parser(std::string_view text, std::string* error)
+      : text_(text), error_(error) {}
+
+  std::optional<Json> run() {
+    skip_ws();
+    Json v;
+    if (!parse_value(v)) return std::nullopt;
+    skip_ws();
+    if (pos_ != text_.size()) {
+      fail("trailing characters after value");
+      return std::nullopt;
+    }
+    return v;
+  }
+
+ private:
+  void fail(const std::string& what) {
+    if (error_ != nullptr && error_->empty()) {
+      *error_ = what + " at offset " + std::to_string(pos_);
+    }
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool eat(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) == word) {
+      pos_ += word.size();
+      return true;
+    }
+    return false;
+  }
+
+  bool parse_value(Json& out) {
+    if (pos_ >= text_.size()) {
+      fail("unexpected end of input");
+      return false;
+    }
+    const char c = text_[pos_];
+    if (c == '{') return parse_object(out);
+    if (c == '[') return parse_array(out);
+    if (c == '"') {
+      std::string s;
+      if (!parse_string(s)) return false;
+      out = Json(std::move(s));
+      return true;
+    }
+    if (literal("true")) {
+      out = Json(true);
+      return true;
+    }
+    if (literal("false")) {
+      out = Json(false);
+      return true;
+    }
+    if (literal("null")) {
+      out = Json();
+      return true;
+    }
+    return parse_number(out);
+  }
+
+  bool parse_object(Json& out) {
+    ++pos_;  // '{'
+    out = Json::object();
+    skip_ws();
+    if (eat('}')) return true;
+    for (;;) {
+      skip_ws();
+      std::string key;
+      if (!parse_string(key)) return false;
+      skip_ws();
+      if (!eat(':')) {
+        fail("expected ':'");
+        return false;
+      }
+      skip_ws();
+      Json v;
+      if (!parse_value(v)) return false;
+      out.set(std::move(key), std::move(v));
+      skip_ws();
+      if (eat(',')) continue;
+      if (eat('}')) return true;
+      fail("expected ',' or '}'");
+      return false;
+    }
+  }
+
+  bool parse_array(Json& out) {
+    ++pos_;  // '['
+    out = Json::array();
+    skip_ws();
+    if (eat(']')) return true;
+    for (;;) {
+      skip_ws();
+      Json v;
+      if (!parse_value(v)) return false;
+      out.push(std::move(v));
+      skip_ws();
+      if (eat(',')) continue;
+      if (eat(']')) return true;
+      fail("expected ',' or ']'");
+      return false;
+    }
+  }
+
+  bool parse_string(std::string& out) {
+    if (!eat('"')) {
+      fail("expected string");
+      return false;
+    }
+    out.clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            fail("truncated \\u escape");
+            return false;
+          }
+          unsigned cp = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            cp <<= 4;
+            if (h >= '0' && h <= '9') cp |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') cp |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') cp |= static_cast<unsigned>(h - 'A' + 10);
+            else {
+              fail("bad \\u escape");
+              return false;
+            }
+          }
+          // Encode the code point as UTF-8 (surrogate pairs not recombined;
+          // the emitter only writes \u for control characters).
+          if (cp < 0x80) {
+            out += static_cast<char>(cp);
+          } else if (cp < 0x800) {
+            out += static_cast<char>(0xC0 | (cp >> 6));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (cp >> 12));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+          }
+          break;
+        }
+        default:
+          fail("bad escape");
+          return false;
+      }
+    }
+    fail("unterminated string");
+    return false;
+  }
+
+  bool parse_number(Json& out) {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) ++pos_;
+    bool is_double = false;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '-' || c == '+') {
+        is_double = is_double || c == '.' || c == 'e' || c == 'E';
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    const std::string_view tok = text_.substr(start, pos_ - start);
+    if (tok.empty() || tok == "-" || tok == "+") {
+      fail("expected value");
+      return false;
+    }
+    if (!is_double) {
+      if (tok[0] == '-') {
+        std::int64_t v = 0;
+        const auto res = std::from_chars(tok.data(), tok.data() + tok.size(), v);
+        if (res.ec == std::errc() && res.ptr == tok.data() + tok.size()) {
+          out = Json(v);
+          return true;
+        }
+      } else {
+        std::uint64_t v = 0;
+        const auto res = std::from_chars(tok.data(), tok.data() + tok.size(), v);
+        if (res.ec == std::errc() && res.ptr == tok.data() + tok.size()) {
+          out = Json(v);
+          return true;
+        }
+      }
+    }
+    double d = 0.0;
+    const auto res = std::from_chars(tok.data(), tok.data() + tok.size(), d);
+    if (res.ec != std::errc() || res.ptr != tok.data() + tok.size()) {
+      fail("malformed number");
+      return false;
+    }
+    out = Json(d);
+    return true;
+  }
+
+  std::string_view text_;
+  std::string* error_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::optional<Json> Json::parse(std::string_view text, std::string* error) {
+  return Parser(text, error).run();
+}
+
+}  // namespace compsyn

@@ -1,0 +1,45 @@
+// Observability runtime switch shared by the tracer and the counters.
+//
+// Two layers of gating keep instrumentation out of the way:
+//  * compile time: building with -DCOMPSYN_TRACE=0 turns every Trace/Counters
+//    call into an empty inline stub (nothing is compiled in);
+//  * run time: even when compiled in, instrumentation is OFF by default and
+//    costs one relaxed atomic load per call site until obs_set_enabled(true)
+//    is called (the bench harnesses enable it for --report / --trace runs).
+//
+// Neither layer ever changes the observable behaviour of the algorithms:
+// instrumentation only reads clocks and bumps counters.
+#pragma once
+
+#include <atomic>
+
+#ifndef COMPSYN_TRACE
+#define COMPSYN_TRACE 1
+#endif
+
+namespace compsyn {
+
+#if COMPSYN_TRACE
+
+namespace obs_detail {
+extern std::atomic<bool> g_enabled;
+}  // namespace obs_detail
+
+/// True when instrumentation is recording (runtime flag, default off).
+inline bool obs_enabled() {
+  return obs_detail::g_enabled.load(std::memory_order_relaxed);
+}
+
+/// Turns span/counter recording on or off globally.
+inline void obs_set_enabled(bool on) {
+  obs_detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+#else  // COMPSYN_TRACE == 0: everything compiles away.
+
+constexpr bool obs_enabled() { return false; }
+inline void obs_set_enabled(bool) {}
+
+#endif
+
+}  // namespace compsyn

@@ -1,0 +1,177 @@
+#include "obs/report.hpp"
+
+#include <fstream>
+#include <ostream>
+
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
+#include "util/table.hpp"
+
+namespace compsyn {
+namespace {
+
+Json spans_json() {
+  Json arr = Json::array();
+  for (const SpanStats& s : Trace::snapshot()) {
+    Json o = Json::object();
+    o.set("label", s.label);
+    o.set("count", s.count);
+    o.set("total_ns", s.total_ns);
+    o.set("self_ns", s.self_ns);
+    o.set("min_ns", s.min_ns);
+    o.set("max_ns", s.max_ns);
+    arr.push(std::move(o));
+  }
+  return arr;
+}
+
+Json counters_json() {
+  Json o = Json::object();
+  for (const CounterStat& c : Counters::counters()) o.set(c.name, c.value);
+  return o;
+}
+
+Json distributions_json() {
+  Json arr = Json::array();
+  for (const DistStat& d : Counters::distributions()) {
+    Json o = Json::object();
+    o.set("name", d.name);
+    o.set("count", d.count);
+    o.set("sum", d.sum);
+    o.set("min", d.min);
+    o.set("max", d.max);
+    arr.push(std::move(o));
+  }
+  return arr;
+}
+
+}  // namespace
+
+RunReport::RunReport(std::string name)
+    : name_(std::move(name)), start_(std::chrono::steady_clock::now()) {}
+
+void RunReport::set_meta(std::string key, Json value) {
+  meta_.set(std::move(key), std::move(value));
+}
+
+void RunReport::add_table(std::string label, const Table& t) {
+  Json headers = Json::array();
+  for (const std::string& h : t.headers()) headers.push(h);
+  Json rows = Json::array();
+  for (const auto& r : t.rows()) {
+    Json row = Json::object();
+    for (std::size_t c = 0; c < t.headers().size(); ++c) {
+      row.set(t.headers()[c], c < r.size() ? Json(r[c]) : Json());
+    }
+    rows.push(std::move(row));
+  }
+  Json table = Json::object();
+  table.set("headers", std::move(headers));
+  table.set("rows", std::move(rows));
+  tables_.emplace_back(std::move(label), std::move(table));
+}
+
+void RunReport::add_record(std::string section, Json record) {
+  for (auto& [name, arr] : sections_) {
+    if (name == section) {
+      arr.push(std::move(record));
+      return;
+    }
+  }
+  Json arr = Json::array();
+  arr.push(std::move(record));
+  sections_.emplace_back(std::move(section), std::move(arr));
+}
+
+Json RunReport::to_json() const {
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+          .count();
+  Json doc = Json::object();
+  doc.set("name", name_);
+  doc.set("meta", meta_);
+  doc.set("wall_seconds", wall);
+  doc.set("spans", spans_json());
+  doc.set("counters", counters_json());
+  doc.set("distributions", distributions_json());
+  Json tables = Json::object();
+  for (const auto& [label, t] : tables_) tables.set(label, t);
+  doc.set("tables", std::move(tables));
+  for (const auto& [section, arr] : sections_) doc.set(section, arr);
+  return doc;
+}
+
+void RunReport::write_jsonl(std::ostream& os) const {
+  const Json doc = to_json();
+  auto emit = [&os](const char* type, Json payload) {
+    Json line = Json::object();
+    line.set("type", type);
+    for (auto& [k, v] : payload.items()) line.set(k, v);
+    line.write(os, 0);
+    os << '\n';
+  };
+  {
+    Json head = Json::object();
+    head.set("name", *doc.find("name"));
+    head.set("meta", *doc.find("meta"));
+    head.set("wall_seconds", *doc.find("wall_seconds"));
+    emit("run", std::move(head));
+  }
+  for (std::size_t i = 0; i < doc.find("spans")->size(); ++i) {
+    emit("span", doc.find("spans")->at(i));
+  }
+  {
+    Json c = Json::object();
+    c.set("counters", *doc.find("counters"));
+    emit("counters", std::move(c));
+  }
+  for (std::size_t i = 0; i < doc.find("distributions")->size(); ++i) {
+    emit("distribution", doc.find("distributions")->at(i));
+  }
+  for (const auto& [label, table] : tables_) {
+    const Json* rows = table.find("rows");
+    for (std::size_t i = 0; i < rows->size(); ++i) {
+      Json r = Json::object();
+      r.set("table", label);
+      r.set("row", rows->at(i));
+      emit("row", std::move(r));
+    }
+  }
+  for (const auto& [section, arr] : sections_) {
+    for (std::size_t i = 0; i < arr.size(); ++i) {
+      Json r = Json::object();
+      r.set("section", section);
+      r.set("record", arr.at(i));
+      emit("record", std::move(r));
+    }
+  }
+}
+
+bool RunReport::write(const std::string& path, std::string* error) const {
+  std::ofstream os(path);
+  if (!os) {
+    if (error != nullptr) *error = "cannot open " + path + " for writing";
+    return false;
+  }
+  if (path.size() > 6 && path.substr(path.size() - 6) == ".jsonl") {
+    write_jsonl(os);
+  } else {
+    to_json().write(os, 2);
+    os << '\n';
+  }
+  os.flush();
+  if (!os) {
+    if (error != nullptr) *error = "write to " + path + " failed";
+    return false;
+  }
+  return true;
+}
+
+void RunReport::print_summary(std::ostream& os) const {
+  os << "== " << name_ << ": span summary ==\n";
+  Trace::print_summary(os);
+  os << "\n== " << name_ << ": counters ==\n";
+  Counters::print_summary(os);
+}
+
+}  // namespace compsyn

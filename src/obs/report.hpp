@@ -1,0 +1,62 @@
+// Machine-readable run reports: one RunReport per bench/example invocation
+// collects run metadata, the plain-text tables as structured records, and a
+// snapshot of every span and counter, then writes a single JSON document
+// (or JSONL, one record per line, when the path ends in ".jsonl").
+//
+// The report layer is always compiled in -- it is the explicit, user-facing
+// sink behind --report=<file>; only the Trace/Counters snapshots it embeds
+// are subject to the COMPSYN_TRACE / runtime gating (they come out empty when
+// instrumentation is off).
+#pragma once
+
+#include <chrono>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace compsyn {
+
+class Table;
+
+class RunReport {
+ public:
+  /// `name` identifies the producing binary ("table2_proc2", ...). Wall time
+  /// is measured from construction to to_json()/write().
+  explicit RunReport(std::string name);
+
+  /// Run metadata (seed, K, circuit list, flag values, ...).
+  void set_meta(std::string key, Json value);
+
+  /// Captures a printed table as structured rows: each row becomes an object
+  /// mapping column header to cell text.
+  void add_table(std::string label, const Table& t);
+
+  /// Appends a free-form record to a named section (e.g. per-circuit stats).
+  void add_record(std::string section, Json record);
+
+  /// The full document: name, meta, wall_seconds, spans, counters,
+  /// distributions, tables, and every record section.
+  Json to_json() const;
+
+  /// Writes to_json() to `path` (pretty JSON; JSONL when the extension is
+  /// ".jsonl"). Returns false and fills *error on I/O failure.
+  bool write(const std::string& path, std::string* error = nullptr) const;
+
+  /// JSONL form: one {"type": ...} record per line.
+  void write_jsonl(std::ostream& os) const;
+
+  /// Human-readable sink: span and counter summary tables.
+  void print_summary(std::ostream& os) const;
+
+ private:
+  std::string name_;
+  std::chrono::steady_clock::time_point start_;
+  Json meta_ = Json::object();
+  std::vector<std::pair<std::string, Json>> tables_;    // label -> {headers, rows}
+  std::vector<std::pair<std::string, Json>> sections_;  // section -> array
+};
+
+}  // namespace compsyn

@@ -1,0 +1,155 @@
+#include "obs/trace.hpp"
+
+#if COMPSYN_TRACE
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+#include <map>
+#include <mutex>
+#include <ostream>
+
+#include "util/table.hpp"
+
+namespace compsyn {
+
+namespace obs_detail {
+std::atomic<bool> g_enabled{false};
+}  // namespace obs_detail
+
+namespace {
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+struct Agg {
+  std::uint64_t count = 0;
+  std::uint64_t total_ns = 0;
+  std::uint64_t self_ns = 0;
+  std::uint64_t min_ns = std::numeric_limits<std::uint64_t>::max();
+  std::uint64_t max_ns = 0;
+};
+
+struct Registry {
+  std::mutex mu;
+  // transparent comparator: lookup by string_view without allocating
+  std::map<std::string, std::uint32_t, std::less<>> slots;
+  std::vector<const std::string*> labels;  // slot -> label (stable map keys)
+  std::vector<Agg> aggs;
+
+  std::uint32_t slot_for(std::string_view label) {
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = slots.find(label);
+    if (it != slots.end()) return it->second;
+    const auto slot = static_cast<std::uint32_t>(aggs.size());
+    auto [pos, inserted] = slots.emplace(std::string(label), slot);
+    labels.push_back(&pos->first);
+    aggs.emplace_back();
+    return slot;
+  }
+
+  void record(std::uint32_t slot, std::uint64_t total, std::uint64_t self) {
+    std::lock_guard<std::mutex> lock(mu);
+    Agg& a = aggs[slot];
+    ++a.count;
+    a.total_ns += total;
+    a.self_ns += self;
+    a.min_ns = std::min(a.min_ns, total);
+    a.max_ns = std::max(a.max_ns, total);
+  }
+};
+
+Registry& registry() {
+  static Registry* r = new Registry();  // leaked: spans may end at exit time
+  return *r;
+}
+
+thread_local Trace::Span* t_current = nullptr;
+
+}  // namespace
+
+Trace::Span::Span(std::uint32_t slot) : slot_(slot) {
+  if (slot_ == kInert) return;
+  parent_ = t_current;
+  t_current = this;
+  start_ns_ = now_ns();
+}
+
+Trace::Span::~Span() {
+  if (slot_ == kInert) return;
+  const std::uint64_t end = now_ns();
+  const std::uint64_t total = end >= start_ns_ ? end - start_ns_ : 0;
+  t_current = parent_;
+  if (parent_ != nullptr) parent_->child_ns_ += total;
+  const std::uint64_t self = total >= child_ns_ ? total - child_ns_ : 0;
+  registry().record(slot_, total, self);
+}
+
+Trace::Span Trace::span(std::string_view label) {
+  if (!obs_enabled()) return Span(Span::kInert);
+  return Span(registry().slot_for(label));
+}
+
+std::vector<SpanStats> Trace::snapshot() {
+  Registry& r = registry();
+  std::vector<SpanStats> out;
+  {
+    std::lock_guard<std::mutex> lock(r.mu);
+    out.reserve(r.aggs.size());
+    for (std::uint32_t s = 0; s < r.aggs.size(); ++s) {
+      const Agg& a = r.aggs[s];
+      if (a.count == 0) continue;
+      SpanStats st;
+      st.label = *r.labels[s];
+      st.count = a.count;
+      st.total_ns = a.total_ns;
+      st.self_ns = a.self_ns;
+      st.min_ns = a.min_ns;
+      st.max_ns = a.max_ns;
+      out.push_back(std::move(st));
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const SpanStats& a, const SpanStats& b) {
+    if (a.total_ns != b.total_ns) return a.total_ns > b.total_ns;
+    return a.label < b.label;
+  });
+  return out;
+}
+
+void Trace::reset() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.slots.clear();
+  r.labels.clear();
+  r.aggs.clear();
+}
+
+void Trace::print_summary(std::ostream& os) {
+  const auto spans = snapshot();
+  if (spans.empty()) {
+    os << "(no spans recorded)\n";
+    return;
+  }
+  const auto ms = [](std::uint64_t ns) {
+    return static_cast<double>(ns) / 1e6;
+  };
+  Table t({"span", "calls", "total ms", "self ms", "min ms", "max ms"});
+  for (const SpanStats& s : spans) {
+    t.row()
+        .add(s.label)
+        .add(s.count)
+        .add(ms(s.total_ns), 3)
+        .add(ms(s.self_ns), 3)
+        .add(ms(s.min_ns), 3)
+        .add(ms(s.max_ns), 3);
+  }
+  t.print(os);
+}
+
+}  // namespace compsyn
+
+#endif  // COMPSYN_TRACE

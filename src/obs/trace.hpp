@@ -1,0 +1,97 @@
+// Scoped-span tracer: monotonic-clock timing with nesting-aware self time
+// and a thread-safe global registry aggregated per label.
+//
+//   {
+//     auto s = Trace::span("resynth.pass");
+//     ...work...
+//   }  // elapsed time recorded on scope exit
+//
+// Per label the registry keeps call count, total time, self time (total minus
+// the time spent in child spans started while this one was active on the same
+// thread), and min/max per-call duration. Spans are cheap: one label lookup
+// and two clock reads when enabled, a single relaxed atomic load when not
+// (see obs.hpp for the gating contract).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/obs.hpp"
+
+namespace compsyn {
+
+/// Aggregated statistics for one span label.
+struct SpanStats {
+  std::string label;
+  std::uint64_t count = 0;     // completed spans
+  std::uint64_t total_ns = 0;  // wall time, children included
+  std::uint64_t self_ns = 0;   // wall time minus same-thread child spans
+  std::uint64_t min_ns = 0;    // fastest single span
+  std::uint64_t max_ns = 0;    // slowest single span
+};
+
+#if COMPSYN_TRACE
+
+class Trace {
+ public:
+  /// RAII span; records on destruction. Not copyable or movable -- keep it in
+  /// a local variable for the duration of the scope being measured.
+  class Span {
+   public:
+    Span(const Span&) = delete;
+    Span& operator=(const Span&) = delete;
+    ~Span();
+
+   private:
+    friend class Trace;
+    explicit Span(std::uint32_t slot);
+
+    static constexpr std::uint32_t kInert = ~0u;
+    std::uint32_t slot_;
+    std::uint64_t start_ns_ = 0;
+    std::uint64_t child_ns_ = 0;  // accumulated by direct children
+    Span* parent_ = nullptr;
+  };
+
+  /// Starts a span; inert (two loads, no clock read) when recording is off.
+  [[nodiscard]] static Span span(std::string_view label);
+
+  /// Snapshot of every label seen so far, sorted by descending total time.
+  static std::vector<SpanStats> snapshot();
+
+  /// Drops all aggregates (labels are forgotten too). Test helper.
+  static void reset();
+
+  /// Human-readable aggregate table (label, calls, total/self ms, min/max).
+  static void print_summary(std::ostream& os);
+};
+
+#else  // COMPSYN_TRACE == 0
+
+class Trace {
+ public:
+  class Span {
+   public:
+    Span(const Span&) = delete;
+    Span& operator=(const Span&) = delete;
+    // Non-trivial so `auto s = Trace::span(...)` never trips
+    // -Wunused-variable in the compiled-out configuration.
+    ~Span() {}
+
+   private:
+    friend class Trace;
+    Span() = default;
+  };
+
+  [[nodiscard]] static Span span(std::string_view) { return Span(); }
+  static std::vector<SpanStats> snapshot() { return {}; }
+  static void reset() {}
+  static void print_summary(std::ostream&) {}
+};
+
+#endif
+
+}  // namespace compsyn

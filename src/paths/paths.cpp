@@ -4,6 +4,9 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
+
 namespace compsyn {
 namespace {
 
@@ -22,6 +25,8 @@ bool is_source(GateType t) {
 }  // namespace
 
 PathCounts count_paths(const Netlist& nl) {
+  const auto sp = Trace::span("paths.count");
+  Counters::incr("paths.count_sweeps");
   PathCounts pc;
   pc.np.assign(nl.size(), 0);
   for (NodeId pi : nl.inputs()) {

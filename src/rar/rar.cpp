@@ -6,6 +6,8 @@
 
 #include "atpg/redundancy.hpp"
 #include "faults/fault.hpp"
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
 #include "paths/paths.hpp"
 #include "rar/factor.hpp"
 #include "util/rng.hpp"
@@ -205,17 +207,21 @@ unsigned resubstitute_divisors(Netlist& nl) {
 }
 
 RarStats rar_optimize(Netlist& nl, const RarOptions& opt) {
+  const auto whole = Trace::span("rar.optimize");
   RarStats stats;
   stats.gates_before = nl.equivalent_gate_count();
   stats.paths_before = count_paths(nl).total;
   Rng rng(opt.seed);
+  std::uint64_t connections_tried = 0;
 
   if (opt.run_redundancy_removal) {
+    const auto sp = Trace::span("rar.redundancy_removal");
     RedundancyRemovalOptions rr;
     rr.atpg = opt.atpg;
     remove_redundancies(nl, rr);
   }
   if (opt.run_extraction) {
+    const auto sp = Trace::span("rar.extraction");
     merge_duplicate_gates(nl);
     stats.extracted = extract_common_pairs(nl);
     resubstitute_divisors(nl);
@@ -223,6 +229,7 @@ RarStats rar_optimize(Netlist& nl, const RarOptions& opt) {
     nl.simplify();
   }
   if (opt.run_factoring) {
+    const auto sp = Trace::span("rar.factoring");
     factor_cones(nl);
     if (opt.run_extraction) {
       merge_duplicate_gates(nl);
@@ -232,6 +239,7 @@ RarStats rar_optimize(Netlist& nl, const RarOptions& opt) {
   }
 
   if (opt.run_addition_removal) {
+    const auto sp = Trace::span("rar.addition_removal");
     // Snapshot of candidate destinations (new gates created later by
     // accepted transactions are not revisited; one sweep is the budget).
     std::vector<NodeId> destinations;
@@ -269,6 +277,7 @@ RarStats rar_optimize(Netlist& nl, const RarOptions& opt) {
       }
 
       for (NodeId ws : sources) {
+        ++connections_tried;
         const Netlist snapshot = nl;  // revert point for this transaction
         const std::uint64_t literals_at_start = literal_count(nl);
 
@@ -322,6 +331,7 @@ RarStats rar_optimize(Netlist& nl, const RarOptions& opt) {
   }
 
   if (opt.run_redundancy_removal) {
+    const auto sp = Trace::span("rar.redundancy_removal");
     RedundancyRemovalOptions rr;
     rr.atpg = opt.atpg;
     remove_redundancies(nl, rr);
@@ -329,6 +339,11 @@ RarStats rar_optimize(Netlist& nl, const RarOptions& opt) {
   nl.simplify();
   stats.gates_after = nl.equivalent_gate_count();
   stats.paths_after = count_paths(nl).total;
+  Counters::incr("rar.runs");
+  Counters::incr("rar.connections_tried", connections_tried);
+  Counters::incr("rar.connections_added", stats.additions);
+  Counters::incr("rar.wires_removed", stats.wires_removed);
+  Counters::incr("rar.pairs_extracted", stats.extracted);
   return stats;
 }
 

@@ -1,6 +1,7 @@
 #include "util/cli.hpp"
 
 #include <cstdlib>
+#include <ostream>
 #include <string_view>
 
 namespace compsyn {
@@ -14,29 +15,59 @@ Cli::Cli(int argc, char** argv) {
     }
     arg.remove_prefix(2);
     const std::size_t eq = arg.find('=');
-    if (eq != std::string_view::npos) {
-      flags_[std::string(arg.substr(0, eq))] = std::string(arg.substr(eq + 1));
-    } else {
-      flags_[std::string(arg)] = "1";
-    }
+    std::string name(eq == std::string_view::npos ? arg : arg.substr(0, eq));
+    std::string value(eq == std::string_view::npos ? std::string_view("1")
+                                                   : arg.substr(eq + 1));
+    flags_.insert_or_assign(std::move(name), std::move(value));
   }
 }
 
-bool Cli::has(const std::string& name) const { return flags_.count(name) != 0; }
+bool Cli::has(const std::string& name) const {
+  queried_.insert(name);
+  return flags_.count(name) != 0;
+}
 
 std::string Cli::get(const std::string& name, const std::string& def) const {
+  queried_.insert(name);
   auto it = flags_.find(name);
   return it == flags_.end() ? def : it->second;
 }
 
 std::uint64_t Cli::get_u64(const std::string& name, std::uint64_t def) const {
+  queried_.insert(name);
   auto it = flags_.find(name);
   return it == flags_.end() ? def : std::strtoull(it->second.c_str(), nullptr, 0);
 }
 
 int Cli::get_int(const std::string& name, int def) const {
+  queried_.insert(name);
   auto it = flags_.find(name);
   return it == flags_.end() ? def : std::atoi(it->second.c_str());
+}
+
+double Cli::get_double(const std::string& name, double def) const {
+  queried_.insert(name);
+  auto it = flags_.find(name);
+  if (it == flags_.end()) return def;
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  return end == it->second.c_str() ? def : v;
+}
+
+std::vector<std::string> Cli::unrecognized() const {
+  std::vector<std::string> out;
+  for (const auto& [name, value] : flags_) {
+    if (queried_.count(name) == 0) out.push_back(name);
+  }
+  return out;
+}
+
+std::size_t Cli::warn_unrecognized(std::ostream& os) const {
+  const auto unknown = unrecognized();
+  for (const std::string& name : unknown) {
+    os << "warning: unrecognized flag --" << name << " (ignored)\n";
+  }
+  return unknown.size();
 }
 
 }  // namespace compsyn

@@ -2,10 +2,17 @@
 // Supports --name=value and boolean --name forms (the separated
 // "--name value" form is deliberately not supported: it is ambiguous with
 // boolean flags followed by positionals).
+//
+// Every query (has/get/get_*) registers its flag name as recognised;
+// warn_unrecognized() then reports any flag the user passed that no query
+// ever asked about -- call it after all flags have been read (the bench
+// harnesses do this from BenchRun::finish()).
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -19,13 +26,25 @@ class Cli {
   std::string get(const std::string& name, const std::string& def = "") const;
   std::uint64_t get_u64(const std::string& name, std::uint64_t def) const;
   int get_int(const std::string& name, int def) const;
+  double get_double(const std::string& name, double def) const;
 
   /// Non-flag positional arguments, in order.
   const std::vector<std::string>& positional() const { return positional_; }
 
+  /// All parsed --name[=value] flags (value "1" for the bare boolean form).
+  const std::map<std::string, std::string>& flags() const { return flags_; }
+
+  /// Flags the user passed that were never queried, in sorted order.
+  std::vector<std::string> unrecognized() const;
+
+  /// Prints one "warning: unrecognized flag --x (ignored)" line per
+  /// unrecognized flag. Returns the number of warnings emitted.
+  std::size_t warn_unrecognized(std::ostream& os) const;
+
  private:
   std::map<std::string, std::string> flags_;
   std::vector<std::string> positional_;
+  mutable std::set<std::string> queried_;
 };
 
 }  // namespace compsyn

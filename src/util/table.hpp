@@ -26,6 +26,10 @@ class Table {
   /// columns.
   void print(std::ostream& os) const;
 
+  /// Structured access for machine-readable sinks (obs/report).
+  const std::vector<std::string>& headers() const { return headers_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
  private:
   std::vector<std::string> headers_;
   std::vector<std::vector<std::string>> rows_;

@@ -141,7 +141,9 @@ TEST(Cones, InteriorOutputGateNotRemovable) {
   nl.mark_output(g);
   auto cones = enumerate_cones(nl, g, {.max_leaves = 2, .max_cones = 100});
   for (const auto& c : cones) {
-    if (c.interior.size() == 2) EXPECT_EQ(removable_gate_count(nl, c), 0u);
+    if (c.interior.size() == 2) {
+      EXPECT_EQ(removable_gate_count(nl, c), 0u);
+    }
   }
 }
 

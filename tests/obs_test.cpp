@@ -1,0 +1,341 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "core/resynth.hpp"
+#include "gen/circuits.hpp"
+#include "obs/counters.hpp"
+#include "obs/json.hpp"
+#include "obs/obs.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
+#include "paths/paths.hpp"
+#include "util/table.hpp"
+
+namespace compsyn {
+namespace {
+
+#if COMPSYN_TRACE
+
+/// Serialises the obs tests that touch the global registries and makes sure
+/// each starts from a clean, enabled state.
+class ObsFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs_set_enabled(true);
+    Trace::reset();
+    Counters::reset();
+  }
+  void TearDown() override {
+    obs_set_enabled(false);
+    Trace::reset();
+    Counters::reset();
+  }
+};
+
+using TraceTest = ObsFixture;
+using CountersTest = ObsFixture;
+using ReportTest = ObsFixture;
+
+void spin_for(std::chrono::microseconds d) {
+  const auto end = std::chrono::steady_clock::now() + d;
+  while (std::chrono::steady_clock::now() < end) {
+  }
+}
+
+TEST_F(TraceTest, RecordsCountAndDuration) {
+  for (int i = 0; i < 3; ++i) {
+    auto s = Trace::span("unit.work");
+    spin_for(std::chrono::microseconds(200));
+  }
+  const auto snap = Trace::snapshot();
+  ASSERT_EQ(snap.size(), 1u);
+  EXPECT_EQ(snap[0].label, "unit.work");
+  EXPECT_EQ(snap[0].count, 3u);
+  EXPECT_GE(snap[0].total_ns, 3u * 200'000u);
+  EXPECT_GE(snap[0].min_ns, 200'000u);
+  EXPECT_LE(snap[0].min_ns, snap[0].max_ns);
+  EXPECT_LE(snap[0].max_ns, snap[0].total_ns);
+}
+
+TEST_F(TraceTest, SelfTimeExcludesNestedChildren) {
+  {
+    auto outer = Trace::span("outer");
+    spin_for(std::chrono::microseconds(300));
+    {
+      auto inner = Trace::span("inner");
+      spin_for(std::chrono::microseconds(300));
+    }
+    spin_for(std::chrono::microseconds(300));
+  }
+  const auto snap = Trace::snapshot();
+  ASSERT_EQ(snap.size(), 2u);
+  const SpanStats& outer = snap[0].label == "outer" ? snap[0] : snap[1];
+  const SpanStats& inner = snap[0].label == "inner" ? snap[0] : snap[1];
+  ASSERT_EQ(outer.label, "outer");
+  ASSERT_EQ(inner.label, "inner");
+  // The parent's child time is exactly the child's total: the invariant is
+  // exact by construction, not approximate.
+  EXPECT_EQ(outer.self_ns + inner.total_ns, outer.total_ns);
+  EXPECT_GE(outer.self_ns, 2u * 300'000u);
+  // Leaf spans have self == total.
+  EXPECT_EQ(inner.self_ns, inner.total_ns);
+}
+
+TEST_F(TraceTest, SameLabelNestsCorrectly) {
+  {
+    auto a = Trace::span("rec");
+    {
+      auto b = Trace::span("rec");
+      spin_for(std::chrono::microseconds(200));
+    }
+  }
+  const auto snap = Trace::snapshot();
+  ASSERT_EQ(snap.size(), 1u);
+  EXPECT_EQ(snap[0].count, 2u);
+  // Self time counts the inner call's body exactly once, so self <= total
+  // strictly when nesting occurred.
+  EXPECT_LT(snap[0].self_ns, snap[0].total_ns);
+}
+
+TEST_F(TraceTest, DisabledSpansRecordNothing) {
+  obs_set_enabled(false);
+  {
+    auto s = Trace::span("ghost");
+    spin_for(std::chrono::microseconds(50));
+  }
+  EXPECT_TRUE(Trace::snapshot().empty());
+}
+
+TEST_F(CountersTest, IncrAndValue) {
+  Counters::incr("a.b");
+  Counters::incr("a.b", 41);
+  Counters::incr("other");
+  EXPECT_EQ(Counters::value("a.b"), 42u);
+  EXPECT_EQ(Counters::value("other"), 1u);
+  EXPECT_EQ(Counters::value("never"), 0u);
+  const auto all = Counters::counters();
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[0].name, "a.b");  // sorted by name
+  EXPECT_EQ(all[1].name, "other");
+}
+
+TEST_F(CountersTest, ConcurrentIncrementsAreExact) {
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < kPerThread; ++i) Counters::incr("mt.total");
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(Counters::value("mt.total"),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST_F(CountersTest, DistributionsSummarise) {
+  Counters::observe("d", 3.0);
+  Counters::observe("d", -1.0);
+  Counters::observe("d", 10.0);
+  const auto dists = Counters::distributions();
+  ASSERT_EQ(dists.size(), 1u);
+  EXPECT_EQ(dists[0].count, 3u);
+  EXPECT_DOUBLE_EQ(dists[0].sum, 12.0);
+  EXPECT_DOUBLE_EQ(dists[0].min, -1.0);
+  EXPECT_DOUBLE_EQ(dists[0].max, 10.0);
+}
+
+TEST_F(CountersTest, DisabledIncrIsNoOp) {
+  obs_set_enabled(false);
+  Counters::incr("dark");
+  EXPECT_EQ(Counters::value("dark"), 0u);
+}
+
+TEST(Json, BuildsAndDumpsStably) {
+  Json doc = Json::object();
+  doc.set("name", "demo");
+  doc.set("count", std::uint64_t{42});
+  doc.set("offset", std::int64_t{-7});
+  doc.set("ok", true);
+  doc.set("nothing", Json());
+  Json arr = Json::array();
+  arr.push(1);
+  arr.push(2.5);
+  arr.push("x\"y\n");
+  doc.set("items", std::move(arr));
+  EXPECT_EQ(doc.dump(),
+            "{\"name\":\"demo\",\"count\":42,\"offset\":-7,\"ok\":true,"
+            "\"nothing\":null,\"items\":[1,2.5,\"x\\\"y\\n\"]}");
+}
+
+TEST(Json, RoundTripsThroughParse) {
+  Json doc = Json::object();
+  doc.set("name", "round trip é\t");
+  doc.set("big", std::uint64_t{18446744073709551615ull});
+  doc.set("neg", std::int64_t{-123456789});
+  doc.set("pi", 3.140625);  // exactly representable
+  Json arr = Json::array();
+  for (int i = 0; i < 4; ++i) arr.push(i);
+  doc.set("seq", std::move(arr));
+
+  std::string error;
+  const auto parsed = Json::parse(doc.dump(), &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->dump(), doc.dump());
+  // Pretty-printed form parses back to the same compact dump too.
+  const auto pretty = Json::parse(doc.dump(2), &error);
+  ASSERT_TRUE(pretty.has_value()) << error;
+  EXPECT_EQ(pretty->dump(), doc.dump());
+}
+
+TEST(Json, ParseRejectsMalformedInput) {
+  std::string error;
+  EXPECT_FALSE(Json::parse("{\"a\":", &error).has_value());
+  EXPECT_FALSE(Json::parse("[1,2,]", &error).has_value());
+  EXPECT_FALSE(Json::parse("{\"a\":1} trailing", &error).has_value());
+  EXPECT_FALSE(Json::parse("'single'", &error).has_value());
+  EXPECT_FALSE(error.empty());
+}
+
+TEST_F(ReportTest, CapturesTablesSpansAndCounters) {
+  { auto s = Trace::span("phase"); }
+  Counters::incr("widgets", 5);
+
+  RunReport report("unit_report");
+  report.set_meta("seed", std::uint64_t{7});
+  Table t({"circuit", "gates"});
+  t.row().add("c17").add(std::uint64_t{6});
+  report.add_table("demo", t);
+  Json rec = Json::object();
+  rec.set("role", "original");
+  report.add_record("circuits", std::move(rec));
+
+  const Json doc = report.to_json();
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.find("name")->as_string(), "unit_report");
+  EXPECT_EQ(doc.find("meta")->find("seed")->as_u64(), 7u);
+  EXPECT_GE(doc.find("wall_seconds")->as_double(), 0.0);
+
+  const Json* tables = doc.find("tables");
+  ASSERT_NE(tables, nullptr);
+  const Json* demo = tables->find("demo");
+  ASSERT_NE(demo, nullptr);
+  ASSERT_EQ(demo->find("rows")->size(), 1u);
+  EXPECT_EQ(demo->find("rows")->at(0).find("circuit")->as_string(), "c17");
+  EXPECT_EQ(demo->find("rows")->at(0).find("gates")->as_string(), "6");
+
+  bool saw_span = false;
+  const Json* spans = doc.find("spans");
+  ASSERT_NE(spans, nullptr);
+  for (std::size_t i = 0; i < spans->size(); ++i) {
+    saw_span |= spans->at(i).find("label")->as_string() == "phase";
+  }
+  EXPECT_TRUE(saw_span);
+
+  const Json* counters = doc.find("counters");
+  ASSERT_NE(counters, nullptr);
+  ASSERT_NE(counters->find("widgets"), nullptr);
+  EXPECT_EQ(counters->find("widgets")->as_u64(), 5u);
+
+  ASSERT_NE(doc.find("circuits"), nullptr);
+  EXPECT_EQ(doc.find("circuits")->at(0).find("role")->as_string(), "original");
+
+  // The whole document survives a serialize/parse round trip.
+  std::string error;
+  const auto parsed = Json::parse(doc.dump(2), &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->dump(), doc.dump());
+}
+
+TEST_F(ReportTest, JsonlEmitsOneParseableRecordPerLine) {
+  { auto s = Trace::span("p"); }
+  Counters::incr("c", 2);
+  Counters::observe("d", 1.5);
+  RunReport report("jsonl_demo");
+  Table t({"a"});
+  t.row().add("v");
+  report.add_table("t", t);
+
+  std::ostringstream os;
+  report.write_jsonl(os);
+  std::istringstream is(os.str());
+  std::string line;
+  std::size_t lines = 0;
+  bool saw_run = false;
+  while (std::getline(is, line)) {
+    ++lines;
+    std::string error;
+    const auto rec = Json::parse(line, &error);
+    ASSERT_TRUE(rec.has_value()) << error << " in: " << line;
+    ASSERT_NE(rec->find("type"), nullptr);
+    saw_run |= rec->find("type")->as_string() == "run";
+  }
+  EXPECT_GE(lines, 4u);  // run + span + counter + row at minimum
+  EXPECT_TRUE(saw_run);
+}
+
+TEST_F(ReportTest, ResynthCountersMatchReturnedStats) {
+  Netlist nl = make_benchmark("cmp8");
+  ResynthOptions opt;
+  opt.k = 5;
+  const ResynthStats st = resynthesize(nl, opt);
+
+  EXPECT_EQ(Counters::value("resynth.runs"), 1u);
+  EXPECT_EQ(Counters::value("resynth.passes"), st.passes);
+  EXPECT_EQ(Counters::value("resynth.replacements"), st.replacements);
+  EXPECT_EQ(Counters::value("resynth.cones_considered"), st.cones_considered);
+  EXPECT_EQ(Counters::value("resynth.comparison_cones"), st.comparison_cones);
+
+  // Per-pass history is consistent with the aggregate stats.
+  ASSERT_EQ(st.history.size(), st.passes);
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < st.history.size(); ++i) {
+    EXPECT_EQ(st.history[i].pass, i + 1);
+    total += st.history[i].replacements;
+  }
+  EXPECT_EQ(total, st.replacements);
+  if (!st.history.empty()) {
+    EXPECT_EQ(st.history.back().gates, st.gates_after);
+    EXPECT_EQ(st.history.back().paths, st.paths_after);
+  }
+
+  // Spans were recorded for the run and for each pass.
+  const auto snap = Trace::snapshot();
+  bool saw_run = false, saw_pass = false;
+  for (const SpanStats& s : snap) {
+    if (s.label == "resynth") {
+      saw_run = true;
+      EXPECT_EQ(s.count, 1u);
+    }
+    if (s.label == "resynth.pass") {
+      saw_pass = true;
+      EXPECT_EQ(s.count, st.passes);
+    }
+  }
+  EXPECT_TRUE(saw_run);
+  EXPECT_TRUE(saw_pass);
+}
+
+#else  // COMPSYN_TRACE == 0
+
+TEST(ObsDisabled, StubsCompileAndReturnEmpty) {
+  obs_set_enabled(true);  // runtime enable has no effect when compiled out
+  {
+    auto s = Trace::span("nothing");
+  }
+  Counters::incr("nothing");
+  EXPECT_FALSE(obs_enabled());
+  EXPECT_TRUE(Trace::snapshot().empty());
+  EXPECT_EQ(Counters::value("nothing"), 0u);
+}
+
+#endif
+
+}  // namespace
+}  // namespace compsyn

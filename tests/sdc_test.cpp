@@ -87,7 +87,9 @@ TEST(IdentifyDc, DontCaresFillGaps) {
     // Verify the spec agrees with f on every care minterm.
     const TruthTable impl = s.to_truth_table();
     for (std::uint32_t m = 0; m < 8; ++m) {
-      if (care.get(m)) EXPECT_EQ(impl.get(m), f.get(m)) << "minterm " << m;
+      if (care.get(m)) {
+        EXPECT_EQ(impl.get(m), f.get(m)) << "minterm " << m;
+      }
     }
   }
 }
@@ -106,7 +108,9 @@ TEST(IdentifyDc, FullCareMatchesPlainEngine) {
     const bool with_dc = !identify_comparison_dc(f, care, opt).empty();
     // The sampled DC engine may miss (it is a heuristic) but must never
     // find a spec for something the exact engine proves impossible.
-    if (with_dc) EXPECT_TRUE(plain) << f.to_bits();
+    if (with_dc) {
+      EXPECT_TRUE(plain) << f.to_bits();
+    }
     agreements += plain == with_dc;
   }
   EXPECT_GT(agreements, 80);

@@ -17,7 +17,9 @@ TEST(SubjectGraph, OnlyNandInvInputs) {
     EXPECT_TRUE(t == GateType::Input || t == GateType::Nand || t == GateType::Not ||
                 t == GateType::Const0 || t == GateType::Const1)
         << to_string(t);
-    if (t == GateType::Nand) EXPECT_EQ(s.node(n).fanins.size(), 2u);
+    if (t == GateType::Nand) {
+      EXPECT_EQ(s.node(n).fanins.size(), 2u);
+    }
   }
 }
 

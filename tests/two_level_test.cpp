@@ -32,7 +32,9 @@ TEST(Primes, KnownExample) {
   for (const Cube& p : primes) {
     // Each prime must be an implicant.
     for (std::uint32_t m = 0; m < 8; ++m) {
-      if (p.covers(m)) EXPECT_TRUE(f.get(m)) << m;
+      if (p.covers(m)) {
+        EXPECT_TRUE(f.get(m)) << m;
+      }
     }
   }
 }

@@ -117,5 +117,42 @@ TEST(Cli, ParsesFlagsAndPositionals) {
   EXPECT_EQ(cli.positional()[0], "circuit.bench");
 }
 
+TEST(Cli, GetDouble) {
+  const char* argv[] = {"prog", "--weight-gates=1.5", "--weight-paths=0.25",
+                        "--bad=abc"};
+  Cli cli(4, const_cast<char**>(argv));
+  EXPECT_DOUBLE_EQ(cli.get_double("weight-gates", 0.0), 1.5);
+  EXPECT_DOUBLE_EQ(cli.get_double("weight-paths", 0.0), 0.25);
+  EXPECT_DOUBLE_EQ(cli.get_double("missing", 2.75), 2.75);
+  // Non-numeric values fall back to the default rather than throwing.
+  EXPECT_DOUBLE_EQ(cli.get_double("bad", 9.0), 9.0);
+}
+
+TEST(Cli, WarnsOnUnrecognizedFlags) {
+  const char* argv[] = {"prog", "--k=6", "--bogus=1", "--typo"};
+  Cli cli(4, const_cast<char**>(argv));
+  // Only flags the program actually queried count as recognized.
+  EXPECT_EQ(cli.get_int("k", 0), 6);
+  EXPECT_FALSE(cli.has("full"));  // querying an absent flag registers it too
+  const auto unknown = cli.unrecognized();
+  ASSERT_EQ(unknown.size(), 2u);
+  EXPECT_EQ(unknown[0], "bogus");
+  EXPECT_EQ(unknown[1], "typo");
+  std::ostringstream os;
+  EXPECT_EQ(cli.warn_unrecognized(os), 2u);
+  EXPECT_NE(os.str().find("unrecognized flag --bogus"), std::string::npos);
+  EXPECT_NE(os.str().find("unrecognized flag --typo"), std::string::npos);
+}
+
+TEST(Cli, NoWarningWhenAllFlagsQueried) {
+  const char* argv[] = {"prog", "--k=6"};
+  Cli cli(2, const_cast<char**>(argv));
+  EXPECT_EQ(cli.get_int("k", 0), 6);
+  EXPECT_TRUE(cli.unrecognized().empty());
+  std::ostringstream os;
+  EXPECT_EQ(cli.warn_unrecognized(os), 0u);
+  EXPECT_TRUE(os.str().empty());
+}
+
 }  // namespace
 }  // namespace compsyn
