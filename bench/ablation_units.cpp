@@ -5,7 +5,8 @@
 //   * single-unit (paper) vs multi-unit replacement (Section 6, issue 2),
 //   * cone expand-slack 0 (paper's enumeration) vs the default slack.
 //
-// Flags: --circuits=a,b,c   --report=<file>.json   --trace
+// Flags: --circuits=a,b,c   --verify=sim|sat|both
+//        --report=<file>.json   --trace
 #include "bench/common.hpp"
 #include "util/table.hpp"
 
@@ -24,6 +25,7 @@ struct Variant {
 int main(int argc, char** argv) {
   Cli cli(argc, argv);
   BenchRun run("ablation_units", cli);
+  const VerifyMode verify = bench_verify_mode(cli);
   const auto circuits = select_circuits(cli, {"cmp8", "alu4", "syn150", "syn300"});
 
   std::vector<Variant> variants;
@@ -61,14 +63,14 @@ int main(int argc, char** argv) {
   std::cout << "Ablation: Procedure 2 variants (gate objective, K=6)\n\n";
   Table t({"circuit", "variant", "gates", "paths", "replacements"});
   for (const std::string& name : circuits) {
-    Netlist base = prepare_irredundant(name);
+    Netlist base = prepare_irredundant(name, verify);
     run.add_circuit("original", base);
     for (Variant& v : variants) {
       Netlist nl = base;
       Rng rng(42);
       if (!v.opt.identify.exact) v.opt.identify.rng = &rng;
       ResynthStats st = resynthesize(nl, v.opt);
-      verify_or_die(base, nl, std::string(name) + " " + v.label);
+      verify_or_die(base, nl, std::string(name) + " " + v.label, verify);
       t.row()
           .add("irs_" + name)
           .add(v.label)

@@ -14,6 +14,7 @@
 #include "netlist/equivalence.hpp"
 #include "netlist/netlist.hpp"
 #include "obs/counters.hpp"
+#include "sat/cec.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
 #include "paths/paths.hpp"
@@ -96,11 +97,22 @@ inline std::vector<std::string> select_circuits(const Cli& cli,
   return defaults;
 }
 
+/// Redundancy-removal options matched to the verify mode: the proof modes
+/// (`--verify=sat|both`) also let the SAT fault miter finish what PODEM
+/// aborts, so removal reaches a proven-irredundant result. Sim keeps the
+/// historical PODEM-only behaviour (and therefore the historical tables).
+inline RedundancyRemovalOptions bench_rr_options(VerifyMode mode) {
+  RedundancyRemovalOptions opt;
+  opt.sat_fallback = mode != VerifyMode::Sim;
+  return opt;
+}
+
 /// The paper starts from irredundant circuits ("irs" prefix): build the
 /// named benchmark and remove redundancies.
-inline Netlist prepare_irredundant(const std::string& name) {
+inline Netlist prepare_irredundant(const std::string& name,
+                                   VerifyMode mode = VerifyMode::Sim) {
   Netlist nl = make_benchmark(name);
-  remove_redundancies(nl);
+  remove_redundancies(nl, bench_rr_options(mode));
   nl.set_name("irs_" + name);
   return nl;
 }
@@ -141,13 +153,36 @@ inline BestOfK best_of_k(const Netlist& base, ResynthObjective objective,
   return best;
 }
 
+/// Reads --verify=sim|sat|both (default sim, the historical behaviour);
+/// exits with code 2 on an unrecognised value.
+inline VerifyMode bench_verify_mode(const Cli& cli) {
+  const std::string v = cli.get("verify", "sim");
+  const auto mode = parse_verify_mode(v);
+  if (!mode) {
+    std::cerr << "error: --verify=" << v << " (expected sim, sat, or both)\n";
+    std::exit(2);
+  }
+  return *mode;
+}
+
 /// Sanity net: every harness verifies the transformation preserved the
-/// function before reporting numbers.
-inline void verify_or_die(const Netlist& a, const Netlist& b, const std::string& what) {
+/// function before reporting numbers. Sim (the default) keeps the historical
+/// random/exhaustive check; Sat/Both additionally require a real proof --
+/// anything short of one (including a SAT budget blow-out) is fatal.
+inline void verify_or_die(const Netlist& a, const Netlist& b, const std::string& what,
+                          VerifyMode mode = VerifyMode::Sim) {
   Rng rng(0xC0FFEE);
-  const auto res = check_equivalent(a, b, rng, /*random_words=*/64);
+  const auto res = mode == VerifyMode::Sim
+                       ? check_equivalent(a, b, rng, /*random_words=*/64)
+                       : check_equivalent_mode(a, b, rng, mode,
+                                               /*random_words=*/64);
   if (!res.equivalent) {
     std::cerr << "FATAL: " << what << " changed the circuit function ("
+              << res.message << ")\n";
+    std::exit(1);
+  }
+  if (mode != VerifyMode::Sim && !res.proven) {
+    std::cerr << "FATAL: " << what << " could not be proven equivalent ("
               << res.message << ")\n";
     std::exit(1);
   }

@@ -3,6 +3,7 @@
 // original, modified, and redundancy-removed circuits; paths likewise.
 //
 // Flags: --circuits=a,b,c   --full   --k=5,6 (Ks to try)
+//        --verify=sim|sat|both (equivalence-check backend, default sim)
 //        --report=<file>.json   --trace   (see bench/common.hpp)
 #include "bench/common.hpp"
 #include "util/table.hpp"
@@ -13,6 +14,7 @@ using namespace compsyn::bench;
 int main(int argc, char** argv) {
   Cli cli(argc, argv);
   BenchRun run("table2_proc2", cli);
+  const VerifyMode verify = bench_verify_mode(cli);
   const auto circuits = select_circuits(
       cli, {"c17", "s27", "add8", "cmp8", "dec5", "mux4", "alu4", "syn150",
             "syn300", "syn600", "syn1000"});
@@ -31,21 +33,21 @@ int main(int argc, char** argv) {
   Table t({"circuit(K)", "2inp orig", "2inp modif", "2inp red.rem", "paths orig",
            "paths modif", "paths red.rem"});
   for (const std::string& name : circuits) {
-    Netlist orig = prepare_irredundant(name);
+    Netlist orig = prepare_irredundant(name, verify);
     run.add_circuit("original", orig);
     const std::uint64_t g0 = orig.equivalent_gate_count();
     const std::uint64_t p0 = count_paths(orig).total;
 
     BestOfK best = best_of_k(orig, ResynthObjective::Gates, ks);
-    verify_or_die(orig, best.netlist, name + " Procedure 2");
+    verify_or_die(orig, best.netlist, name + " Procedure 2", verify);
     const std::uint64_t g1 = best.netlist.equivalent_gate_count();
     const std::uint64_t p1 = count_paths(best.netlist).total;
 
     // Redundancy removal afterwards, as in Section 5 (only has an effect
     // when the modification created redundant faults).
     Netlist rr = best.netlist;
-    const auto rr_stats = remove_redundancies(rr);
-    verify_or_die(best.netlist, rr, name + " redundancy removal");
+    const auto rr_stats = remove_redundancies(rr, bench_rr_options(verify));
+    verify_or_die(best.netlist, rr, name + " redundancy removal", verify);
     const std::uint64_t g2 = rr.equivalent_gate_count();
     const std::uint64_t p2 = count_paths(rr).total;
 

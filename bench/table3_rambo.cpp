@@ -4,6 +4,7 @@
 // of the RAR result (recovering paths while trimming a few more gates).
 //
 // Flags: --circuits=a,b,c  --k=5,6  --adds=N (RAR addition budget)
+//        --verify=sim|sat|both (equivalence-check backend, default sim)
 //        --report=<file>.json   --trace
 #include "bench/common.hpp"
 #include "rar/rar.hpp"
@@ -15,6 +16,7 @@ using namespace compsyn::bench;
 int main(int argc, char** argv) {
   Cli cli(argc, argv);
   BenchRun run("table3_rambo", cli);
+  const VerifyMode verify = bench_verify_mode(cli);
   const auto circuits =
       select_circuits(cli, {"cmp8", "alu4", "syn150", "syn300", "syn600"});
   std::vector<unsigned> ks;
@@ -27,7 +29,7 @@ int main(int argc, char** argv) {
   Table t({"circuit", "2inp orig", "paths orig", "2inp RAR", "paths RAR", "K",
            "2inp RAR+P2", "paths RAR+P2"});
   for (const std::string& name : circuits) {
-    Netlist orig = prepare_irredundant(name);
+    Netlist orig = prepare_irredundant(name, verify);
     run.add_circuit("original", orig);
 
     Netlist rar = orig;
@@ -35,10 +37,10 @@ int main(int argc, char** argv) {
     ropt.max_adds = static_cast<unsigned>(cli.get_u64("adds", 20));
     ropt.seed = 7;
     rar_optimize(rar, ropt);
-    verify_or_die(orig, rar, name + " RAR");
+    verify_or_die(orig, rar, name + " RAR", verify);
 
     BestOfK best = best_of_k(rar, ResynthObjective::Gates, ks);
-    verify_or_die(rar, best.netlist, name + " RAR+Proc2");
+    verify_or_die(rar, best.netlist, name + " RAR+Proc2", verify);
 
     t.row()
         .add("irs_" + name)

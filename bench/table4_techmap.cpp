@@ -3,6 +3,7 @@
 // mapped literals (total cell area) and gates on the longest path.
 //
 // Flags: --circuits=a,b,c  --k=5,6  --adds=N
+//        --verify=sim|sat|both (equivalence-check backend, default sim)
 //        --report=<file>.json   --trace
 #include "bench/common.hpp"
 #include "rar/rar.hpp"
@@ -15,6 +16,7 @@ using namespace compsyn::bench;
 int main(int argc, char** argv) {
   Cli cli(argc, argv);
   BenchRun run("table4_techmap", cli);
+  const VerifyMode verify = bench_verify_mode(cli);
   const auto circuits =
       select_circuits(cli, {"cmp8", "alu4", "syn150", "syn300", "syn600"});
   std::vector<unsigned> ks;
@@ -27,11 +29,11 @@ int main(int argc, char** argv) {
   Table ta({"circuit", "lits orig", "longest orig", "lits Proc2", "longest Proc2"});
   std::vector<Netlist> originals;
   for (const std::string& name : circuits) {
-    Netlist orig = prepare_irredundant(name);
+    Netlist orig = prepare_irredundant(name, verify);
     run.add_circuit("original", orig);
     const TechmapResult m0 = technology_map(orig);
     BestOfK p2 = best_of_k(orig, ResynthObjective::Gates, ks);
-    verify_or_die(orig, p2.netlist, name + " Procedure 2");
+    verify_or_die(orig, p2.netlist, name + " Procedure 2", verify);
     const TechmapResult m1 = technology_map(p2.netlist);
     ta.row()
         .add("irs_" + name)
@@ -51,10 +53,10 @@ int main(int argc, char** argv) {
     ropt.max_adds = static_cast<unsigned>(cli.get_u64("adds", 20));
     ropt.seed = 7;
     rar_optimize(rar, ropt);
-    verify_or_die(originals[i], rar, circuits[i] + " RAR");
+    verify_or_die(originals[i], rar, circuits[i] + " RAR", verify);
     const TechmapResult m0 = technology_map(rar);
     BestOfK p2 = best_of_k(rar, ResynthObjective::Gates, ks);
-    verify_or_die(rar, p2.netlist, circuits[i] + " RAR+Proc2");
+    verify_or_die(rar, p2.netlist, circuits[i] + " RAR+Proc2", verify);
     const TechmapResult m1 = technology_map(p2.netlist);
     tb.row()
         .add("irs_" + circuits[i])

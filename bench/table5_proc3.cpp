@@ -3,6 +3,7 @@
 // Gate count may increase -- Procedure 3 has no gate objective.
 //
 // Flags: --circuits=a,b,c   --full   --k=5,6
+//        --verify=sim|sat|both (equivalence-check backend, default sim)
 //        --report=<file>.json   --trace
 #include "bench/common.hpp"
 #include "util/table.hpp"
@@ -13,6 +14,7 @@ using namespace compsyn::bench;
 int main(int argc, char** argv) {
   Cli cli(argc, argv);
   BenchRun run("table5_proc3", cli);
+  const VerifyMode verify = bench_verify_mode(cli);
   const auto circuits = select_circuits(
       cli, {"c17", "s27", "add8", "cmp8", "dec5", "mux4", "alu4", "syn150",
             "syn300", "syn600", "syn1000"});
@@ -26,10 +28,10 @@ int main(int argc, char** argv) {
   Table t({"circuit(K)", "inp", "out", "2inp orig", "2inp modif", "paths orig",
            "paths modif"});
   for (const std::string& name : circuits) {
-    Netlist orig = prepare_irredundant(name);
+    Netlist orig = prepare_irredundant(name, verify);
     run.add_circuit("original", orig);
     BestOfK best = best_of_k(orig, ResynthObjective::Paths, ks);
-    verify_or_die(orig, best.netlist, name + " Procedure 3");
+    verify_or_die(orig, best.netlist, name + " Procedure 3", verify);
     t.row()
         .add("irs_" + name + " (" + std::to_string(best.k) + ")")
         .add(static_cast<std::uint64_t>(orig.inputs().size()))

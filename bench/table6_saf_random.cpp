@@ -5,7 +5,8 @@
 // deteriorate after the modification.
 //
 // Flags: --circuits=a,b,c  --patterns=N (default 2^20; the paper used 3e7)
-//        --k=5,6  --seed=S  --report=<file>.json  --trace
+//        --k=5,6  --seed=S  --verify=sim|sat|both
+//        --report=<file>.json  --trace
 #include "bench/common.hpp"
 #include "faults/fault_sim.hpp"
 #include "util/table.hpp"
@@ -16,6 +17,7 @@ using namespace compsyn::bench;
 int main(int argc, char** argv) {
   Cli cli(argc, argv);
   BenchRun run("table6_saf_random", cli);
+  const VerifyMode verify = bench_verify_mode(cli);
   const auto circuits = select_circuits(
       cli, {"c17", "s27", "add8", "cmp8", "alu4", "syn150", "syn300", "syn600"});
   const std::uint64_t max_patterns = cli.get_u64("patterns", 1ull << 20);
@@ -33,12 +35,12 @@ int main(int argc, char** argv) {
   Table t({"circuit", "faults", "remain", "eff.patt", "faults mod", "remain mod",
            "eff.patt mod"});
   for (const std::string& name : circuits) {
-    Netlist orig = prepare_irredundant(name);
+    Netlist orig = prepare_irredundant(name, verify);
     run.add_circuit("original", orig);
     BestOfK p2 = best_of_k(orig, ResynthObjective::Gates, ks);
     Netlist modified = p2.netlist;
-    remove_redundancies(modified);
-    verify_or_die(orig, modified, name + " Proc2+red.rem");
+    remove_redundancies(modified, bench_rr_options(verify));
+    verify_or_die(orig, modified, name + " Proc2+red.rem", verify);
     run.add_circuit("modified", modified);
 
     Rng r1(seed), r2(seed);  // identical pattern streams

@@ -10,7 +10,7 @@
 //
 // Flags: --circuit=name (default syn300)  --window=N (default 20000)
 //        --pairs=N (default 2e6)  --seed=S  --k=5,6  --adds=N
-//        --report=<file>.json  --trace
+//        --verify=sim|sat|both  --report=<file>.json  --trace
 #include "bench/common.hpp"
 #include "delay/nonenum.hpp"
 #include "delay/robust.hpp"
@@ -23,6 +23,7 @@ using namespace compsyn::bench;
 int main(int argc, char** argv) {
   Cli cli(argc, argv);
   BenchRun run("table7_pdf_random", cli);
+  const VerifyMode verify = bench_verify_mode(cli);
   const std::string name = cli.get("circuit", "syn300");
   const std::uint64_t window = cli.get_u64("window", 20000);
   const std::uint64_t max_pairs = cli.get_u64("pairs", 2000000);
@@ -37,23 +38,23 @@ int main(int argc, char** argv) {
   run.report().set_meta("seed", seed);
   run.report().set_meta("k", cli.get("k", "5,6"));
 
-  Netlist orig = prepare_irredundant(name);
+  Netlist orig = prepare_irredundant(name, verify);
   run.add_circuit("original", orig);
 
   Netlist proc2 = best_of_k(orig, ResynthObjective::Gates, ks).netlist;
-  remove_redundancies(proc2);
-  verify_or_die(orig, proc2, "Proc2");
+  remove_redundancies(proc2, bench_rr_options(verify));
+  verify_or_die(orig, proc2, "Proc2", verify);
 
   Netlist rar = orig;
   RarOptions ropt;
   ropt.max_adds = static_cast<unsigned>(cli.get_u64("adds", 20));
   ropt.seed = 7;
   rar_optimize(rar, ropt);
-  verify_or_die(orig, rar, "RAR");
+  verify_or_die(orig, rar, "RAR", verify);
 
   Netlist rar_p2 = best_of_k(rar, ResynthObjective::Gates, ks).netlist;
-  remove_redundancies(rar_p2);
-  verify_or_die(rar, rar_p2, "RAR+Proc2");
+  remove_redundancies(rar_p2, bench_rr_options(verify));
+  verify_or_die(rar, rar_p2, "RAR+Proc2", verify);
   run.add_circuit("proc2", proc2);
   run.add_circuit("rar", rar);
   run.add_circuit("rar+proc2", rar_p2);

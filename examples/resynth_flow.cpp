@@ -6,6 +6,7 @@
 //   $ ./resynth_flow --proc=3 --k=6 path/to/circuit.bench
 //   $ ./resynth_flow --proc=combined --weight-gates=1 --weight-paths=0.25 syn150
 //   $ ./resynth_flow --out=result.bench --report=run.json syn150
+//   $ ./resynth_flow --verify=sat syn1000   (SAT proof at any input width)
 #include <fstream>
 #include <iostream>
 
@@ -15,6 +16,7 @@
 #include "gen/circuits.hpp"
 #include "netlist/equivalence.hpp"
 #include "obs/obs.hpp"
+#include "sat/cec.hpp"
 #include "obs/report.hpp"
 #include "paths/paths.hpp"
 #include "util/cli.hpp"
@@ -25,15 +27,28 @@ int main(int argc, char** argv) {
   Cli cli(argc, argv);
   if (cli.positional().empty()) {
     std::cerr << "usage: resynth_flow [--proc=2|3|combined] [--k=K] "
-                 "[--weight-gates=W --weight-paths=W] [--out=file.bench] "
-                 "[--report=file.json] [--trace] <suite-name | file.bench>\n"
+                 "[--weight-gates=W --weight-paths=W] [--verify=sim|sat|both] "
+                 "[--out=file.bench] [--report=file.json] [--trace] "
+                 "<suite-name | file.bench>\n"
                  "  suite names:";
     for (const auto& e : benchmark_suite()) std::cerr << " " << e.name;
     std::cerr << "\n";
     return 2;
   }
   if (cli.has("report") || cli.has("trace")) obs_set_enabled(true);
+  const std::string verify_str = cli.get("verify", "sim");
+  const auto verify = parse_verify_mode(verify_str);
+  if (!verify) {
+    std::cerr << "error: --verify=" << verify_str
+              << " (expected sim, sat, or both)\n";
+    return 2;
+  }
   RunReport report("resynth_flow");
+  // Proof modes also close PODEM's gaps in redundancy removal: aborted
+  // faults are re-decided by the SAT fault miter. Sim keeps the historical
+  // PODEM-only removal (and its exact output).
+  RedundancyRemovalOptions rr_opt;
+  rr_opt.sat_fallback = *verify != VerifyMode::Sim;
   const std::string source = cli.positional()[0];
   Netlist nl;
   try {
@@ -49,7 +64,7 @@ int main(int argc, char** argv) {
             << " inputs, " << nl.outputs().size() << " outputs, "
             << nl.equivalent_gate_count() << " equivalent 2-input gates\n";
 
-  auto rr0 = remove_redundancies(nl);
+  auto rr0 = remove_redundancies(nl, rr_opt);
   std::cout << "redundancy removal: " << rr0.removed
             << " substitutions (irredundant start, as in the paper)\n";
   Netlist original = nl.compacted();
@@ -86,7 +101,7 @@ int main(int argc, char** argv) {
               << " paths\n";
   }
 
-  auto rr1 = remove_redundancies(nl);
+  auto rr1 = remove_redundancies(nl, rr_opt);
   if (rr1.removed) {
     std::cout << "post-resynthesis redundancy removal: " << rr1.removed
               << " substitutions -> " << nl.equivalent_gate_count()
@@ -97,9 +112,15 @@ int main(int argc, char** argv) {
   std::cout << "depth: " << original.depth() << " -> " << nl.depth() << "\n";
 
   Rng rng(1);
-  auto eq = check_equivalent(original, nl, rng, 128);
-  std::cout << "function preserved: " << (eq.equivalent ? "yes" : "NO")
-            << (eq.exhaustive ? " (proved exhaustively)" : " (random vectors)")
+  auto eq = *verify == VerifyMode::Sim
+                ? check_equivalent(original, nl, rng, 128)
+                : check_equivalent_mode(original, nl, rng, *verify, 128);
+  // Default (sim) wording is unchanged; the SAT modes say what was proved.
+  std::string how = eq.exhaustive ? " (proved exhaustively)" : " (random vectors)";
+  if (*verify != VerifyMode::Sim && !eq.exhaustive && eq.proven) {
+    how = eq.equivalent ? " (proved by SAT)" : " (SAT counterexample)";
+  }
+  std::cout << "function preserved: " << (eq.equivalent ? "yes" : "NO") << how
             << "\n";
 
   if (cli.has("out")) {
@@ -118,6 +139,8 @@ int main(int argc, char** argv) {
     report.set_meta("paths_before", st.paths_before);
     report.set_meta("paths_after", st.paths_after);
     report.set_meta("function_preserved", eq.equivalent);
+    report.set_meta("verify", verify_str);
+    report.set_meta("verify_proven", eq.proven);
     for (const ResynthPassRecord& pr : st.history) {
       Json rec = Json::object();
       rec.set("pass", static_cast<std::uint64_t>(pr.pass));

@@ -1,7 +1,11 @@
 #include "atpg/redundancy.hpp"
 
+#include <iostream>
+
 #include "faults/fault.hpp"
 #include "faults/fault_sim.hpp"
+#include "obs/counters.hpp"
+#include "sat/satpg.hpp"
 #include "util/rng.hpp"
 
 namespace compsyn {
@@ -57,6 +61,23 @@ bool fault_site_stale(const Netlist& nl, const StuckFault& f) {
 
 }  // namespace
 
+namespace {
+
+/// Flushes the fallback tallies into the obs counters (no-ops while
+/// recording is off); batched once per remove_redundancies call.
+void publish_stats(const RedundancyRemovalStats& stats) {
+  Counters::incr("redundancy.faults_checked", stats.faults_checked);
+  Counters::incr("redundancy.removed", stats.removed);
+  Counters::incr("redundancy.aborted", stats.aborted);
+  Counters::incr("redundancy.aborted_unresolved", stats.aborted_unresolved);
+  Counters::incr("redundancy.sat_fallback.calls", stats.sat_fallback_calls);
+  Counters::incr("redundancy.sat_fallback.proofs", stats.sat_proved_untestable);
+  Counters::incr("redundancy.sat_fallback.tests", stats.sat_found_tests);
+  Counters::incr("redundancy.sat_fallback.unknown", stats.sat_unknown);
+}
+
+}  // namespace
+
 RedundancyRemovalStats remove_redundancies(Netlist& nl,
                                            const RedundancyRemovalOptions& opt) {
   RedundancyRemovalStats stats;
@@ -66,9 +87,12 @@ RedundancyRemovalStats remove_redundancies(Netlist& nl,
   // single snapshot would not be: removing one redundancy can make another
   // previously redundant fault testable.) A final clean sweep certifies the
   // fixpoint.
+  std::uint64_t round_unresolved = 0;
+  bool fixpoint = false;
   for (unsigned round = 0; round < opt.max_rounds; ++round) {
     nl.simplify();
     bool removed_this_round = false;
+    round_unresolved = 0;
     const auto all_faults = enumerate_faults(nl, /*collapse=*/true);
     // Random-pattern filter: anything detected is testable, no proof needed.
     std::vector<StuckFault> faults;
@@ -90,11 +114,30 @@ RedundancyRemovalStats remove_redundancies(Netlist& nl,
       if (fault_site_stale(nl, f)) continue;
       ++stats.faults_checked;
       const AtpgResult r = run_podem(nl, f, opt.atpg);
+      bool untestable = r.status == AtpgStatus::Untestable;
       if (r.status == AtpgStatus::Aborted) {
         ++stats.aborted;
-        continue;
+        if (opt.sat_fallback) {
+          ++stats.sat_fallback_calls;
+          const SatFaultResult sr = prove_fault(nl, f, opt.sat_budget);
+          switch (sr.status) {
+            case SatFaultStatus::Untestable:
+              ++stats.sat_proved_untestable;
+              untestable = true;
+              break;
+            case SatFaultStatus::Testable:
+              ++stats.sat_found_tests;
+              break;
+            case SatFaultStatus::Unknown:
+              ++stats.sat_unknown;
+              ++round_unresolved;
+              break;
+          }
+        } else {
+          ++round_unresolved;
+        }
       }
-      if (r.status != AtpgStatus::Untestable) continue;
+      if (!untestable) continue;
       if (substitute_constant(nl, f)) {
         ++stats.removed;
         removed_this_round = true;
@@ -102,18 +145,34 @@ RedundancyRemovalStats remove_redundancies(Netlist& nl,
       }
     }
     if (!removed_this_round) {
-      stats.irredundant = stats.aborted == 0;
-      nl.simplify();
-      return stats;
+      fixpoint = true;
+      break;
     }
   }
   nl.simplify();
+  // Only the final round's unresolved faults matter: earlier rounds were
+  // re-examined after the netlist changed.
+  stats.aborted_unresolved = round_unresolved;
+  stats.irredundant = fixpoint && round_unresolved == 0;
+  publish_stats(stats);
+  if (stats.aborted_unresolved > 0) {
+    std::cerr << "warning: redundancy removal finished with "
+              << stats.aborted_unresolved
+              << " aborted fault(s) left unresolved (neither proven "
+                 "untestable nor given a test)\n";
+  }
   return stats;
 }
 
 bool is_irredundant(const Netlist& nl, const AtpgOptions& opt) {
   for (const StuckFault& f : enumerate_faults(nl, /*collapse=*/true)) {
-    if (run_podem(nl, f, opt).status != AtpgStatus::Detected) return false;
+    const AtpgResult r = run_podem(nl, f, opt);
+    if (r.status == AtpgStatus::Detected) continue;
+    if (r.status == AtpgStatus::Aborted) {
+      // Same completion step as remove_redundancies: let SAT decide.
+      if (prove_fault(nl, f).status == SatFaultStatus::Testable) continue;
+    }
+    return false;
   }
   return true;
 }

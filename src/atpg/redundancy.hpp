@@ -7,12 +7,21 @@
 // Removal is one-fault-at-a-time: after each substitution the fault list is
 // rebuilt, because removing one redundancy can make other previously
 // redundant faults testable (removing several together is unsound).
+//
+// Completion: PODEM's backtrack budget can leave faults Aborted (nothing
+// proven). With `sat_fallback` enabled, every aborted fault is re-decided by
+// the SAT fault miter (sat/satpg.hpp) -- a genuine proof or a test in almost
+// all cases -- so aborted faults no longer silently escape the untestability
+// sweep. Off by default: the extra proofs trigger extra substitutions, and
+// the historical (PODEM-only) results stay reproducible bit-for-bit; the
+// bench/example drivers switch it on together with `--verify=sat|both`.
 #pragma once
 
 #include <cstdint>
 
 #include "atpg/podem.hpp"
 #include "netlist/netlist.hpp"
+#include "sat/solver.hpp"
 
 namespace compsyn {
 
@@ -23,12 +32,25 @@ struct RedundancyRemovalOptions {
   // certainly testable and skip ATPG entirely. 0 disables the filter.
   unsigned random_filter_blocks = 128;
   std::uint64_t random_filter_seed = 0xF117ull;
+  // Re-decide PODEM-aborted faults with the SAT fault miter. Proofs found
+  // this way trigger the same constant substitution as PODEM proofs (which
+  // changes the resulting circuit, hence opt-in; see the header comment).
+  bool sat_fallback = false;
+  SolverBudget sat_budget{/*max_conflicts=*/200000, /*max_propagations=*/0};
 };
 
 struct RedundancyRemovalStats {
   unsigned removed = 0;            // substitutions applied
   std::uint64_t faults_checked = 0;
-  std::uint64_t aborted = 0;       // only nonzero with a backtrack limit
+  std::uint64_t aborted = 0;       // PODEM hit its backtrack limit
+  // SAT fallback outcomes over the aborted faults:
+  std::uint64_t sat_fallback_calls = 0;
+  std::uint64_t sat_proved_untestable = 0;  // redundancy proofs PODEM missed
+  std::uint64_t sat_found_tests = 0;        // testable after all
+  std::uint64_t sat_unknown = 0;            // SAT budget also exhausted
+  // Faults of the final round with no verdict from either engine; nonzero
+  // means `irredundant` cannot be claimed.
+  std::uint64_t aborted_unresolved = 0;
   bool irredundant = false;        // true when the final circuit is proven
                                    // free of redundant faults
 };
@@ -37,7 +59,8 @@ struct RedundancyRemovalStats {
 RedundancyRemovalStats remove_redundancies(Netlist& nl,
                                            const RedundancyRemovalOptions& opt = {});
 
-/// True if every (collapsed) stuck-at fault is testable. Complete search.
+/// True if every (collapsed) stuck-at fault is provably testable. PODEM
+/// aborts are re-decided by SAT; an unresolved fault counts as failure.
 bool is_irredundant(const Netlist& nl, const AtpgOptions& opt = {});
 
 }  // namespace compsyn

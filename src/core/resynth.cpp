@@ -78,7 +78,7 @@ bool improves(const Candidate& c, const ResynthOptions& opt) {
 /// `reach` is non-null when SDC-aware identification is enabled.
 Candidate best_candidate(const Netlist& nl, NodeId g,
                          const std::vector<std::uint64_t>& np,
-                         const ReachabilityTable* reach,
+                         const ReachabilityOracle* reach,
                          const ResynthOptions& opt, ResynthStats& stats) {
   Candidate best;
   ConeOptions cone_opt;
@@ -166,11 +166,17 @@ std::uint64_t run_pass(Netlist& nl, const ResynthOptions& opt, ResynthStats& sta
   for (NodeId o : nl.outputs()) marked[o] = 1;
 
   // Node functions never change during a pass (replacements are
-  // function-preserving), so one reachability sweep serves the whole pass;
+  // function-preserving), so one reachability oracle serves the whole pass;
   // nodes created mid-pass simply fall back to "everything reachable".
-  std::unique_ptr<ReachabilityTable> reach;
-  if (opt.use_sdc && nl.inputs().size() <= opt.sdc_max_inputs) {
-    reach = std::make_unique<ReachabilityTable>(nl, opt.sdc_max_inputs);
+  // Small circuits sweep the whole input space exactly; wider ones decide
+  // each combination by incremental SAT.
+  std::unique_ptr<ReachabilityOracle> reach;
+  if (opt.use_sdc) {
+    if (nl.inputs().size() <= opt.sdc_max_inputs) {
+      reach = std::make_unique<ReachabilityTable>(nl, opt.sdc_max_inputs);
+    } else if (opt.sdc_sat) {
+      reach = std::make_unique<SatReachability>(nl);
+    }
   }
 
   std::uint64_t replacements = 0;

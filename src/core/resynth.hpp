@@ -48,11 +48,14 @@ struct ResynthOptions {
   // 1 (default) reproduces the paper's procedures exactly.
   unsigned max_units = 1;
   // Section 6 extension (1): exploit unreachable cone-input combinations
-  // (satisfiability don't-cares) during identification. Requires an exact
-  // reachability sweep, so it only engages when the circuit has at most
-  // sdc_max_inputs primary inputs. Off by default (paper behaviour).
+  // (satisfiability don't-cares) during identification. Off by default
+  // (paper behaviour). Circuits with at most sdc_max_inputs primary inputs
+  // use the exact full-sweep ReachabilityTable; wider circuits fall back to
+  // the SAT oracle (per-combination incremental queries) when sdc_sat is
+  // set, and otherwise run without don't-cares as before.
   bool use_sdc = false;
   unsigned sdc_max_inputs = 14;
+  bool sdc_sat = true;
   // Combined-objective weights: score = wg * (gates saved) + wp * (paths
   // saved on g); only used when objective == Combined.
   double weight_gates = 1.0;

@@ -51,6 +51,35 @@ TruthTable ReachabilityTable::reachable_combos(const std::vector<NodeId>& nodes)
   return reach;
 }
 
+SatReachability::SatReachability(const Netlist& nl, const SolverBudget& per_query)
+    : per_query_(per_query) {
+  enc_ = encode_circuit(nl, solver_);
+}
+
+TruthTable SatReachability::reachable_combos(const std::vector<NodeId>& nodes) const {
+  const unsigned k = static_cast<unsigned>(nodes.size());
+  TruthTable reach(k);
+  for (NodeId n : nodes) {
+    if (!enc_.has(n)) {
+      // Unknown node: be conservative, declare everything reachable.
+      return reach.complemented();  // all-ones
+    }
+  }
+  std::vector<SatLit> assumptions(k);
+  for (std::uint32_t combo = 0; combo < reach.num_minterms(); ++combo) {
+    for (unsigned i = 0; i < k; ++i) {
+      const bool bit = ((combo >> (k - 1 - i)) & 1u) != 0;
+      assumptions[i] = enc_.lit(nodes[i], /*negated=*/!bit);
+    }
+    // Sat: some input pattern produces the combination. Unknown: give up on
+    // this combination only; assuming reachable is always sound.
+    if (solver_.solve(assumptions, per_query_) != SolveStatus::Unsat) {
+      reach.set(combo, true);
+    }
+  }
+  return reach;
+}
+
 namespace {
 
 struct DcWindow {

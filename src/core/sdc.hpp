@@ -2,26 +2,48 @@
 // "combinations of values that cannot be obtained due to logic dependencies
 // in the circuit can be used during the selection of comparison units").
 //
-// ReachabilityTable performs an exact full-input-space sweep (so it is
-// limited to circuits with few primary inputs) and can then report, for any
-// set of nodes, which joint value combinations ever occur. A cone whose
-// leaves are logically dependent gets an incompletely specified function;
-// identify_comparison_dc searches for an interval that matches the ON-set on
-// all REACHABLE minterms, letting unreachable ones fall wherever convenient.
-// Replacements based on such specs alter the cone function only on
-// unreachable leaf combinations, so the circuit function is preserved.
+// Two interchangeable oracles answer "which joint value combinations of
+// these nodes ever occur":
+//
+//  * ReachabilityTable performs an exact full-input-space sweep (so it is
+//    limited to circuits with few primary inputs);
+//  * SatReachability decides each combination with an incremental SAT query
+//    over the Tseitin encoding of the circuit (sat/), so it works at any
+//    input width; a per-query budget keeps it total, with Unknown treated
+//    as reachable (always safe).
+//
+// A cone whose leaves are logically dependent gets an incompletely
+// specified function; identify_comparison_dc searches for an interval that
+// matches the ON-set on all REACHABLE minterms, letting unreachable ones
+// fall wherever convenient. Replacements based on such specs alter the cone
+// function only on unreachable leaf combinations, so the circuit function
+// is preserved.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "core/comparison.hpp"
 #include "core/truth_table.hpp"
 #include "netlist/netlist.hpp"
+#include "sat/solver.hpp"
+#include "sat/tseitin.hpp"
 
 namespace compsyn {
 
-class ReachabilityTable {
+/// Common interface of the reachability backends. Implementations must be
+/// conservative: marking an unreachable combination reachable is always
+/// sound (it only forgoes a don't-care), the reverse never is.
+class ReachabilityOracle {
+ public:
+  virtual ~ReachabilityOracle() = default;
+  /// Truth table over `nodes` (nodes[0] = MSB) whose ON-set contains every
+  /// joint value combination that occurs for some input pattern.
+  virtual TruthTable reachable_combos(const std::vector<NodeId>& nodes) const = 0;
+};
+
+class ReachabilityTable : public ReachabilityOracle {
  public:
   /// Sweeps all 2^|inputs| patterns; throws std::invalid_argument when the
   /// circuit has more than max_inputs inputs (memory: 2^inputs bits/node).
@@ -31,13 +53,34 @@ class ReachabilityTable {
   /// joint value combinations that occur for some input pattern. Nodes
   /// created after construction are rejected (returns an all-ones table:
   /// everything assumed reachable, which is always safe).
-  TruthTable reachable_combos(const std::vector<NodeId>& nodes) const;
+  TruthTable reachable_combos(const std::vector<NodeId>& nodes) const override;
 
   std::size_t tracked_nodes() const { return bits_.size(); }
 
  private:
   std::size_t words_ = 0;
   std::vector<std::vector<std::uint64_t>> bits_;  // per node, 2^n pattern bits
+};
+
+/// SAT-backed oracle for circuits whose input count forbids the exact sweep.
+/// Encodes the circuit once; each reachable_combos(nodes) call decides all
+/// 2^|nodes| combinations by incremental solving under assumptions. Unsat
+/// means the combination is unreachable (an exact don't-care); Sat or a
+/// blown budget means it is treated as reachable.
+class SatReachability : public ReachabilityOracle {
+ public:
+  explicit SatReachability(const Netlist& nl,
+                           const SolverBudget& per_query = {/*max_conflicts=*/20000,
+                                                            /*max_propagations=*/0});
+
+  /// Nodes created after construction (or dead at construction) make the
+  /// result fall back to all-ones: everything assumed reachable.
+  TruthTable reachable_combos(const std::vector<NodeId>& nodes) const override;
+
+ private:
+  mutable Solver solver_;
+  CircuitEncoding enc_;
+  SolverBudget per_query_;
 };
 
 /// Comparison-function identification with don't-cares: finds (perm, L, U)

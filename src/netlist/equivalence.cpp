@@ -55,14 +55,16 @@ EquivalenceResult check_equivalent(const Netlist& a, const Netlist& b, Rng& rng,
         std::ostringstream ss;
         ss << "output " << o << " differs";
         res.message = ss.str();
+        res.proven = true;  // a counterexample is a definitive verdict
         return false;
       }
     }
     return true;
   };
 
-  if (n <= exhaustive_limit && n <= 40) {
+  if (n <= exhaustive_limit && n <= kMaxExhaustiveInputs) {
     res.exhaustive = true;
+    res.proven = true;
     const std::uint64_t blocks = n >= 6 ? (1ull << (n - 6)) : 1;
     const std::uint64_t care =
         n >= 6 ? ~0ull : ((n == 0 ? 1ull : (1ull << (1u << n))) - 1ull);
@@ -75,6 +77,7 @@ EquivalenceResult check_equivalent(const Netlist& a, const Netlist& b, Rng& rng,
       if (!compare_block(care, blk)) return res;
     }
     res.equivalent = true;
+    res.message = "proved equivalent by exhaustive simulation";
     return res;
   }
 
@@ -86,6 +89,9 @@ EquivalenceResult check_equivalent(const Netlist& a, const Netlist& b, Rng& rng,
     if (!compare_block(~0ull, ~0ull)) return res;
   }
   res.equivalent = true;  // no difference found (not a proof)
+  std::ostringstream ss;
+  ss << "no difference in " << random_words << " random words (not a proof)";
+  res.message = ss.str();
   return res;
 }
 

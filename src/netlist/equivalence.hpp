@@ -3,9 +3,11 @@
 //
 // Exhaustive up to `exhaustive_limit` inputs (64 patterns per simulated word)
 // and random-simulation based beyond that. Random simulation can of course
-// only refute equivalence; the resynthesis procedures are additionally
-// covered by construction-level tests on small cones where exhaustive
-// checking applies.
+// only refute equivalence, never prove it -- `EquivalenceResult::proven`
+// distinguishes a real verdict (exhaustive sweep, or a concrete
+// counterexample) from a mere failure to refute. For proofs beyond the
+// exhaustive limit use the SAT backend (sat/cec.hpp), which fills in the
+// same result struct.
 #pragma once
 
 #include <cstdint>
@@ -17,9 +19,22 @@
 
 namespace compsyn {
 
+/// Largest input count checked exhaustively by default: 2^20 patterns
+/// (16384 simulated 64-bit words per netlist).
+inline constexpr unsigned kDefaultExhaustiveLimit = 20;
+
+/// Hard ceiling on the exhaustive sweep regardless of the caller's limit:
+/// beyond 40 inputs the 2^(n-6) block count no longer fits sensible time
+/// budgets (and at 70 it would overflow the 64-bit block index).
+inline constexpr unsigned kMaxExhaustiveInputs = 40;
+
 struct EquivalenceResult {
   bool equivalent = false;
-  bool exhaustive = false;       // true if the verdict is a proof
+  // True when the verdict is definitive: an exhaustive sweep, a SAT proof,
+  // or a concrete counterexample. A random-simulation pass that found no
+  // difference reports equivalent=true with proven=false.
+  bool proven = false;
+  bool exhaustive = false;  // the proof came from an exhaustive sweep
   std::vector<bool> counterexample;  // PI assignment, valid when !equivalent
   std::string message;
 };
@@ -30,6 +45,6 @@ std::uint64_t exhaustive_mask(unsigned input_index);
 
 EquivalenceResult check_equivalent(const Netlist& a, const Netlist& b, Rng& rng,
                                    unsigned random_words = 256,
-                                   unsigned exhaustive_limit = 20);
+                                   unsigned exhaustive_limit = kDefaultExhaustiveLimit);
 
 }  // namespace compsyn

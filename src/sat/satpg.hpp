@@ -1,0 +1,37 @@
+// SAT-based single stuck-at fault test generation / redundancy proving via
+// the fault-miter encoding (tseitin.hpp). This is the completion backend for
+// PODEM: where the structural search aborts on its backtrack budget, the
+// CDCL engine re-decides the fault -- Sat yields a test vector, Unsat is a
+// genuine untestability (redundancy) proof, Unknown only means the conflict
+// budget ran out.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "faults/fault.hpp"
+#include "netlist/netlist.hpp"
+#include "sat/solver.hpp"
+
+namespace compsyn {
+
+enum class SatFaultStatus {
+  Testable,    // model extracted: `test` detects the fault
+  Untestable,  // proven redundant
+  Unknown,     // budget exhausted
+};
+
+struct SatFaultResult {
+  SatFaultStatus status = SatFaultStatus::Unknown;
+  std::vector<bool> test;  // PI assignment, valid when status == Testable
+  std::uint64_t conflicts = 0;
+};
+
+/// Default conflict budget per fault; sized so the redundancy-removal
+/// fallback stays bounded even on pathological XOR cones.
+inline constexpr std::uint64_t kDefaultFaultConflicts = 200'000;
+
+SatFaultResult prove_fault(const Netlist& nl, const StuckFault& fault,
+                           const SolverBudget& budget = {kDefaultFaultConflicts, 0});
+
+}  // namespace compsyn

@@ -1,0 +1,165 @@
+// Compact CDCL SAT solver (MiniSat lineage), the proof engine behind the
+// sound verification paths: equivalence checking beyond the exhaustive
+// limit, redundancy proofs for PODEM-aborted faults, and exact SDC
+// reachability queries on circuits with many primary inputs.
+//
+// Features: two-watched-literal unit propagation, first-UIP conflict-clause
+// learning with basic (reason-local) minimisation, VSIDS-style variable
+// activities with exponential decay, phase saving, Luby restarts,
+// incremental solving under assumptions, and a conflict/propagation budget
+// that yields a three-valued result (Sat / Unsat / Unknown). Unsat and Sat
+// are definitive; Unknown only means the budget ran out. The solver is
+// fully deterministic: no randomness, no time-based heuristics.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "obs/obs.hpp"
+
+namespace compsyn {
+
+using SatVar = std::uint32_t;
+inline constexpr SatVar kNoSatVar = 0xffffffffu;
+
+/// Literal: variable index and sign packed as (var << 1) | negated.
+struct SatLit {
+  std::uint32_t x = 0xffffffffu;
+
+  SatVar var() const { return x >> 1; }
+  bool negated() const { return (x & 1u) != 0; }
+  bool operator==(const SatLit& o) const = default;
+  bool operator<(const SatLit& o) const { return x < o.x; }
+};
+
+inline SatLit mk_lit(SatVar v, bool negated = false) {
+  return SatLit{(v << 1) | static_cast<std::uint32_t>(negated)};
+}
+inline SatLit operator~(SatLit l) { return SatLit{l.x ^ 1u}; }
+inline constexpr SatLit kNoSatLit{0xffffffffu};
+
+enum class SolveStatus {
+  Sat,      // satisfying assignment found (model available)
+  Unsat,    // proven unsatisfiable under the given assumptions
+  Unknown,  // budget exhausted before a verdict
+};
+
+const char* to_string(SolveStatus s);
+
+/// Per-solve effort limits; 0 means unlimited. Budgets make every SAT-backed
+/// query total: callers receive Unknown instead of an unbounded search.
+struct SolverBudget {
+  std::uint64_t max_conflicts = 0;
+  std::uint64_t max_propagations = 0;
+};
+
+/// Cumulative effort statistics (across all solve() calls on this solver).
+struct SolverStats {
+  std::uint64_t decisions = 0;
+  std::uint64_t conflicts = 0;
+  std::uint64_t propagations = 0;  // literals propagated
+  std::uint64_t learned = 0;       // conflict clauses learned
+  std::uint64_t restarts = 0;
+  std::uint64_t solves = 0;
+};
+
+class Solver {
+ public:
+  Solver();
+
+  /// Creates a fresh variable and returns its index.
+  SatVar new_var();
+  std::size_t num_vars() const { return assign_.size(); }
+
+  /// Adds a clause over existing variables. Tautologies are dropped,
+  /// duplicate literals merged, level-0-false literals removed. Returns
+  /// false iff the formula became trivially unsatisfiable (empty clause or
+  /// level-0 conflict); the solver stays usable and reports Unsat.
+  bool add_clause(std::vector<SatLit> lits);
+  /// Convenience forms for the encoders.
+  bool add_clause(SatLit a) { return add_clause(std::vector<SatLit>{a}); }
+  bool add_clause(SatLit a, SatLit b) { return add_clause(std::vector<SatLit>{a, b}); }
+  bool add_clause(SatLit a, SatLit b, SatLit c) {
+    return add_clause(std::vector<SatLit>{a, b, c});
+  }
+
+  /// True until an unconditional (assumption-free) contradiction is derived.
+  bool ok() const { return ok_; }
+
+  /// Solves under the given assumption literals. Incremental: clauses learned
+  /// in earlier calls are kept and assumptions may change between calls.
+  SolveStatus solve(const std::vector<SatLit>& assumptions = {},
+                    const SolverBudget& budget = {});
+
+  /// Model value of a variable; valid after solve() returned Sat.
+  bool model_value(SatVar v) const { return model_[v] == kTrue; }
+
+  const SolverStats& stats() const { return stats_; }
+
+  /// Flushes this solver's effort deltas into the global obs counters
+  /// (sat.decisions, sat.conflicts, ...). Called automatically at the end of
+  /// every solve(); idempotent between solves.
+  void publish_counters();
+
+ private:
+  static constexpr std::uint8_t kFalse = 0, kTrue = 1, kUndef = 2;
+  static constexpr std::uint32_t kNoReason = 0xffffffffu;
+
+  struct Watcher {
+    std::uint32_t clause = 0;
+    SatLit blocker;  // fast skip: clause already true through this literal
+  };
+
+  std::uint8_t value(SatLit l) const {
+    const std::uint8_t a = assign_[l.var()];
+    return a == kUndef ? kUndef : static_cast<std::uint8_t>(a ^ l.negated());
+  }
+  unsigned level(SatVar v) const { return level_[v]; }
+  unsigned decision_level() const { return static_cast<unsigned>(trail_lim_.size()); }
+
+  void attach_clause(std::uint32_t ci);
+  void enqueue(SatLit l, std::uint32_t reason);
+  std::uint32_t propagate();  // returns conflicting clause index or kNoReason
+  void analyze(std::uint32_t confl, std::vector<SatLit>& learnt, unsigned& bt_level);
+  bool lit_redundant(SatLit l) const;
+  void backtrack_to(unsigned level);
+  void bump_var(SatVar v);
+  void decay_activities();
+  SatVar pick_branch_var();
+
+  // Order heap (max-heap on activity) -----------------------------------
+  void heap_insert(SatVar v);
+  void heap_sift_up(std::size_t i);
+  void heap_sift_down(std::size_t i);
+  bool heap_better(SatVar a, SatVar b) const;
+
+  bool ok_ = true;
+  std::vector<std::vector<SatLit>> clauses_;      // problem + learned clauses
+  std::size_t num_problem_clauses_ = 0;
+  std::vector<std::vector<Watcher>> watches_;     // indexed by SatLit::x
+  std::vector<std::uint8_t> assign_;              // per var: kFalse/kTrue/kUndef
+  std::vector<std::uint8_t> model_;               // snapshot of last Sat assignment
+  std::vector<std::uint8_t> phase_;               // saved polarity per var
+  std::vector<unsigned> level_;
+  std::vector<std::uint32_t> reason_;
+  std::vector<SatLit> trail_;
+  std::vector<std::size_t> trail_lim_;
+  std::size_t qhead_ = 0;
+
+  std::vector<double> activity_;
+  double var_inc_ = 1.0;
+  static constexpr double kVarDecay = 0.95;
+  std::vector<SatVar> heap_;
+  std::vector<std::uint32_t> heap_pos_;  // kNoSatVar when not in heap
+
+  std::vector<std::uint8_t> seen_;     // analyze() scratch
+  std::vector<SatLit> minimize_buf_;   // analyze() scratch: pre-minimisation copy
+
+  SolverStats stats_;
+  SolverStats published_;  // counters already flushed to obs
+};
+
+/// The Luby restart sequence (1,1,2,1,1,2,4,...), 1-based.
+std::uint64_t luby(std::uint64_t i);
+
+}  // namespace compsyn

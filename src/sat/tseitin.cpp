@@ -1,0 +1,255 @@
+#include "sat/tseitin.hpp"
+
+#include <cassert>
+
+namespace compsyn {
+namespace {
+
+/// Clauses for out = AND(ins): (~out | in_i) for all i, (out | ~in_1 ... ~in_k).
+void clauses_and(Solver& s, SatLit out, const std::vector<SatLit>& ins) {
+  std::vector<SatLit> big;
+  big.reserve(ins.size() + 1);
+  big.push_back(out);
+  for (const SatLit in : ins) {
+    s.add_clause(~out, in);
+    big.push_back(~in);
+  }
+  s.add_clause(std::move(big));
+}
+
+/// Clauses for out = OR(ins): (out | ~in_i) for all i, (~out | in_1 ... in_k).
+void clauses_or(Solver& s, SatLit out, const std::vector<SatLit>& ins) {
+  std::vector<SatLit> big;
+  big.reserve(ins.size() + 1);
+  big.push_back(~out);
+  for (const SatLit in : ins) {
+    s.add_clause(out, ~in);
+    big.push_back(in);
+  }
+  s.add_clause(std::move(big));
+}
+
+/// Clauses for out = a XOR b (4 clauses).
+void clauses_xor2(Solver& s, SatLit out, SatLit a, SatLit b) {
+  s.add_clause(~out, a, b);
+  s.add_clause(~out, ~a, ~b);
+  s.add_clause(out, ~a, b);
+  s.add_clause(out, a, ~b);
+}
+
+/// Clauses for out = in (2 clauses).
+void clauses_buf(Solver& s, SatLit out, SatLit in) {
+  s.add_clause(~out, in);
+  s.add_clause(out, ~in);
+}
+
+/// Encodes one gate given its (possibly substituted) input literals. The
+/// inverting types reuse the base encoders with a negated output literal.
+void encode_gate(Solver& s, GateType type, SatLit out,
+                 const std::vector<SatLit>& ins) {
+  switch (type) {
+    case GateType::Input:
+      return;  // free variable
+    case GateType::Const0:
+      s.add_clause(~out);
+      return;
+    case GateType::Const1:
+      s.add_clause(out);
+      return;
+    case GateType::Buf:
+      clauses_buf(s, out, ins[0]);
+      return;
+    case GateType::Not:
+      clauses_buf(s, ~out, ins[0]);
+      return;
+    case GateType::And:
+      clauses_and(s, out, ins);
+      return;
+    case GateType::Nand:
+      clauses_and(s, ~out, ins);
+      return;
+    case GateType::Or:
+      clauses_or(s, out, ins);
+      return;
+    case GateType::Nor:
+      clauses_or(s, ~out, ins);
+      return;
+    case GateType::Xor:
+    case GateType::Xnor: {
+      // Fold the parity chain left to right through auxiliary variables;
+      // the final stage writes the (possibly complemented) output literal.
+      const SatLit out_eff = type == GateType::Xnor ? ~out : out;
+      if (ins.size() == 1) {
+        clauses_buf(s, out_eff, ins[0]);
+        return;
+      }
+      SatLit acc = ins[0];
+      for (std::size_t i = 1; i < ins.size(); ++i) {
+        const SatLit stage =
+            i + 1 == ins.size() ? out_eff : mk_lit(s.new_var(), false);
+        clauses_xor2(s, stage, acc, ins[i]);
+        acc = stage;
+      }
+      return;
+    }
+  }
+}
+
+/// Core encoder: encodes all live nodes, reusing `pinned[n]` as the variable
+/// of node n when set (primary-input sharing, good/faulty copy sharing).
+CircuitEncoding encode_with_pins(const Netlist& nl, Solver& s,
+                                 const std::vector<SatVar>& pinned) {
+  CircuitEncoding enc;
+  enc.node_var.assign(nl.size(), kNoSatVar);
+  for (const NodeId n : nl.topo_order()) {
+    if (n < pinned.size() && pinned[n] != kNoSatVar) {
+      enc.node_var[n] = pinned[n];
+      continue;
+    }
+    enc.node_var[n] = s.new_var();
+    const Node& nd = nl.node(n);
+    std::vector<SatLit> ins;
+    ins.reserve(nd.fanins.size());
+    for (const NodeId f : nd.fanins) ins.push_back(enc.lit(f));
+    encode_gate(s, nd.type, enc.lit(n), ins);
+  }
+  return enc;
+}
+
+/// Fresh XOR variable d = (a != b), returned as a literal.
+SatLit encode_diff(Solver& s, SatLit a, SatLit b) {
+  const SatLit d = mk_lit(s.new_var(), false);
+  clauses_xor2(s, d, a, b);
+  return d;
+}
+
+std::vector<bool> read_pi_model(const Solver& s, const std::vector<SatVar>& pi_vars) {
+  std::vector<bool> out(pi_vars.size());
+  for (std::size_t i = 0; i < pi_vars.size(); ++i) {
+    out[i] = s.model_value(pi_vars[i]);
+  }
+  return out;
+}
+
+}  // namespace
+
+CircuitEncoding encode_circuit(const Netlist& nl, Solver& s) {
+  return encode_with_pins(nl, s, {});
+}
+
+CircuitEncoding encode_circuit(const Netlist& nl, Solver& s,
+                               const std::vector<SatVar>& pi_vars) {
+  assert(pi_vars.size() == nl.inputs().size());
+  std::vector<SatVar> pinned(nl.size(), kNoSatVar);
+  for (std::size_t i = 0; i < pi_vars.size(); ++i) {
+    pinned[nl.inputs()[i]] = pi_vars[i];
+  }
+  return encode_with_pins(nl, s, pinned);
+}
+
+std::vector<bool> MiterEncoding::counterexample(const Solver& s) const {
+  return read_pi_model(s, pi_vars);
+}
+
+MiterEncoding encode_miter(const Netlist& a, const Netlist& b, Solver& s) {
+  assert(a.inputs().size() == b.inputs().size());
+  assert(a.outputs().size() == b.outputs().size());
+  MiterEncoding m;
+  m.pi_vars.reserve(a.inputs().size());
+  for (std::size_t i = 0; i < a.inputs().size(); ++i) m.pi_vars.push_back(s.new_var());
+  m.a = encode_circuit(a, s, m.pi_vars);
+  m.b = encode_circuit(b, s, m.pi_vars);
+  std::vector<SatLit> any_diff;
+  any_diff.reserve(a.outputs().size());
+  for (std::size_t o = 0; o < a.outputs().size(); ++o) {
+    any_diff.push_back(
+        encode_diff(s, m.a.lit(a.outputs()[o]), m.b.lit(b.outputs()[o])));
+  }
+  s.add_clause(std::move(any_diff));
+  return m;
+}
+
+std::vector<bool> FaultMiterEncoding::test(const Solver& s) const {
+  return read_pi_model(s, pi_vars);
+}
+
+FaultMiterEncoding encode_fault_miter(const Netlist& nl, const StuckFault& fault,
+                                      Solver& s) {
+  FaultMiterEncoding m;
+  m.good = encode_circuit(nl, s);
+  m.pi_vars.reserve(nl.inputs().size());
+  for (const NodeId in : nl.inputs()) m.pi_vars.push_back(m.good.node_var[in]);
+
+  // The faulty copy only differs inside the fault's output cone; every node
+  // outside it shares the good copy's variable. The cone root is the faulted
+  // stem, or the consuming gate for a branch fault.
+  const NodeId root = fault.node;
+  std::vector<char> in_cone(nl.size(), 0);
+  std::vector<NodeId> stack{root};
+  in_cone[root] = 1;
+  const auto& fanouts = nl.fanouts();
+  while (!stack.empty()) {
+    const NodeId n = stack.back();
+    stack.pop_back();
+    for (const NodeId y : fanouts[n]) {
+      if (!in_cone[y]) {
+        in_cone[y] = 1;
+        stack.push_back(y);
+      }
+    }
+  }
+
+  // Constant literal for the stuck value (a pinned fresh variable).
+  const SatLit stuck = mk_lit(s.new_var(), false);
+  s.add_clause(fault.value ? stuck : ~stuck);
+
+  CircuitEncoding faulty;
+  faulty.node_var.assign(nl.size(), kNoSatVar);
+  for (const NodeId n : nl.topo_order()) {
+    if (!in_cone[n]) {
+      faulty.node_var[n] = m.good.node_var[n];
+      continue;
+    }
+    faulty.node_var[n] = s.new_var();
+    if (fault.is_stem() && n == root) {
+      // The stem's faulty value IS the stuck constant; its gate function is
+      // disconnected in the faulty machine.
+      clauses_buf(s, faulty.lit(n), stuck);
+      continue;
+    }
+    const Node& nd = nl.node(n);
+    std::vector<SatLit> ins;
+    ins.reserve(nd.fanins.size());
+    for (std::size_t p = 0; p < nd.fanins.size(); ++p) {
+      if (!fault.is_stem() && n == root && static_cast<int>(p) == fault.pin) {
+        ins.push_back(stuck);  // only this branch sees the stuck value
+      } else {
+        ins.push_back(faulty.lit(nd.fanins[p]));
+      }
+    }
+    encode_gate(s, nd.type, faulty.lit(n), ins);
+  }
+
+  // Activation: the good value of the faulted line must be the opposite of
+  // the stuck value (implied by detection; stated explicitly to prune).
+  const NodeId driver =
+      fault.is_stem() ? root
+                      : nl.node(root).fanins[static_cast<std::size_t>(fault.pin)];
+  s.add_clause(m.good.lit(driver, /*negated=*/fault.value));
+
+  // D-constraint: some primary output differs between the two machines.
+  std::vector<SatLit> any_diff;
+  for (const NodeId o : nl.outputs()) {
+    if (!in_cone[o]) continue;  // identical by construction
+    any_diff.push_back(encode_diff(s, m.good.lit(o), faulty.lit(o)));
+  }
+  if (any_diff.empty()) {
+    // The fault reaches no output: untestable by construction.
+    s.add_clause(std::vector<SatLit>{});
+  } else {
+    s.add_clause(std::move(any_diff));
+  }
+  return m;
+}
+
+}  // namespace compsyn

@@ -1,0 +1,72 @@
+// Tseitin CNF encoding of a Netlist: one solver variable per live node, one
+// clause set per gate (linear in circuit size), so any question about signal
+// values becomes a SAT query. Three encoders are provided:
+//
+//  * encode_circuit     -- one copy, fresh primary-input variables;
+//  * encode_miter       -- two interface-compatible circuits over SHARED
+//                          primary inputs plus the standard CEC miter
+//                          constraint (some output pair differs);
+//  * encode_fault_miter -- good/faulty copies of one circuit for a single
+//                          stuck-at fault (faulty copy only re-encodes the
+//                          fault's output cone) plus the D-constraint, the
+//                          standard SAT-ATPG fault encoding.
+//
+// Satisfying models are read back through the stored variable maps, giving
+// counterexamples (CEC) and tests (ATPG) as primary-input assignments.
+#pragma once
+
+#include <vector>
+
+#include "faults/fault.hpp"
+#include "netlist/netlist.hpp"
+#include "sat/solver.hpp"
+
+namespace compsyn {
+
+/// Node-to-variable map of one encoded circuit copy.
+struct CircuitEncoding {
+  std::vector<SatVar> node_var;  // indexed by NodeId; kNoSatVar for dead nodes
+
+  bool has(NodeId n) const {
+    return n < node_var.size() && node_var[n] != kNoSatVar;
+  }
+  SatLit lit(NodeId n, bool negated = false) const {
+    return mk_lit(node_var[n], negated);
+  }
+};
+
+/// Encodes every live node of `nl` into `s` with fresh variables.
+CircuitEncoding encode_circuit(const Netlist& nl, Solver& s);
+
+/// As encode_circuit, but inputs()[i] is bound to pi_vars[i] instead of a
+/// fresh variable (pi_vars.size() must equal nl.inputs().size()).
+CircuitEncoding encode_circuit(const Netlist& nl, Solver& s,
+                               const std::vector<SatVar>& pi_vars);
+
+/// CEC miter over shared inputs: the added constraint is satisfiable iff the
+/// circuits differ on some input. Interfaces must match positionally.
+struct MiterEncoding {
+  CircuitEncoding a;
+  CircuitEncoding b;
+  std::vector<SatVar> pi_vars;  // shared primary-input variables
+
+  /// Reads the differing input assignment out of a Sat model.
+  std::vector<bool> counterexample(const Solver& s) const;
+};
+MiterEncoding encode_miter(const Netlist& a, const Netlist& b, Solver& s);
+
+/// Stuck-at fault miter: good copy, cone-limited faulty copy with the fault
+/// line tied to its stuck value, activation constraint on the good line, and
+/// the D-constraint (good and faulty outputs differ). Satisfiable iff the
+/// fault is testable; the model is a test.
+struct FaultMiterEncoding {
+  CircuitEncoding good;
+  std::vector<SatVar> pi_vars;
+
+  /// Reads the detecting test out of a Sat model.
+  std::vector<bool> test(const Solver& s) const;
+};
+FaultMiterEncoding encode_fault_miter(const Netlist& nl, const StuckFault& fault,
+                                      Solver& s);
+
+}  // namespace compsyn

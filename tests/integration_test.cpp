@@ -15,6 +15,7 @@
 #include "netlist/equivalence.hpp"
 #include "paths/paths.hpp"
 #include "rar/rar.hpp"
+#include "sat/cec.hpp"
 #include "techmap/techmap.hpp"
 #include "util/rng.hpp"
 
@@ -33,10 +34,13 @@ TEST_P(PaperFlow, Procedure2PipelineInvariants) {
   ResynthStats st = procedure2(nl, 5);
   remove_redundancies(nl);
 
-  // Function preserved through the whole pipeline.
+  // Function preserved through the whole pipeline -- and PROVEN preserved:
+  // Both runs simulation first, then closes the verdict with a SAT proof on
+  // circuits too wide for the exhaustive sweep.
   Rng rng(1);
-  auto eq = check_equivalent(original, nl, rng, 128);
+  auto eq = check_equivalent_mode(original, nl, rng, VerifyMode::Both, 128);
   ASSERT_TRUE(eq.equivalent) << GetParam() << ": " << eq.message;
+  ASSERT_TRUE(eq.proven) << GetParam() << ": " << eq.message;
   // Procedure 2 invariants.
   EXPECT_LE(nl.equivalent_gate_count(), g0) << GetParam();
   EXPECT_LE(count_paths(nl).total, p0) << GetParam();
@@ -46,7 +50,8 @@ TEST_P(PaperFlow, Procedure2PipelineInvariants) {
   // The result round-trips through the .bench format.
   Netlist again = read_bench_string(write_bench_string(nl.compacted()));
   Rng rng2(2);
-  EXPECT_TRUE(check_equivalent(nl, again, rng2, 64).equivalent) << GetParam();
+  const auto eq2 = check_equivalent_mode(nl, again, rng2, VerifyMode::Both, 64);
+  EXPECT_TRUE(eq2.equivalent && eq2.proven) << GetParam() << ": " << eq2.message;
 }
 
 TEST_P(PaperFlow, Procedure3ReducesPathsAtLeastAsMuch) {
@@ -101,7 +106,8 @@ TEST(Integration, BaselinePlusProcedure2Composition) {
   procedure2(nl, 5);
 
   Rng rng(5);
-  EXPECT_TRUE(check_equivalent(original, nl, rng, 128).equivalent);
+  const auto eq = check_equivalent_mode(original, nl, rng, VerifyMode::Both, 128);
+  EXPECT_TRUE(eq.equivalent && eq.proven) << eq.message;
   // Procedure 2 after the baseline cannot increase gates or paths.
   EXPECT_LE(nl.equivalent_gate_count(), after_rar.equivalent_gate_count());
   EXPECT_LE(count_paths(nl).total, count_paths(after_rar).total);
@@ -151,6 +157,7 @@ TEST(Integration, ScanCircuitFullFlow) {
   auto eq = check_equivalent(original, nl, rng);
   EXPECT_TRUE(eq.equivalent) << eq.message;
   EXPECT_TRUE(eq.exhaustive);
+  EXPECT_TRUE(eq.proven);
 }
 
 }  // namespace
