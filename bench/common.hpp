@@ -10,6 +10,7 @@
 
 #include "atpg/redundancy.hpp"
 #include "core/resynth.hpp"
+#include "exec/exec.hpp"
 #include "gen/circuits.hpp"
 #include "netlist/equivalence.hpp"
 #include "netlist/netlist.hpp"
@@ -27,12 +28,24 @@ namespace compsyn::bench {
 /// Shared observability wiring for every table harness:
 ///   --report=<file>   write a machine-readable JSON (or .jsonl) run report
 ///   --trace           print the span/counter summary after the tables
-/// Either flag also enables runtime recording, so without them the binaries'
-/// stdout is byte-identical to an uninstrumented build.
+///   --jobs=N          worker threads for the parallel regions (default 1)
+/// Either observability flag also enables runtime recording, so without them
+/// the binaries' stdout is byte-identical to an uninstrumented build. The
+/// exec layer guarantees identical results (and counters) at any --jobs
+/// value; only the timings change.
 class BenchRun {
  public:
   BenchRun(std::string name, const Cli& cli) : cli_(cli), report_(std::move(name)) {
     if (cli_.has("report") || cli_.has("trace")) obs_set_enabled(true);
+    if (cli_.has("jobs")) {
+      const int j = cli_.get_int("jobs", 1);
+      if (j < 1) {
+        std::cerr << "error: --jobs=" << cli_.get("jobs")
+                  << " (expected a positive integer)\n";
+        std::exit(2);
+      }
+      set_jobs(static_cast<unsigned>(j));
+    }
     Json flags = Json::object();
     for (const auto& [flag, value] : cli_.flags()) flags.set(flag, value);
     report_.set_meta("flags", std::move(flags));

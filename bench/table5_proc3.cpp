@@ -4,7 +4,7 @@
 //
 // Flags: --circuits=a,b,c   --full   --k=5,6
 //        --verify=sim|sat|both (equivalence-check backend, default sim)
-//        --report=<file>.json   --trace
+//        --report=<file>.json   --trace   --jobs=N
 #include "bench/common.hpp"
 #include "util/table.hpp"
 

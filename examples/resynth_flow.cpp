@@ -7,12 +7,14 @@
 //   $ ./resynth_flow --proc=combined --weight-gates=1 --weight-paths=0.25 syn150
 //   $ ./resynth_flow --out=result.bench --report=run.json syn150
 //   $ ./resynth_flow --verify=sat syn1000   (SAT proof at any input width)
+//   $ ./resynth_flow --jobs=8 syn300        (same result, more threads)
 #include <fstream>
 #include <iostream>
 
 #include "atpg/redundancy.hpp"
 #include "bench_io/bench_io.hpp"
 #include "core/resynth.hpp"
+#include "exec/exec.hpp"
 #include "gen/circuits.hpp"
 #include "netlist/equivalence.hpp"
 #include "obs/obs.hpp"
@@ -29,13 +31,22 @@ int main(int argc, char** argv) {
     std::cerr << "usage: resynth_flow [--proc=2|3|combined] [--k=K] "
                  "[--weight-gates=W --weight-paths=W] [--verify=sim|sat|both] "
                  "[--out=file.bench] [--report=file.json] [--trace] "
-                 "<suite-name | file.bench>\n"
+                 "[--jobs=N] <suite-name | file.bench>\n"
                  "  suite names:";
     for (const auto& e : benchmark_suite()) std::cerr << " " << e.name;
     std::cerr << "\n";
     return 2;
   }
   if (cli.has("report") || cli.has("trace")) obs_set_enabled(true);
+  if (cli.has("jobs")) {
+    const int j = cli.get_int("jobs", 1);
+    if (j < 1) {
+      std::cerr << "error: --jobs=" << cli.get("jobs")
+                << " (expected a positive integer)\n";
+      return 2;
+    }
+    set_jobs(static_cast<unsigned>(j));
+  }
   const std::string verify_str = cli.get("verify", "sim");
   const auto verify = parse_verify_mode(verify_str);
   if (!verify) {

@@ -1,7 +1,9 @@
 #include "atpg/redundancy.hpp"
 
+#include <algorithm>
 #include <iostream>
 
+#include "exec/exec.hpp"
 #include "faults/fault.hpp"
 #include "faults/fault_sim.hpp"
 #include "obs/counters.hpp"
@@ -63,6 +65,43 @@ bool fault_site_stale(const Netlist& nl, const StuckFault& f) {
 
 namespace {
 
+/// Maximum speculation window: how many faults are decided against one
+/// netlist snapshot before the verdicts are committed in fault order. Larger
+/// windows expose more parallelism; every substitution discards the
+/// not-yet-committed remainder of its window (those faults are re-decided),
+/// so the window adapts: it resets to 1 after a substitution (a
+/// redundancy-rich stretch proceeds serially, wasting nothing) and doubles
+/// after every window that commits cleanly, up to this cap. The evolution
+/// depends only on the committed verdicts, never on the job count.
+constexpr std::size_t kMaxCommitWindow = 32;
+
+/// Everything the serial sweep would have learned about one fault at its
+/// turn, computed against a snapshot so several faults can be decided at
+/// once. PODEM and the SAT fallback build all their state per call, so
+/// concurrent evaluations share only the read-only netlist.
+struct FaultVerdict {
+  bool stale = false;
+  AtpgStatus podem = AtpgStatus::Aborted;
+  bool sat_ran = false;
+  SatFaultStatus sat = SatFaultStatus::Unknown;
+};
+
+FaultVerdict evaluate_fault(const Netlist& nl, const StuckFault& f,
+                            const RedundancyRemovalOptions& opt) {
+  FaultVerdict v;
+  if (fault_site_stale(nl, f)) {
+    v.stale = true;
+    return v;
+  }
+  const AtpgResult r = run_podem(nl, f, opt.atpg);
+  v.podem = r.status;
+  if (r.status == AtpgStatus::Aborted && opt.sat_fallback) {
+    v.sat_ran = true;
+    v.sat = prove_fault(nl, f, opt.sat_budget).status;
+  }
+  return v;
+}
+
 /// Flushes the fallback tallies into the obs counters (no-ops while
 /// recording is off); batched once per remove_redundancies call.
 void publish_stats(const RedundancyRemovalStats& stats) {
@@ -110,39 +149,62 @@ RedundancyRemovalStats remove_redundancies(Netlist& nl,
     } else {
       faults = all_faults;
     }
-    for (const StuckFault& f : faults) {
-      if (fault_site_stale(nl, f)) continue;
-      ++stats.faults_checked;
-      const AtpgResult r = run_podem(nl, f, opt.atpg);
-      bool untestable = r.status == AtpgStatus::Untestable;
-      if (r.status == AtpgStatus::Aborted) {
-        ++stats.aborted;
-        if (opt.sat_fallback) {
-          ++stats.sat_fallback_calls;
-          const SatFaultResult sr = prove_fault(nl, f, opt.sat_budget);
-          switch (sr.status) {
-            case SatFaultStatus::Untestable:
-              ++stats.sat_proved_untestable;
-              untestable = true;
-              break;
-            case SatFaultStatus::Testable:
-              ++stats.sat_found_tests;
-              break;
-            case SatFaultStatus::Unknown:
-              ++stats.sat_unknown;
-              ++round_unresolved;
-              break;
+    // Speculative windowed commit (exec/exec.hpp): up to `window` faults are
+    // decided in parallel against the current netlist, then the verdicts are
+    // committed serially in fault order. The first substitution mutates the
+    // netlist, which invalidates the verdicts behind it -- those faults are
+    // re-decided in the next window. Every committed verdict was therefore
+    // computed against exactly the netlist state the serial sweep would have
+    // used, so verdicts and stats match the serial order at any job count.
+    // The same windowed path runs at --jobs=1 so the exec.* counters are
+    // jobs-invariant too.
+    std::size_t idx = 0;
+    std::size_t window = 1;
+    while (idx < faults.size()) {
+      const std::size_t end = std::min(idx + window, faults.size());
+      nl.topo_order();
+      nl.fanouts();  // warm the lazy caches before the parallel region
+      const auto verdicts = parallel_map<FaultVerdict>(
+          end - idx, /*grain=*/1,
+          [&](std::size_t k) { return evaluate_fault(nl, faults[idx + k], opt); });
+      bool mutated = false;
+      for (std::size_t k = 0; k < verdicts.size() && !mutated; ++k) {
+        const StuckFault& f = faults[idx];
+        const FaultVerdict& v = verdicts[k];
+        ++idx;
+        if (v.stale) continue;
+        ++stats.faults_checked;
+        bool untestable = v.podem == AtpgStatus::Untestable;
+        if (v.podem == AtpgStatus::Aborted) {
+          ++stats.aborted;
+          if (v.sat_ran) {
+            ++stats.sat_fallback_calls;
+            switch (v.sat) {
+              case SatFaultStatus::Untestable:
+                ++stats.sat_proved_untestable;
+                untestable = true;
+                break;
+              case SatFaultStatus::Testable:
+                ++stats.sat_found_tests;
+                break;
+              case SatFaultStatus::Unknown:
+                ++stats.sat_unknown;
+                ++round_unresolved;
+                break;
+            }
+          } else {
+            ++round_unresolved;
           }
-        } else {
-          ++round_unresolved;
+        }
+        if (!untestable) continue;
+        if (substitute_constant(nl, f)) {
+          ++stats.removed;
+          removed_this_round = true;
+          nl.simplify();
+          mutated = true;  // verdicts past this fault are stale: re-decide
         }
       }
-      if (!untestable) continue;
-      if (substitute_constant(nl, f)) {
-        ++stats.removed;
-        removed_this_round = true;
-        nl.simplify();
-      }
+      window = mutated ? 1 : std::min(window * 2, kMaxCommitWindow);
     }
     if (!removed_this_round) {
       fixpoint = true;

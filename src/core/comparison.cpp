@@ -5,6 +5,7 @@
 #include <numeric>
 #include <unordered_map>
 
+#include "exec/exec.hpp"
 #include "obs/counters.hpp"
 
 namespace compsyn {
@@ -297,13 +298,19 @@ std::vector<ComparisonSpec> identify_comparison(const TruthTable& f,
   if (opt.exact) {
     Counters::incr("identify.exact.attempts");
     ExactMemoMap& memo = exact_memo();
+    // The memo is per thread, so inside an exec region the hit/miss split
+    // depends on which worker ran which query -- a jobs-variant quantity.
+    // Reports must be identical at any --jobs value, so the memo tallies
+    // are only kept for queries made outside parallel regions (the inline
+    // --jobs=1 path counts as a region too, keeping the counts invariant).
+    const bool tally = !in_parallel_region();
     std::string key = memo_key(f, opt);
     if (auto it = memo.find(key); it != memo.end()) {
-      Counters::incr("identify.memo.hits");
+      if (tally) Counters::incr("identify.memo.hits");
       if (!it->second.empty()) Counters::incr("identify.exact.hits");
       return it->second;
     }
-    Counters::incr("identify.memo.misses");
+    if (tally) Counters::incr("identify.memo.misses");
     collect_specs(f, /*complemented=*/false, opt, out);
     if (opt.try_complement) {
       collect_specs(f.complemented(), /*complemented=*/true, opt, out);

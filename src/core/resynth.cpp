@@ -7,6 +7,7 @@
 
 #include "core/multi_unit.hpp"
 #include "core/sdc.hpp"
+#include "exec/exec.hpp"
 #include "obs/counters.hpp"
 #include "obs/trace.hpp"
 #include "paths/paths.hpp"
@@ -74,8 +75,141 @@ bool improves(const Candidate& c, const ResynthOptions& opt) {
   return false;
 }
 
+/// Per-cone evaluation result: the pieces best_candidate merges in cone
+/// order. `base` holds the constant candidate or the best base-spec
+/// candidate (plus the don't-care specs when the oracle is concurrent);
+/// `multi` the Section 6 multi-unit candidate. When the oracle cannot be
+/// queried from workers, the don't-care step is deferred: `needs_dc` is set
+/// and `reduced`/`proto`/`n_old` carry the context the merge loop needs to
+/// run it serially, in cone order, exactly as the serial sweep would.
+struct ConeEval {
+  Candidate base;
+  Candidate multi;
+  bool comparison_cone = false;
+  bool needs_dc = false;
+  TruthTable reduced;
+  Candidate proto;  // cone/kept/removable filled, deltas not
+  std::int64_t n_old = 0;
+};
+
+/// Builds a candidate for one spec (or multi-unit spec) of a cone; returns
+/// an invalid candidate when the spec would increase gates and that is not
+/// allowed.
+Candidate make_candidate(const Candidate& proto, const TruthTable& reduced,
+                         std::int64_t n_old, std::uint64_t np_g,
+                         const std::vector<std::uint64_t>& np,
+                         const ComparisonSpec* spec, const MultiUnitSpec* multi,
+                         const ResynthOptions& opt) {
+  const UnitCost cost =
+      multi ? multi_unit_cost(*multi, opt.unit) : unit_cost(*spec, opt.unit);
+  std::uint64_t paths_new = 0;
+  for (unsigned v = 0; v < reduced.num_vars(); ++v) {
+    paths_new += np[proto.cone.leaves[proto.kept[v]]] * cost.kp[v];
+  }
+  Candidate c = proto;
+  c.valid = true;
+  if (multi) c.multi = *multi;
+  else c.spec = *spec;
+  c.delta_gates = n_old - static_cast<std::int64_t>(cost.equiv_gates);
+  c.delta_paths = static_cast<std::int64_t>(np_g) -
+                  static_cast<std::int64_t>(paths_new);
+  if (!opt.allow_gate_increase && c.delta_gates < 0) c.valid = false;
+  return c;
+}
+
+/// The don't-care identification step for one cone (Section 6 (1)): folds
+/// every qualifying DC spec into `best`. Callers control WHERE this runs:
+/// inline in a worker for concurrent oracles, serially in cone order
+/// otherwise, so oracle queries are issued in the same order as the serial
+/// sweep and budgeted answers cannot drift with the job count.
+void consider_dc_specs(const ConeEval& ev, const ReachabilityOracle& reach,
+                       std::uint64_t np_g, const std::vector<std::uint64_t>& np,
+                       const ResynthOptions& opt, Candidate& best) {
+  std::vector<NodeId> kept_nodes;
+  for (unsigned v : ev.proto.kept) kept_nodes.push_back(ev.proto.cone.leaves[v]);
+  const TruthTable care = reach.reachable_combos(kept_nodes);
+  if (care.is_const_one()) return;
+  for (const ComparisonSpec& spec :
+       identify_comparison_dc(ev.reduced, care, opt.identify)) {
+    const Candidate c = make_candidate(ev.proto, ev.reduced, ev.n_old, np_g, np,
+                                       &spec, nullptr, opt);
+    if (c.valid && better(c, best, opt)) best = c;
+  }
+}
+
+/// Everything about one cone that does not require ordered oracle access:
+/// cone function, support reduction, base-spec identification, the
+/// multi-unit rewrite, and (for concurrent oracles) the DC step.
+ConeEval evaluate_cone(const Netlist& nl, const Cone& cone,
+                       const std::vector<std::uint64_t>& np, std::uint64_t np_g,
+                       const ReachabilityOracle* reach,
+                       const ResynthOptions& opt) {
+  ConeEval ev;
+  const TruthTable f = cone_function(nl, cone);
+  std::vector<unsigned> kept;
+  const TruthTable reduced = f.support_reduced(&kept);
+
+  Candidate cand;
+  cand.cone = cone;
+  cand.kept = kept;
+  const std::int64_t n_old =
+      static_cast<std::int64_t>(removable_gate_count(nl, cone, &cand.removable));
+
+  if (reduced.num_vars() == 0) {
+    // The cone computes a constant: everything removable goes away.
+    ev.comparison_cone = true;
+    cand.valid = true;
+    cand.is_constant = true;
+    cand.constant_value = reduced.get(0);
+    cand.delta_gates = n_old;
+    cand.delta_paths = static_cast<std::int64_t>(np_g);
+    ev.base = cand;
+    return ev;
+  }
+
+  ev.proto = cand;
+  ev.reduced = reduced;
+  ev.n_old = n_old;
+
+  const auto specs = identify_comparison(reduced, opt.identify);
+  ev.comparison_cone = !specs.empty();
+  for (const ComparisonSpec& spec : specs) {
+    const Candidate c =
+        make_candidate(cand, reduced, n_old, np_g, np, &spec, nullptr, opt);
+    if (c.valid && better(c, ev.base, opt)) ev.base = c;
+  }
+  if (reach != nullptr) {
+    if (reach->concurrent()) {
+      consider_dc_specs(ev, *reach, np_g, np, opt, ev.base);
+    } else {
+      ev.needs_dc = true;
+    }
+  }
+  if (specs.empty() && opt.max_units > 1) {
+    MultiIdentifyOptions mopt;
+    mopt.max_units = opt.max_units;
+    if (const auto multi = identify_multi_comparison(reduced, mopt)) {
+      ev.multi = make_candidate(cand, reduced, n_old, np_g, np, nullptr,
+                                &*multi, opt);
+    }
+  }
+  return ev;
+}
+
+/// Cones per chunk for the candidate-evaluation fan-out. Fixed (never
+/// derived from the job count) so the chunk partition -- and with it every
+/// exec.* counter -- is identical for --jobs=1 and --jobs=N.
+constexpr std::size_t kConeGrain = 8;
+
 /// Evaluates every cone at root g and returns the best candidate.
 /// `reach` is non-null when SDC-aware identification is enabled.
+///
+/// Cones of one root are scored concurrently against the read-only netlist
+/// (parallel_map, merged in cone-enumeration order), so the selected
+/// candidate -- including every tie-break -- is byte-identical at any job
+/// count. Sampled identification (opt.identify.exact == false) consumes a
+/// caller-owned Rng whose stream depends on evaluation order interleaving,
+/// so it keeps the historical fully-serial sweep.
 Candidate best_candidate(const Netlist& nl, NodeId g,
                          const std::vector<std::uint64_t>& np,
                          const ReachabilityOracle* reach,
@@ -87,72 +221,41 @@ Candidate best_candidate(const Netlist& nl, NodeId g,
   cone_opt.expand_slack = opt.cone_slack;
   const std::uint64_t np_g = np[g];
 
-  for (Cone& cone : enumerate_cones(nl, g, cone_opt)) {
-    ++stats.cones_considered;
-    const TruthTable f = cone_function(nl, cone);
-    std::vector<unsigned> kept;
-    const TruthTable reduced = f.support_reduced(&kept);
-
-    Candidate cand;
-    cand.cone = cone;
-    cand.kept = kept;
-    const std::int64_t n_old =
-        static_cast<std::int64_t>(removable_gate_count(nl, cone, &cand.removable));
-
-    if (reduced.num_vars() == 0) {
-      // The cone computes a constant: everything removable goes away.
-      ++stats.comparison_cones;
-      cand.valid = true;
-      cand.is_constant = true;
-      cand.constant_value = reduced.get(0);
-      cand.delta_gates = n_old;
-      cand.delta_paths = static_cast<std::int64_t>(np_g);
-      if (better(cand, best, opt)) best = cand;
-      continue;
-    }
-
-    const auto specs = identify_comparison(reduced, opt.identify);
-    if (!specs.empty()) ++stats.comparison_cones;
-
-    auto consider = [&](const ComparisonSpec* spec, const MultiUnitSpec* multi) {
-      const UnitCost cost =
-          multi ? multi_unit_cost(*multi, opt.unit) : unit_cost(*spec, opt.unit);
-      std::uint64_t paths_new = 0;
-      for (unsigned v = 0; v < reduced.num_vars(); ++v) {
-        paths_new += np[cone.leaves[kept[v]]] * cost.kp[v];
+  if (!opt.identify.exact) {
+    // Historical serial sweep: base specs, then DC specs, then multi-unit,
+    // cone by cone, sharing one Rng stream.
+    for (const Cone& cone : enumerate_cones(nl, g, cone_opt)) {
+      ++stats.cones_considered;
+      ConeEval ev = evaluate_cone(nl, cone, np, np_g, nullptr, opt);
+      if (ev.comparison_cone) ++stats.comparison_cones;
+      if (ev.base.valid && better(ev.base, best, opt)) best = ev.base;
+      if (reach != nullptr && !ev.base.is_constant) {
+        consider_dc_specs(ev, *reach, np_g, np, opt, best);
       }
-      Candidate c = cand;
-      c.valid = true;
-      if (multi) c.multi = *multi;
-      else c.spec = *spec;
-      c.delta_gates = n_old - static_cast<std::int64_t>(cost.equiv_gates);
-      c.delta_paths = static_cast<std::int64_t>(np_g) -
-                      static_cast<std::int64_t>(paths_new);
-      if (!opt.allow_gate_increase && c.delta_gates < 0) return;
-      if (better(c, best, opt)) best = c;
-    };
-    for (const ComparisonSpec& spec : specs) consider(&spec, nullptr);
-    if (reach != nullptr) {
-      // Section 6 (1): with unreachable leaf combinations as don't-cares,
-      // more cones qualify and existing ones may get cheaper windows. The
-      // rewrite only changes the cone function on unreachable combinations.
-      std::vector<NodeId> kept_nodes;
-      for (unsigned v : kept) kept_nodes.push_back(cone.leaves[v]);
-      const TruthTable care = reach->reachable_combos(kept_nodes);
-      if (!care.is_const_one()) {
-        for (const ComparisonSpec& spec :
-             identify_comparison_dc(reduced, care, opt.identify)) {
-          consider(&spec, nullptr);
-        }
-      }
+      if (ev.multi.valid && better(ev.multi, best, opt)) best = ev.multi;
     }
-    if (specs.empty() && opt.max_units > 1) {
-      MultiIdentifyOptions mopt;
-      mopt.max_units = opt.max_units;
-      if (const auto multi = identify_multi_comparison(reduced, mopt)) {
-        consider(nullptr, &*multi);
-      }
-    }
+    return best;
+  }
+
+  const std::vector<Cone> cones = enumerate_cones(nl, g, cone_opt);
+  stats.cones_considered += cones.size();
+  // Warm the netlist's lazy caches (topo order, fanouts) before the
+  // fan-out: workers only ever read them.
+  nl.topo_order();
+  nl.fanouts();
+  std::vector<ConeEval> evals =
+      parallel_map<ConeEval>(cones.size(), kConeGrain, [&](std::size_t i) {
+        return evaluate_cone(nl, cones[i], np, np_g, reach, opt);
+      });
+
+  // Merge in cone-enumeration order. Every fold replaces only on "strictly
+  // better", so the earliest candidate wins ties exactly as in the serial
+  // sweep; per-cone order is base specs, DC specs, multi-unit.
+  for (ConeEval& ev : evals) {
+    if (ev.comparison_cone) ++stats.comparison_cones;
+    if (ev.base.valid && better(ev.base, best, opt)) best = ev.base;
+    if (ev.needs_dc) consider_dc_specs(ev, *reach, np_g, np, opt, best);
+    if (ev.multi.valid && better(ev.multi, best, opt)) best = ev.multi;
   }
   return best;
 }

@@ -1,0 +1,208 @@
+#include "exec/exec.hpp"
+
+#include <atomic>
+#include <cassert>
+#include <condition_variable>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+#include "obs/counters.hpp"
+
+namespace compsyn {
+namespace {
+
+// Set while the current thread executes chunks of some region (worker or
+// inline caller). Primitives entered in this state run serially inline:
+// nested parallelism is rejected by never spawning from within a region.
+thread_local bool t_in_region = false;
+
+/// Marks the current thread as inside a region for a scope; exception-safe
+/// (an inline chunk that throws must not leave the flag stuck).
+struct RegionGuard {
+  RegionGuard() : prev(t_in_region) { t_in_region = true; }
+  ~RegionGuard() { t_in_region = prev; }
+  bool prev;
+};
+
+/// One fixed-size pool per process. Workers are parked on a condition
+/// variable between regions; a region is published under the mutex as a
+/// (sequence number, body, chunk count) triple and chunks are claimed with
+/// an atomic cursor. Completion is signalled back under the same mutex, so
+/// everything the chunks wrote happens-before the caller's merge.
+class Pool {
+ public:
+  static Pool& instance() {
+    static Pool* p = new Pool();  // leaked: workers may outlive static dtors
+    return *p;
+  }
+
+  void set_jobs(unsigned jobs) {
+    if (jobs < 1) jobs = 1;
+    if (t_in_region) {
+      throw std::logic_error("set_jobs called from inside a parallel region");
+    }
+    // Same order as run(): caller_mu_ before mu_, so a resize waits for any
+    // in-flight region instead of tearing its workers down.
+    std::lock_guard<std::mutex> caller_lock(caller_mu_);
+    std::unique_lock<std::mutex> lock(mu_);
+    if (jobs == jobs_) return;
+    stop_workers(lock);
+    jobs_ = jobs;
+    threads_.reserve(jobs_ - 1);
+    for (unsigned w = 1; w < jobs_; ++w) {
+      threads_.emplace_back([this, w] { worker_loop(w); });
+    }
+  }
+
+  unsigned jobs() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return jobs_;
+  }
+
+  void run(std::size_t num_chunks,
+           const std::function<void(std::size_t, unsigned)>& body) {
+    if (num_chunks == 0) return;
+    Counters::incr("exec.regions");
+    Counters::incr("exec.chunks", num_chunks);
+
+    // Nested invocation: run inline, chunks in index order (never spawn
+    // from within a region). Checked before any locking so a nested call
+    // from the orchestrating thread cannot self-deadlock.
+    if (t_in_region) {
+      run_inline(num_chunks, body);
+      return;
+    }
+    // Serialize top-level regions from distinct threads (ordered strictly
+    // before mu_: workers need mu_ to retire, so holding mu_ while waiting
+    // here would deadlock a running region).
+    std::lock_guard<std::mutex> caller_lock(caller_mu_);
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (jobs_ == 1 || num_chunks == 1) {
+        lock.unlock();
+        run_inline(num_chunks, body);
+        return;
+      }
+      // Note: idle_workers_ is maintained by the workers alone (parked
+      // workers are counted in it right now); resetting it here would
+      // corrupt the count and deadlock the done-wait below.
+      body_ = &body;
+      num_chunks_ = num_chunks;
+      next_chunk_.store(0, std::memory_order_relaxed);
+      excs_.assign(num_chunks, nullptr);
+      ++region_seq_;
+    }
+    cv_.notify_all();
+
+    // The caller participates as worker 0.
+    {
+      RegionGuard guard;
+      run_chunks(body, /*worker=*/0);
+    }
+
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&] { return idle_workers_ == threads_.size(); });
+    body_ = nullptr;
+    std::exception_ptr first;
+    for (std::exception_ptr& e : excs_) {
+      if (e && !first) first = e;
+      e = nullptr;
+    }
+    lock.unlock();
+    if (first) std::rethrow_exception(first);
+  }
+
+ private:
+  Pool() = default;
+
+  void run_inline(std::size_t num_chunks,
+                  const std::function<void(std::size_t, unsigned)>& body) {
+    RegionGuard guard;
+    // Exceptions propagate directly: with one thread, chunk c throwing
+    // before chunks > c ran is exactly the serial contract.
+    for (std::size_t c = 0; c < num_chunks; ++c) body(c, 0);
+  }
+
+  void run_chunks(const std::function<void(std::size_t, unsigned)>& body,
+                  unsigned worker) {
+    for (;;) {
+      const std::size_t c = next_chunk_.fetch_add(1, std::memory_order_relaxed);
+      if (c >= num_chunks_) return;
+      try {
+        body(c, worker);
+      } catch (...) {
+        excs_[c] = std::current_exception();
+      }
+    }
+  }
+
+  void worker_loop(unsigned worker) {
+    std::uint64_t seen_seq = 0;
+    for (;;) {
+      const std::function<void(std::size_t, unsigned)>* body = nullptr;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        ++idle_workers_;
+        done_cv_.notify_all();
+        cv_.wait(lock, [&] { return stop_ || region_seq_ != seen_seq; });
+        if (stop_) return;
+        seen_seq = region_seq_;
+        --idle_workers_;
+        body = body_;
+      }
+      if (body != nullptr) {
+        RegionGuard guard;
+        run_chunks(*body, worker);
+      }
+    }
+  }
+
+  /// Joins every worker. Called with the lock held; returns with it held.
+  void stop_workers(std::unique_lock<std::mutex>& lock) {
+    if (threads_.empty()) return;
+    stop_ = true;
+    lock.unlock();
+    cv_.notify_all();
+    for (std::thread& t : threads_) t.join();
+    lock.lock();
+    threads_.clear();
+    stop_ = false;
+    idle_workers_ = 0;
+  }
+
+  std::mutex caller_mu_;             // serializes top-level run() calls
+  mutable std::mutex mu_;
+  std::condition_variable cv_;       // workers: new region / stop
+  std::condition_variable done_cv_;  // caller: all workers idle again
+  std::vector<std::thread> threads_;
+  unsigned jobs_ = 1;
+  bool stop_ = false;
+
+  // Current region (valid while body_ != nullptr).
+  const std::function<void(std::size_t, unsigned)>* body_ = nullptr;
+  std::size_t num_chunks_ = 0;
+  std::atomic<std::size_t> next_chunk_{0};
+  std::vector<std::exception_ptr> excs_;
+  std::size_t idle_workers_ = 0;  // workers parked between regions
+  std::uint64_t region_seq_ = 0;
+};
+
+}  // namespace
+
+void set_jobs(unsigned jobs) { Pool::instance().set_jobs(jobs); }
+
+unsigned jobs() { return Pool::instance().jobs(); }
+
+bool in_parallel_region() { return t_in_region; }
+
+namespace exec_detail {
+
+void run_region(std::size_t num_chunks,
+                const std::function<void(std::size_t, unsigned)>& body) {
+  Pool::instance().run(num_chunks, body);
+}
+
+}  // namespace exec_detail
+
+}  // namespace compsyn

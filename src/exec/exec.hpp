@@ -1,0 +1,149 @@
+// Deterministic parallel execution layer (`compsyn_exec`).
+//
+// A fixed-size thread pool plus `parallel_for` / `parallel_map` /
+// `parallel_reduce` primitives built around one contract:
+//
+//   THE RESULT OF EVERY PRIMITIVE IS A PURE FUNCTION OF (n, grain, fn) --
+//   never of the job count or the runtime schedule.
+//
+// The contract is met by construction:
+//  * Chunking is by index only: the range [0, n) is cut into
+//    ceil(n / grain) fixed chunks. The partition depends on n and grain,
+//    NOT on the number of workers, so per-chunk side effects (and the
+//    exec.* obs counters) are identical for --jobs=1 and --jobs=N.
+//  * Chunks are claimed dynamically (an atomic cursor) for load balance,
+//    but all results are merged IN CHUNK INDEX ORDER after the region
+//    completes. parallel_map concatenates per-chunk buffers in order;
+//    parallel_reduce folds per-chunk partials left-to-right.
+//  * With jobs == 1 (the default) every primitive runs inline on the
+//    calling thread, chunk by chunk in order -- no pool, no threads, no
+//    atomics on the work path -- so serial behaviour is byte-identical to
+//    code that never heard of this library.
+//
+// Nested parallelism is rejected: a primitive invoked from inside a worker
+// (or from inside an inline region) never spawns -- it degrades to serial
+// inline execution on the calling thread. This keeps the pool deadlock-free
+// by construction and keeps nested loops deterministic.
+//
+// Exceptions thrown by `fn` are captured per chunk; after the region the
+// exception of the LOWEST-numbered throwing chunk is rethrown on the
+// caller (a deterministic choice). Other chunks may or may not have run.
+//
+// Thread safety of `fn` is the caller's job: the intended pattern is
+// read-only shared state (e.g. a Netlist whose lazy caches were warmed
+// before the region -- see exec_warm_netlist_caches-style helpers at the
+// call sites) plus per-chunk or per-worker scratch indexed by the worker
+// id passed to the low-level `parallel_chunks`.
+#pragma once
+
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace compsyn {
+
+/// Global job count. 1 (the default) means fully serial inline execution.
+/// Must not be called while a parallel region is running.
+void set_jobs(unsigned jobs);
+unsigned jobs();
+
+/// True while the calling thread is executing inside a parallel region
+/// (worker or inline). Primitives invoked in this state run serially.
+bool in_parallel_region();
+
+/// Default grain (items per chunk) when a call site has no better number.
+inline constexpr std::size_t kDefaultGrain = 16;
+
+namespace exec_detail {
+
+/// Number of chunks the range [0, n) is cut into: ceil(n / grain).
+/// grain < 1 is treated as 1. Independent of the job count by design.
+inline std::size_t chunk_count(std::size_t n, std::size_t grain) {
+  if (grain < 1) grain = 1;
+  return n == 0 ? 0 : (n + grain - 1) / grain;
+}
+
+/// Runs body(chunk_index, worker_id) for every chunk in [0, num_chunks).
+/// worker_id is in [0, jobs()); the caller participates as worker 0.
+/// Rethrows the lowest-chunk-index exception after the region completes.
+void run_region(std::size_t num_chunks,
+                const std::function<void(std::size_t, unsigned)>& body);
+
+}  // namespace exec_detail
+
+/// Low-level primitive: fn(begin, end, worker_id) for every chunk
+/// [begin, end) of the fixed index partition of [0, n). The worker id is
+/// stable for the duration of one chunk and lies in [0, jobs()): use it to
+/// index per-worker scratch sized by jobs().
+template <typename Fn>
+void parallel_chunks(std::size_t n, std::size_t grain, Fn&& fn) {
+  if (grain < 1) grain = 1;
+  const std::size_t chunks = exec_detail::chunk_count(n, grain);
+  exec_detail::run_region(chunks, [&](std::size_t c, unsigned worker) {
+    const std::size_t begin = c * grain;
+    const std::size_t end = begin + grain < n ? begin + grain : n;
+    fn(begin, end, worker);
+  });
+}
+
+/// fn(i) for every i in [0, n). No cross-iteration ordering is guaranteed;
+/// iterations must be independent (distinct output slots, no shared
+/// mutable state). Use parallel_map/parallel_reduce when results must be
+/// combined.
+template <typename Fn>
+void parallel_for(std::size_t n, std::size_t grain, Fn&& fn) {
+  parallel_chunks(n, grain, [&](std::size_t begin, std::size_t end, unsigned) {
+    for (std::size_t i = begin; i < end; ++i) fn(i);
+  });
+}
+
+/// results[i] = fn(i) for every i in [0, n), assembled in index order.
+/// Each chunk fills a private buffer; buffers are concatenated in chunk
+/// order after the region, so the output is identical at any job count
+/// (this also sidesteps std::vector<bool>'s shared-word writes).
+template <typename T, typename Fn>
+std::vector<T> parallel_map(std::size_t n, std::size_t grain, Fn&& fn) {
+  if (grain < 1) grain = 1;
+  const std::size_t chunks = exec_detail::chunk_count(n, grain);
+  std::vector<std::vector<T>> parts(chunks);
+  parallel_chunks(n, grain, [&](std::size_t begin, std::size_t end, unsigned) {
+    std::vector<T>& out = parts[begin / grain];
+    out.reserve(end - begin);
+    for (std::size_t i = begin; i < end; ++i) out.push_back(fn(i));
+  });
+  std::vector<T> results;
+  results.reserve(n);
+  for (std::vector<T>& p : parts) {
+    for (T& v : p) results.push_back(std::move(v));
+  }
+  return results;
+}
+
+/// Left fold of fn(i) over [0, n) with a deterministic shape:
+///   result = merge(...merge(merge(init, fn(0)), fn(1))..., fn(n-1))
+/// Per-chunk partials are folded inside each chunk in index order and the
+/// chunk partials are folded left-to-right afterwards, so `merge` must be
+/// associative for the parallel fold to equal the serial one (integer sums,
+/// max, set union, "first strictly better wins" selections all qualify;
+/// floating-point sums do NOT unless the chunk shape makes them exact).
+template <typename T, typename Fn, typename Merge>
+T parallel_reduce(std::size_t n, std::size_t grain, T init, Fn&& fn,
+                  Merge&& merge) {
+  if (grain < 1) grain = 1;
+  const std::size_t chunks = exec_detail::chunk_count(n, grain);
+  if (chunks == 0) return init;
+  std::vector<T> partials(chunks);  // every chunk holds >= 1 item, all filled
+  parallel_chunks(n, grain, [&](std::size_t begin, std::size_t end, unsigned) {
+    T acc = fn(begin);
+    for (std::size_t i = begin + 1; i < end; ++i) acc = merge(std::move(acc), fn(i));
+    partials[begin / grain] = std::move(acc);
+  });
+  T result = std::move(init);
+  for (T& p : partials) result = merge(std::move(result), std::move(p));
+  return result;
+}
+
+}  // namespace compsyn

@@ -2,19 +2,24 @@
 
 #include <algorithm>
 #include <cassert>
-#include <queue>
 
+#include "exec/exec.hpp"
 #include "obs/counters.hpp"
 #include "obs/trace.hpp"
 
 namespace compsyn {
 
+namespace {
+// Faults per chunk. Fixed (never derived from the job count) so the chunk
+// partition -- and with it every merge order and exec.* counter -- is the
+// same at any --jobs value.
+constexpr std::size_t kFaultGrain = 64;
+}  // namespace
+
 FaultSimulator::FaultSimulator(const Netlist& nl, std::vector<StuckFault> faults)
     : nl_(nl), faults_(std::move(faults)) {
   detected_.assign(faults_.size(), 0);
   first_pattern_.assign(faults_.size(), 0);
-  stamp_.assign(nl_.size(), 0);
-  fval_.assign(nl_.size(), 0);
   topo_rank_.assign(nl_.size(), 0);
   const auto& order = nl_.topo_order();
   for (std::uint32_t i = 0; i < order.size(); ++i) topo_rank_[order[i]] = i;
@@ -22,85 +27,125 @@ FaultSimulator::FaultSimulator(const Netlist& nl, std::vector<StuckFault> faults
   for (NodeId o : nl_.outputs()) is_po_[o] = 1;
 }
 
-std::vector<std::size_t> FaultSimulator::simulate_block(
-    const std::vector<std::uint64_t>& pi_words, std::uint64_t base_pattern) {
-  const auto sp = Trace::span("fsim.block");
-  std::uint64_t events = 0;     // faulty-value propagation events
-  std::uint64_t activated = 0;  // faults whose origin differed this block
-  nl_.simulate_into(pi_words, good_);
-  const auto& fanouts = nl_.fanouts();
+std::uint64_t FaultSimulator::propagate_fault(const StuckFault& f,
+                                              std::uint64_t mask,
+                                              Scratch& s) const {
+  if (s.stamp.size() != nl_.size()) {
+    s.stamp.assign(nl_.size(), 0);
+    s.fval.assign(nl_.size(), 0);
+    s.epoch = 0;
+  }
+  ++s.epoch;
 
-  std::vector<std::size_t> newly;
-  std::vector<std::uint64_t> ins;
-  using HeapItem = std::pair<std::uint32_t, NodeId>;  // (topo rank, node)
-  std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<>> heap;
+  auto faulty_of = [&](NodeId x) {
+    return s.stamp[x] == s.epoch ? s.fval[x] : good_[x];
+  };
+  auto set_faulty = [&](NodeId x, std::uint64_t v) {
+    s.stamp[x] = s.epoch;
+    s.fval[x] = v;
+  };
 
-  for (std::size_t fi = 0; fi < faults_.size(); ++fi) {
-    if (detected_[fi]) continue;
-    const StuckFault& f = faults_[fi];
-    ++epoch_;
-
-    auto faulty_of = [&](NodeId x) {
-      return stamp_[x] == epoch_ ? fval_[x] : good_[x];
-    };
-    auto set_faulty = [&](NodeId x, std::uint64_t v) {
-      stamp_[x] = epoch_;
-      fval_[x] = v;
-    };
-
-    const std::uint64_t stuck_word = f.value ? ~0ull : 0ull;
-    NodeId origin;
-    std::uint64_t origin_val;
-    if (f.is_stem()) {
-      origin = f.node;
-      origin_val = stuck_word;
-    } else {
-      origin = f.node;
-      const Node& nd = nl_.node(origin);
-      ins.clear();
-      for (std::size_t p = 0; p < nd.fanins.size(); ++p) {
-        ins.push_back(static_cast<int>(p) == f.pin ? stuck_word
+  const std::uint64_t stuck_word = f.value ? ~0ull : 0ull;
+  NodeId origin;
+  std::uint64_t origin_val;
+  if (f.is_stem()) {
+    origin = f.node;
+    origin_val = stuck_word;
+  } else {
+    origin = f.node;
+    const Node& nd = nl_.node(origin);
+    s.ins.clear();
+    for (std::size_t p = 0; p < nd.fanins.size(); ++p) {
+      s.ins.push_back(static_cast<int>(p) == f.pin ? stuck_word
                                                    : good_[nd.fanins[p]]);
-      }
-      origin_val = eval_gate(nd.type, ins);
     }
-    if (origin_val == good_[origin]) continue;  // not activated this block
-    ++activated;
-    set_faulty(origin, origin_val);
+    origin_val = eval_gate(nd.type, s.ins);
+  }
+  if (((origin_val ^ good_[origin]) & mask) == 0) return 0;  // not activated
+  ++s.activated;
+  set_faulty(origin, origin_val);
 
-    std::uint64_t po_diff = 0;
-    if (is_po_[origin]) po_diff |= origin_val ^ good_[origin];
-    heap.push({topo_rank_[origin], origin});
-    while (!heap.empty()) {
-      const NodeId x = heap.top().second;
-      heap.pop();
-      const std::uint64_t xv = faulty_of(x);
-      if (xv == good_[x]) continue;  // difference died
-      for (NodeId y : fanouts[x]) {
-        const Node& nd = nl_.node(y);
-        ins.clear();
-        for (NodeId g : nd.fanins) ins.push_back(faulty_of(g));
-        const std::uint64_t yv = eval_gate(nd.type, ins);
-        const std::uint64_t prev = faulty_of(y);
-        if (yv == prev) continue;
-        ++events;
-        set_faulty(y, yv);
-        if (is_po_[y]) po_diff |= yv ^ good_[y];
-        heap.push({topo_rank_[y], y});
-      }
+  const auto& fanouts = nl_.fanouts();
+  std::uint64_t po_diff = 0;
+  if (is_po_[origin]) po_diff |= origin_val ^ good_[origin];
+  s.heap.push({topo_rank_[origin], origin});
+  while (!s.heap.empty()) {
+    const NodeId x = s.heap.top().second;
+    s.heap.pop();
+    const std::uint64_t xv = faulty_of(x);
+    if (xv == good_[x]) continue;  // difference died
+    for (NodeId y : fanouts[x]) {
+      const Node& nd = nl_.node(y);
+      s.ins.clear();
+      for (NodeId g : nd.fanins) s.ins.push_back(faulty_of(g));
+      const std::uint64_t yv = eval_gate(nd.type, s.ins);
+      const std::uint64_t prev = faulty_of(y);
+      if (yv == prev) continue;
+      ++s.events;
+      set_faulty(y, yv);
+      if (is_po_[y]) po_diff |= yv ^ good_[y];
+      s.heap.push({topo_rank_[y], y});
     }
-    if (po_diff != 0) {
+  }
+  return po_diff & mask;
+}
+
+std::vector<std::size_t> FaultSimulator::simulate_block(
+    const std::vector<std::uint64_t>& pi_words, std::uint64_t base_pattern,
+    unsigned num_patterns) {
+  const auto sp = Trace::span("fsim.block");
+  assert(num_patterns >= 1 && num_patterns <= 64);
+  const std::uint64_t mask =
+      num_patterns >= 64 ? ~0ull : ((1ull << num_patterns) - 1);
+  nl_.simulate_into(pi_words, good_);
+  nl_.fanouts();  // warm the shared lazy cache before the parallel region
+
+  if (scratch_.size() < jobs()) scratch_.resize(jobs());
+  for (Scratch& s : scratch_) {
+    s.events = 0;
+    s.activated = 0;
+  }
+
+  const std::size_t n = faults_.size();
+  const std::size_t chunks = exec_detail::chunk_count(n, kFaultGrain);
+  // Per chunk: (fault index, first detecting bit) hits, ascending by fault.
+  std::vector<std::vector<std::pair<std::size_t, unsigned>>> hits(chunks);
+  parallel_chunks(n, kFaultGrain,
+                  [&](std::size_t begin, std::size_t end, unsigned worker) {
+                    Scratch& s = scratch_[worker];
+                    auto& out = hits[begin / kFaultGrain];
+                    for (std::size_t fi = begin; fi < end; ++fi) {
+                      if (detected_[fi]) continue;
+                      const std::uint64_t diff =
+                          propagate_fault(faults_[fi], mask, s);
+                      if (diff != 0) {
+                        out.emplace_back(
+                            fi, static_cast<unsigned>(__builtin_ctzll(diff)));
+                      }
+                    }
+                  });
+
+  // Merge in chunk (= fault index) order: the newly-detected list and the
+  // recorded first patterns match the serial sweep exactly.
+  std::vector<std::size_t> newly;
+  for (const auto& chunk_hits : hits) {
+    for (const auto& [fi, bit] : chunk_hits) {
       detected_[fi] = 1;
       ++detected_total_;
-      first_pattern_[fi] =
-          base_pattern + static_cast<unsigned>(__builtin_ctzll(po_diff));
+      first_pattern_[fi] = base_pattern + bit;
       newly.push_back(fi);
     }
   }
-  // Batched per 64-pattern block; patterns/sec falls out of the patterns
+
+  std::uint64_t events = 0, activated = 0;
+  for (const Scratch& s : scratch_) {
+    events += s.events;
+    activated += s.activated;
+  }
+  // Batched per pattern block; patterns/sec falls out of the patterns
   // counter over the fsim.block span's total time.
   Counters::incr("fsim.blocks");
-  Counters::incr("fsim.patterns", 64);
+  Counters::incr("fsim.patterns", num_patterns);
   Counters::incr("fsim.events", events);
   Counters::incr("fsim.faults_activated", activated);
   Counters::incr("fsim.faults_dropped", newly.size());
@@ -119,12 +164,14 @@ SafExperimentResult random_saf_experiment(const Netlist& nl, Rng& rng,
   std::uint64_t applied = 0;
   while (applied < max_patterns && sim.remaining() > 0) {
     for (std::size_t i = 0; i < n; ++i) pi[i] = rng.next();
-    const auto newly = sim.simulate_block(pi, applied);
+    const unsigned np = static_cast<unsigned>(
+        std::min<std::uint64_t>(64, max_patterns - applied));
+    const auto newly = sim.simulate_block(pi, applied, np);
     for (std::size_t fi : newly) {
       res.last_effective_pattern =
           std::max(res.last_effective_pattern, sim.detecting_pattern(fi) + 1);
     }
-    applied += 64;
+    applied += np;
   }
   res.patterns_applied = applied;
   res.remaining = sim.remaining();

@@ -1,0 +1,224 @@
+// End-to-end determinism suite for the parallel execution layer: every
+// pipeline that fans out over exec/ must produce byte-identical results --
+// netlists, stats, detection records, and run reports (timings masked) --
+// at --jobs=1, 2, and 8. The TSan CI job runs this same suite to certify
+// that the identical answers are not produced by benign-looking races.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "atpg/redundancy.hpp"
+#include "bench_io/bench_io.hpp"
+#include "core/resynth.hpp"
+#include "core/sdc.hpp"
+#include "delay/robust.hpp"
+#include "exec/exec.hpp"
+#include "faults/fault.hpp"
+#include "faults/fault_sim.hpp"
+#include "gen/circuits.hpp"
+#include "obs/counters.hpp"
+#include "obs/obs.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
+#include "util/rng.hpp"
+
+namespace compsyn {
+namespace {
+
+const unsigned kJobCounts[] = {1, 2, 8};
+
+/// Restores the job count (and clears recorded observability) around a test.
+struct JobsGuard {
+  JobsGuard() : prev(jobs()) {}
+  ~JobsGuard() {
+    set_jobs(prev);
+    Counters::reset();
+    Trace::reset();
+    obs_set_enabled(false);
+  }
+  unsigned prev;
+};
+
+/// Runs `body` once per job count and asserts every run returned the same
+/// string as the --jobs=1 reference.
+template <typename Body>
+void expect_jobs_invariant(const char* what, Body&& body) {
+  std::string reference;
+  for (unsigned j : kJobCounts) {
+    set_jobs(j);
+    const std::string got = body();
+    if (j == 1) {
+      reference = got;
+      ASSERT_FALSE(reference.empty()) << what;
+    } else {
+      EXPECT_EQ(got, reference) << what << " differs at jobs=" << j;
+    }
+  }
+}
+
+std::string resynth_fingerprint(const std::string& circuit, ResynthObjective obj,
+                                bool use_sdc) {
+  Netlist nl = make_benchmark(circuit);
+  ResynthOptions opt;
+  opt.objective = obj;
+  opt.k = 5;
+  opt.allow_gate_increase = obj != ResynthObjective::Gates;
+  opt.use_sdc = use_sdc;
+  const ResynthStats st = resynthesize(nl, opt);
+  std::ostringstream os;
+  os << "passes=" << st.passes << " repl=" << st.replacements
+     << " cones=" << st.cones_considered << " cmp=" << st.comparison_cones
+     << " gates=" << st.gates_before << "->" << st.gates_after
+     << " paths=" << st.paths_before << "->" << st.paths_after << "\n"
+     << write_bench_string(nl.compacted());
+  return os.str();
+}
+
+TEST(ExecDeterminism, ResynthGatesObjective) {
+  JobsGuard guard;
+  for (const char* c : {"c17", "s27", "add8", "syn150"}) {
+    expect_jobs_invariant(c, [&] {
+      return resynth_fingerprint(c, ResynthObjective::Gates, /*use_sdc=*/false);
+    });
+  }
+}
+
+TEST(ExecDeterminism, ResynthPathsObjective) {
+  JobsGuard guard;
+  for (const char* c : {"cmp8", "mux4"}) {
+    expect_jobs_invariant(c, [&] {
+      return resynth_fingerprint(c, ResynthObjective::Paths, /*use_sdc=*/false);
+    });
+  }
+}
+
+TEST(ExecDeterminism, ResynthWithSdcOracle) {
+  // use_sdc routes cone evaluation through a reachability oracle; the
+  // few-input circuits get the exact table (concurrent queries), so this
+  // exercises the in-region DC identification path.
+  JobsGuard guard;
+  for (const char* c : {"s27", "mux4"}) {
+    expect_jobs_invariant(c, [&] {
+      return resynth_fingerprint(c, ResynthObjective::Gates, /*use_sdc=*/true);
+    });
+  }
+}
+
+TEST(ExecDeterminism, FaultSimulation) {
+  JobsGuard guard;
+  for (const char* c : {"c17", "add8", "syn150"}) {
+    expect_jobs_invariant(c, [&] {
+      Netlist nl = make_benchmark(c);
+      Rng rng(0xFA571);
+      const SafExperimentResult res =
+          random_saf_experiment(nl, rng, /*max_patterns=*/1 << 12);
+      // Include every fault's first detecting pattern, not just the summary:
+      // the merge order inside each block must match the serial sweep.
+      FaultSimulator sim(nl, enumerate_faults(nl, /*collapse=*/true));
+      Rng rng2(0xFA571);
+      std::vector<std::uint64_t> pi(nl.inputs().size());
+      std::ostringstream os;
+      os << "total=" << res.total_faults << " remaining=" << res.remaining
+         << " last_eff=" << res.last_effective_pattern
+         << " applied=" << res.patterns_applied << "\n";
+      for (unsigned b = 0; b < 8; ++b) {
+        for (auto& w : pi) w = rng2.next();
+        for (std::size_t fi : sim.simulate_block(pi, 64ull * b)) {
+          os << fi << "@" << sim.detecting_pattern(fi) << " ";
+        }
+        os << "\n";
+      }
+      return os.str();
+    });
+  }
+}
+
+TEST(ExecDeterminism, RedundancyRemoval) {
+  JobsGuard guard;
+  for (const char* c : {"s27", "add8", "syn150"}) {
+    expect_jobs_invariant(c, [&] {
+      Netlist nl = make_benchmark(c);
+      RedundancyRemovalOptions opt;
+      opt.sat_fallback = true;
+      const RedundancyRemovalStats st = remove_redundancies(nl, opt);
+      std::ostringstream os;
+      os << "removed=" << st.removed << " checked=" << st.faults_checked
+         << " aborted=" << st.aborted << " sat_calls=" << st.sat_fallback_calls
+         << " sat_proofs=" << st.sat_proved_untestable
+         << " sat_tests=" << st.sat_found_tests << " sat_unknown=" << st.sat_unknown
+         << " unresolved=" << st.aborted_unresolved
+         << " irredundant=" << st.irredundant << "\n"
+         << write_bench_string(nl.compacted());
+      return os.str();
+    });
+  }
+}
+
+TEST(ExecDeterminism, RobustPathDelayTestability) {
+  JobsGuard guard;
+  for (const char* c : {"c17", "s27", "cmp8"}) {
+    expect_jobs_invariant(c, [&] {
+      Netlist nl = make_benchmark(c);
+      const PdfTestability t = count_robustly_testable(nl, /*exhaustive_limit=*/10);
+      std::ostringstream os;
+      os << "faults=" << t.total_faults << " testable=" << t.testable;
+      return os.str();
+    });
+  }
+}
+
+/// Masks the fields that legitimately vary between runs -- wall-clock
+/// seconds and per-span nanosecond totals -- and returns the rest of the
+/// report as a dump string.
+std::string masked_report_dump(const Json& j) {
+  if (j.is_object()) {
+    std::ostringstream os;
+    os << "{";
+    for (const auto& [k, v] : j.items()) {
+      const bool masked =
+          k == "wall_seconds" ||
+          (k.size() > 3 && k.compare(k.size() - 3, 3, "_ns") == 0);
+      os << '"' << k << "\":" << (masked ? "\"MASKED\"" : masked_report_dump(v))
+         << ",";
+    }
+    os << "}";
+    return os.str();
+  }
+  if (j.is_array()) {
+    std::ostringstream os;
+    os << "[";
+    for (std::size_t i = 0; i < j.size(); ++i) os << masked_report_dump(j.at(i)) << ",";
+    os << "]";
+    return os.str();
+  }
+  return j.dump();
+}
+
+TEST(ExecDeterminism, RunReportCountersAndTables) {
+  // The full observability surface: counters, spans (masked), and report
+  // records must be byte-identical at any job count.
+  JobsGuard guard;
+  expect_jobs_invariant("report", [&] {
+    Counters::reset();
+    Trace::reset();
+    obs_set_enabled(true);
+    RunReport report("exec_determinism");
+
+    Netlist nl = make_benchmark("syn150");
+    RedundancyRemovalOptions rr;
+    rr.sat_fallback = true;
+    remove_redundancies(nl, rr);
+    ResynthOptions opt;
+    opt.k = 5;
+    resynthesize(nl, opt);
+    Rng rng(0xBEEF);
+    random_saf_experiment(nl, rng, 1 << 10);
+
+    return masked_report_dump(report.to_json());
+  });
+}
+
+}  // namespace
+}  // namespace compsyn

@@ -1,0 +1,214 @@
+// Unit tests for the deterministic parallel execution layer (exec/).
+// Everything here runs at several job counts and asserts byte-identical
+// results; the TSan CI job runs the same suite to certify data-race freedom.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "exec/exec.hpp"
+#include "util/rng.hpp"
+
+namespace compsyn {
+namespace {
+
+/// Restores the job count on scope exit so one test cannot leak its setting
+/// into the next.
+struct JobsGuard {
+  JobsGuard() : prev(jobs()) {}
+  ~JobsGuard() { set_jobs(prev); }
+  unsigned prev;
+};
+
+TEST(Exec, DefaultIsSerial) {
+  EXPECT_EQ(jobs(), 1u);
+  EXPECT_FALSE(in_parallel_region());
+}
+
+TEST(Exec, ChunkCount) {
+  using exec_detail::chunk_count;
+  EXPECT_EQ(chunk_count(0, 16), 0u);
+  EXPECT_EQ(chunk_count(1, 16), 1u);
+  EXPECT_EQ(chunk_count(16, 16), 1u);
+  EXPECT_EQ(chunk_count(17, 16), 2u);
+  EXPECT_EQ(chunk_count(5, 0), 5u);  // grain clamps to 1
+}
+
+TEST(Exec, EmptyRange) {
+  JobsGuard guard;
+  for (unsigned j : {1u, 4u}) {
+    set_jobs(j);
+    bool ran = false;
+    parallel_for(0, 16, [&](std::size_t) { ran = true; });
+    EXPECT_FALSE(ran);
+    EXPECT_TRUE(parallel_map<int>(0, 16, [](std::size_t) { return 1; }).empty());
+    EXPECT_EQ(parallel_reduce<int>(
+                  0, 16, 7, [](std::size_t) { return 1; },
+                  [](int a, int b) { return a + b; }),
+              7);
+  }
+}
+
+TEST(Exec, SingleItem) {
+  JobsGuard guard;
+  for (unsigned j : {1u, 4u}) {
+    set_jobs(j);
+    const auto r = parallel_map<std::size_t>(1, 16, [](std::size_t i) { return i + 41; });
+    ASSERT_EQ(r.size(), 1u);
+    EXPECT_EQ(r[0], 41u);
+  }
+}
+
+TEST(Exec, MoreWorkersThanChunks) {
+  // 3 items at grain 1 = 3 chunks, run with far more workers than chunks.
+  JobsGuard guard;
+  set_jobs(16);
+  const auto r = parallel_map<std::size_t>(3, 1, [](std::size_t i) { return i * i; });
+  EXPECT_EQ(r, (std::vector<std::size_t>{0, 1, 4}));
+}
+
+TEST(Exec, MapPreservesIndexOrder) {
+  JobsGuard guard;
+  std::vector<int> expected(1000);
+  std::iota(expected.begin(), expected.end(), 0);
+  for (unsigned j : {1u, 2u, 8u}) {
+    set_jobs(j);
+    const auto r =
+        parallel_map<int>(1000, 7, [](std::size_t i) { return static_cast<int>(i); });
+    EXPECT_EQ(r, expected) << "jobs=" << j;
+  }
+}
+
+TEST(Exec, ForVisitsEveryIndexOnce) {
+  JobsGuard guard;
+  for (unsigned j : {1u, 2u, 8u}) {
+    set_jobs(j);
+    std::vector<std::atomic<int>> hits(257);
+    for (auto& h : hits) h.store(0);
+    parallel_for(hits.size(), 16, [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (std::size_t i = 0; i < hits.size(); ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "i=" << i << " jobs=" << j;
+    }
+  }
+}
+
+TEST(Exec, ExceptionPropagatesLowestChunkWins) {
+  JobsGuard guard;
+  for (unsigned j : {1u, 4u}) {
+    set_jobs(j);
+    try {
+      parallel_for(100, 1, [](std::size_t i) {
+        if (i == 23 || i == 77) throw std::runtime_error("boom " + std::to_string(i));
+      });
+      FAIL() << "no exception at jobs=" << j;
+    } catch (const std::runtime_error& e) {
+      // Chunk 77 may or may not have run, but the rethrown exception is
+      // always the lowest-index one.
+      EXPECT_STREQ(e.what(), "boom 23") << "jobs=" << j;
+    }
+    // The pool must still be usable after a throwing region.
+    EXPECT_EQ(parallel_reduce<int>(
+                  10, 1, 0, [](std::size_t) { return 1; },
+                  [](int a, int b) { return a + b; }),
+              10);
+  }
+}
+
+TEST(Exec, NestedParallelismDegradesToSerial) {
+  JobsGuard guard;
+  set_jobs(4);
+  std::vector<int> saw_region(64, 0);
+  const auto outer = parallel_map<int>(64, 4, [&](std::size_t i) {
+    saw_region[i] = in_parallel_region() ? 1 : 0;
+    // Nested call: must run inline on this thread, never spawn or deadlock.
+    return parallel_reduce<int>(
+        10, 2, static_cast<int>(i), [](std::size_t k) { return static_cast<int>(k); },
+        [](int a, int b) { return a + b; });
+  });
+  for (std::size_t i = 0; i < 64; ++i) {
+    EXPECT_EQ(outer[i], static_cast<int>(i) + 45);
+    EXPECT_EQ(saw_region[i], 1);
+  }
+  EXPECT_FALSE(in_parallel_region());
+}
+
+TEST(Exec, SetJobsInsideRegionThrows) {
+  JobsGuard guard;
+  set_jobs(2);
+  std::atomic<int> threw{0};
+  parallel_for(8, 1, [&](std::size_t) {
+    try {
+      set_jobs(3);
+    } catch (const std::logic_error&) {
+      threw.fetch_add(1);
+    }
+  });
+  EXPECT_EQ(threw.load(), 8);
+}
+
+TEST(Exec, ShuffleReduceMatchesSerialAnswer) {
+  // 10k tasks with data-dependent per-item work so chunks finish out of
+  // order under real parallelism. The fold is deliberately non-associative
+  // (a + 3b): the contract is that the fold SHAPE is fixed by (n, grain)
+  // alone, so every job count must reproduce the --jobs=1 answer bit for
+  // bit even when the merge order would matter.
+  constexpr std::size_t kTasks = 10000;
+  std::vector<std::uint64_t> work(kTasks);
+  Rng rng(0xE5EC);
+  for (auto& w : work) w = rng.next();
+
+  auto item = [&](std::size_t i) {
+    std::uint64_t x = work[i] | 1;
+    for (unsigned r = 0; r < (work[i] & 63); ++r) {
+      x ^= x << 13;
+      x ^= x >> 7;
+      x ^= x << 17;
+    }
+    return x;
+  };
+  auto merge = [](std::uint64_t a, std::uint64_t b) { return a + 3 * b; };
+
+  JobsGuard guard;
+  set_jobs(1);
+  const std::uint64_t serial =
+      parallel_reduce<std::uint64_t>(kTasks, 32, 0, item, merge);
+  for (unsigned j : {2u, 3u, 8u}) {
+    set_jobs(j);
+    EXPECT_EQ(parallel_reduce<std::uint64_t>(kTasks, 32, 0, item, merge), serial)
+        << "jobs=" << j;
+  }
+}
+
+TEST(Exec, GrainChangesChunkingNotResult) {
+  JobsGuard guard;
+  set_jobs(4);
+  std::vector<std::uint64_t> expected;
+  for (std::size_t g : {1u, 5u, 64u, 10000u}) {
+    auto r = parallel_map<std::uint64_t>(777, g, [](std::size_t i) {
+      return i * 2654435761u;
+    });
+    if (expected.empty()) {
+      expected = std::move(r);
+    } else {
+      EXPECT_EQ(r, expected) << "grain=" << g;
+    }
+  }
+}
+
+TEST(Exec, SetJobsIsIdempotentAndShrinks) {
+  JobsGuard guard;
+  set_jobs(4);
+  set_jobs(4);
+  EXPECT_EQ(jobs(), 4u);
+  set_jobs(2);
+  EXPECT_EQ(jobs(), 2u);
+  const auto r = parallel_map<int>(10, 1, [](std::size_t i) { return static_cast<int>(i); });
+  EXPECT_EQ(r.size(), 10u);
+  set_jobs(0);  // clamps to 1
+  EXPECT_EQ(jobs(), 1u);
+}
+
+}  // namespace
+}  // namespace compsyn

@@ -195,6 +195,49 @@ TEST(FaultSim, AccumulatesAcrossBlocks) {
   EXPECT_EQ(sim.remaining(), 0u);
 }
 
+TEST(FaultSim, PartialBlockMatchesSerialReference) {
+  // A final block with fewer than 64 patterns: only the low num_patterns
+  // bits may activate or detect anything.
+  Netlist nl = c17();
+  auto faults = enumerate_faults(nl, false);
+  Rng rng(42);
+  std::vector<std::uint64_t> pi(nl.inputs().size());
+  for (auto& w : pi) w = rng.next();
+  const unsigned kApplied = 11;
+
+  FaultSimulator sim(nl, faults);
+  auto newly = sim.simulate_block(pi, 0, kApplied);
+  std::set<std::size_t> detected(newly.begin(), newly.end());
+  for (std::size_t fi = 0; fi < faults.size(); ++fi) {
+    bool ref = false;
+    std::uint64_t first_bit = 0;
+    for (std::uint64_t b = 0; b < kApplied && !ref; ++b) {
+      if (serial_detects(nl, faults[fi], pi, b)) {
+        ref = true;
+        first_bit = b;
+      }
+    }
+    EXPECT_EQ(detected.count(fi) != 0, ref) << to_string(nl, faults[fi]);
+    if (ref) {
+      EXPECT_EQ(sim.detecting_pattern(fi), first_bit) << to_string(nl, faults[fi]);
+    }
+  }
+  // Some fault of c17 is detected only past bit kApplied under this seed;
+  // the partial block must find strictly fewer faults than the full one.
+  FaultSimulator full(nl, faults);
+  EXPECT_LT(detected.size(), full.simulate_block(pi, 0).size());
+}
+
+TEST(FaultSim, ExperimentStopsAtNonMultipleOf64) {
+  // max_patterns not a multiple of 64: the final block is partial and the
+  // experiment reports exactly max_patterns applied, never rounded up.
+  Netlist nl = c17();
+  Rng rng(9);
+  auto res = random_saf_experiment(nl, rng, /*max_patterns=*/70);
+  EXPECT_LE(res.patterns_applied, 70u);
+  EXPECT_LE(res.last_effective_pattern, res.patterns_applied);
+}
+
 TEST(FaultSim, RandomExperimentDetectsAllOnC17) {
   Netlist nl = c17();
   Rng rng(9);
