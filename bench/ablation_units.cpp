@@ -22,7 +22,9 @@ struct Variant {
 
 }  // namespace
 
-int main(int argc, char** argv) {
+namespace {
+
+int run_main(int argc, char** argv) {
   Cli cli(argc, argv);
   BenchRun run("ablation_units", cli);
   const VerifyMode verify = bench_verify_mode(cli);
@@ -82,4 +84,11 @@ int main(int argc, char** argv) {
   t.print(std::cout);
   run.report().add_table("ablation", t);
   return run.finish();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return compsyn::robust::guard_main("ablation_units", argc, argv,
+                                     [&] { return run_main(argc, argv); });
 }

@@ -3,8 +3,10 @@
 // irredundant, hence the irs prefix), and best-of-K resynthesis runs.
 #pragma once
 
+#include <algorithm>
 #include <cstdio>
 #include <iostream>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -19,20 +21,27 @@
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
 #include "paths/paths.hpp"
+#include "robust/guard.hpp"
+#include "robust/inject.hpp"
+#include "robust/robust.hpp"
 #include "util/cli.hpp"
 #include "util/rng.hpp"
 #include "util/strings.hpp"
 
 namespace compsyn::bench {
 
-/// Shared observability wiring for every table harness:
+/// Shared observability + robustness wiring for every table harness:
 ///   --report=<file>   write a machine-readable JSON (or .jsonl) run report
 ///   --trace           print the span/counter summary after the tables
 ///   --jobs=N          worker threads for the parallel regions (default 1)
+///   --budget=TICKS    deterministic anytime budget (DESIGN.md §10)
+///   --deadline=SECS   wall-clock watchdog (non-deterministic)
+///   --inject=SPEC     scripted fault injection for chaos testing
 /// Either observability flag also enables runtime recording, so without them
 /// the binaries' stdout is byte-identical to an uninstrumented build. The
 /// exec layer guarantees identical results (and counters) at any --jobs
-/// value; only the timings change.
+/// value; only the timings change. A budget trip winds the tables down to
+/// their verified best-so-far state and finish() returns exit code 20.
 class BenchRun {
  public:
   BenchRun(std::string name, const Cli& cli) : cli_(cli), report_(std::move(name)) {
@@ -46,6 +55,26 @@ class BenchRun {
       }
       set_jobs(static_cast<unsigned>(j));
     }
+    robust_active_ = cli_.has("budget") || cli_.has("deadline") || cli_.has("inject");
+    if (cli_.has("inject")) {
+      std::string err;
+      auto plan = robust::FaultPlan::parse(cli_.get("inject"), &err);
+      if (!plan) {
+        std::cerr << "error: --inject=" << cli_.get("inject") << ": " << err
+                  << "\n";
+        std::exit(2);
+      }
+      plan_ = *plan;
+      inject_scope_.emplace(plan_);
+    }
+    std::uint64_t limit = cli_.get_u64("budget", 0);
+    if (plan_.budget_trip != 0) {
+      limit = limit == 0 ? plan_.budget_trip
+                         : std::min(limit, plan_.budget_trip);
+    }
+    budget_.emplace(limit);
+    if (robust_active_) budget_scope_.emplace(*budget_);
+    watchdog_.emplace(cli_.get_double("deadline", 0.0));
     Json flags = Json::object();
     for (const auto& [flag, value] : cli_.flags()) flags.set(flag, value);
     report_.set_meta("flags", std::move(flags));
@@ -61,16 +90,30 @@ class BenchRun {
     rec.set("inputs", static_cast<std::uint64_t>(nl.inputs().size()));
     rec.set("outputs", static_cast<std::uint64_t>(nl.outputs().size()));
     rec.set("gates", nl.equivalent_gate_count());
-    rec.set("paths", count_paths(nl).total);
+    const std::uint64_t paths = count_paths_clamped(nl).total;
+    rec.set("paths", paths >= kPathCountSaturated ? Json(format_path_total(paths))
+                                                  : Json(paths));
     rec.set("depth", static_cast<std::uint64_t>(nl.depth()));
     report_.add_record("circuits", std::move(rec));
   }
 
   /// Flag-gated sinks + unknown-flag warnings; returns a process exit code
-  /// (nonzero only when a requested report could not be written).
+  /// (nonzero when a requested report could not be written, kExitDegraded
+  /// when the tick budget stopped the tables early).
   int finish() {
     int rc = 0;
+    const robust::StopReason reason = robust::stop_reason();
     if (cli_.has("report")) {
+      // Status block only under a robust flag, so default-flag reports stay
+      // byte-identical across releases.
+      if (robust_active_) {
+        report_.set_meta("status",
+                         robust::to_string(robust::run_status_for(reason)));
+        if (reason != robust::StopReason::None) {
+          report_.set_meta("stop_reason", robust::to_string(reason));
+        }
+        report_.set_meta("ticks", robust::ticks_consumed());
+      }
       const std::string path = cli_.get("report");
       std::string err;
       if (!report_.write(path, &err)) {
@@ -83,12 +126,24 @@ class BenchRun {
       report_.print_summary(std::cout);
     }
     cli_.warn_unrecognized(std::cerr);
+    if (rc == 0 && (reason == robust::StopReason::Budget ||
+                    reason == robust::StopReason::Injected)) {
+      rc = robust::kExitDegraded;
+    }
     return rc;
   }
 
  private:
   const Cli& cli_;
   RunReport report_;
+  robust::FaultPlan plan_;
+  bool robust_active_ = false;
+  // Scope order matters: the budget/inject scopes must outlive any engine
+  // call the harness makes and unwind before the members they reference.
+  std::optional<robust::InjectScope> inject_scope_;
+  std::optional<robust::Budget> budget_;
+  std::optional<robust::BudgetScope> budget_scope_;
+  std::optional<robust::DeadlineWatchdog> watchdog_;
 };
 
 /// Suite selection: --circuits=a,b,c overrides; --full includes the largest

@@ -39,7 +39,7 @@ void show(BenchRun& run, const char* title, const ComparisonSpec& spec) {
   }
   std::cout << "== " << title << " ==\n";
   std::cout << write_bench_string(unit);
-  const auto pc = count_paths(unit);
+  const auto pc = count_paths_clamped(unit);
   std::cout << "equivalent 2-input gates: " << r.equiv_gates
             << "   paths: " << pc.total << "   depth: " << r.depth
             << "   exhaustive check: " << (ok ? "PASS" : "FAIL") << "\n";
@@ -60,7 +60,9 @@ void show(BenchRun& run, const char* title, const ComparisonSpec& spec) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
+namespace {
+
+int run_main(int argc, char** argv) {
   Cli cli(argc, argv);
   BenchRun run("fig_blocks", cli);
   std::cout << "Comparison blocks and units from Figures 1-6 "
@@ -81,4 +83,11 @@ int main(int argc, char** argv) {
   show(run, "Figure 6: free-variable unit, L=11, U=12", spec4(11, 12));
   std::cout << "All figures verified.\n";
   return run.finish();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return compsyn::robust::guard_main("fig_blocks", argc, argv,
+                                     [&] { return run_main(argc, argv); });
 }

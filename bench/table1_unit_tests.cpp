@@ -25,7 +25,9 @@ std::string wave_str(bool v1, bool v2) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
+namespace {
+
+int run_main(int argc, char** argv) {
   Cli cli(argc, argv);
   BenchRun run("table1_unit_tests", cli);
   ComparisonSpec spec;
@@ -66,4 +68,11 @@ int main(int argc, char** argv) {
   const int rc = run.finish();
   const bool ok = set.complete && validated == set.tests.size();
   return ok ? rc : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return compsyn::robust::guard_main("table1_unit_tests", argc, argv,
+                                     [&] { return run_main(argc, argv); });
 }

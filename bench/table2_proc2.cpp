@@ -11,7 +11,9 @@
 using namespace compsyn;
 using namespace compsyn::bench;
 
-int main(int argc, char** argv) {
+namespace {
+
+int run_main(int argc, char** argv) {
   Cli cli(argc, argv);
   BenchRun run("table2_proc2", cli);
   const VerifyMode verify = bench_verify_mode(cli);
@@ -36,12 +38,12 @@ int main(int argc, char** argv) {
     Netlist orig = prepare_irredundant(name, verify);
     run.add_circuit("original", orig);
     const std::uint64_t g0 = orig.equivalent_gate_count();
-    const std::uint64_t p0 = count_paths(orig).total;
+    const std::uint64_t p0 = count_paths_clamped(orig).total;
 
     BestOfK best = best_of_k(orig, ResynthObjective::Gates, ks);
     verify_or_die(orig, best.netlist, name + " Procedure 2", verify);
     const std::uint64_t g1 = best.netlist.equivalent_gate_count();
-    const std::uint64_t p1 = count_paths(best.netlist).total;
+    const std::uint64_t p1 = count_paths_clamped(best.netlist).total;
 
     // Redundancy removal afterwards, as in Section 5 (only has an effect
     // when the modification created redundant faults).
@@ -49,7 +51,7 @@ int main(int argc, char** argv) {
     const auto rr_stats = remove_redundancies(rr, bench_rr_options(verify));
     verify_or_die(best.netlist, rr, name + " redundancy removal", verify);
     const std::uint64_t g2 = rr.equivalent_gate_count();
-    const std::uint64_t p2 = count_paths(rr).total;
+    const std::uint64_t p2 = count_paths_clamped(rr).total;
 
     t.row()
         .add("irs_" + name + " (" + std::to_string(best.k) + ")")
@@ -65,4 +67,11 @@ int main(int argc, char** argv) {
                "Procedure 2, as in the paper's blank entries.)\n";
   run.report().add_table("table2", t);
   return run.finish();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return compsyn::robust::guard_main("table2_proc2", argc, argv,
+                                     [&] { return run_main(argc, argv); });
 }

@@ -13,7 +13,9 @@
 using namespace compsyn;
 using namespace compsyn::bench;
 
-int main(int argc, char** argv) {
+namespace {
+
+int run_main(int argc, char** argv) {
   Cli cli(argc, argv);
   BenchRun run("table3_rambo", cli);
   const VerifyMode verify = bench_verify_mode(cli);
@@ -45,14 +47,21 @@ int main(int argc, char** argv) {
     t.row()
         .add("irs_" + name)
         .add(orig.equivalent_gate_count())
-        .add_commas(count_paths(orig).total)
+        .add_commas(count_paths_clamped(orig).total)
         .add(rar.equivalent_gate_count())
-        .add_commas(count_paths(rar).total)
+        .add_commas(count_paths_clamped(rar).total)
         .add(static_cast<std::uint64_t>(best.k))
         .add(best.netlist.equivalent_gate_count())
-        .add_commas(count_paths(best.netlist).total);
+        .add_commas(count_paths_clamped(best.netlist).total);
   }
   t.print(std::cout);
   run.report().add_table("table3", t);
   return run.finish();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return compsyn::robust::guard_main("table3_rambo", argc, argv,
+                                     [&] { return run_main(argc, argv); });
 }

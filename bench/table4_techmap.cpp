@@ -13,7 +13,9 @@
 using namespace compsyn;
 using namespace compsyn::bench;
 
-int main(int argc, char** argv) {
+namespace {
+
+int run_main(int argc, char** argv) {
   Cli cli(argc, argv);
   BenchRun run("table4_techmap", cli);
   const VerifyMode verify = bench_verify_mode(cli);
@@ -69,4 +71,11 @@ int main(int argc, char** argv) {
   run.report().add_table("table4a", ta);
   run.report().add_table("table4b", tb);
   return run.finish();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return compsyn::robust::guard_main("table4_techmap", argc, argv,
+                                     [&] { return run_main(argc, argv); });
 }

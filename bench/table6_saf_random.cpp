@@ -14,7 +14,9 @@
 using namespace compsyn;
 using namespace compsyn::bench;
 
-int main(int argc, char** argv) {
+namespace {
+
+int run_main(int argc, char** argv) {
   Cli cli(argc, argv);
   BenchRun run("table6_saf_random", cli);
   const VerifyMode verify = bench_verify_mode(cli);
@@ -60,4 +62,11 @@ int main(int argc, char** argv) {
                "pattern stream.)\n";
   run.report().add_table("table6", t);
   return run.finish();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return compsyn::robust::guard_main("table6_saf_random", argc, argv,
+                                     [&] { return run_main(argc, argv); });
 }

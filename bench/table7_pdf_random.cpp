@@ -20,7 +20,9 @@
 using namespace compsyn;
 using namespace compsyn::bench;
 
-int main(int argc, char** argv) {
+namespace {
+
+int run_main(int argc, char** argv) {
   Cli cli(argc, argv);
   BenchRun run("table7_pdf_random", cli);
   const VerifyMode verify = bench_verify_mode(cli);
@@ -104,4 +106,11 @@ int main(int argc, char** argv) {
   run.report().add_table("table7", t);
   run.report().add_table("nonenum", e);
   return run.finish();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return compsyn::robust::guard_main("table7_pdf_random", argc, argv,
+                                     [&] { return run_main(argc, argv); });
 }

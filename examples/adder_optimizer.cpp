@@ -15,10 +15,13 @@
 #include "techmap/techmap.hpp"
 #include "util/cli.hpp"
 #include "util/rng.hpp"
+#include "robust/guard.hpp"
 
 using namespace compsyn;
 
-int main(int argc, char** argv) {
+namespace {
+
+int run_main(int argc, char** argv) {
   Cli cli(argc, argv);
   const unsigned bits = static_cast<unsigned>(cli.get_u64("bits", 8));
 
@@ -27,7 +30,7 @@ int main(int argc, char** argv) {
   Netlist block = make_comparator(bits);
   std::cout << "datapath block: " << bits << "-bit magnitude comparator\n";
   std::cout << "  gates: " << block.equivalent_gate_count()
-            << "  paths: " << count_paths(block).total
+            << "  paths: " << format_path_total(count_paths_clamped(block).total)
             << "  depth: " << block.depth() << "\n";
 
   Netlist before = block.compacted();
@@ -72,4 +75,11 @@ int main(int argc, char** argv) {
             << " path delay faults (complete: "
             << (tests.complete ? "yes" : "no") << ")\n";
   return eq.equivalent ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return compsyn::robust::guard_main("adder_optimizer", argc, argv,
+                                     [&] { return run_main(argc, argv); });
 }

@@ -11,11 +11,14 @@
 #include "core/resynth.hpp"
 #include "netlist/equivalence.hpp"
 #include "paths/paths.hpp"
+#include "robust/guard.hpp"
 #include "util/rng.hpp"
 
 using namespace compsyn;
 
-int main() {
+namespace {
+
+int run_main() {
   // 1. Build a circuit: f = the Section 3.1 example function f2, here
   //    implemented wastefully as a two-level SOP.
   Netlist nl("quickstart");
@@ -66,4 +69,11 @@ int main() {
             << (eq.exhaustive ? " (exhaustive)" : "") << "\n\n";
   std::cout << "resynthesized netlist:\n" << write_bench_string(nl.compacted());
   return eq.equivalent ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return compsyn::robust::guard_main("quickstart", argc, argv,
+                                     [&] { return run_main(); });
 }

@@ -16,6 +16,7 @@
 #include "paths/paths.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
+#include "robust/guard.hpp"
 
 using namespace compsyn;
 
@@ -32,7 +33,7 @@ Report measure(const Netlist& nl, std::uint64_t patterns, std::uint64_t pairs,
                std::uint64_t seed) {
   Report r;
   r.gates = nl.equivalent_gate_count();
-  r.paths = count_paths(nl).total;
+  r.paths = count_paths_clamped(nl).total;
   r.atpg = run_podem_all(nl, enumerate_faults(nl, true));
   Rng r1(seed);
   r.saf = random_saf_experiment(nl, r1, patterns);
@@ -43,7 +44,9 @@ Report measure(const Netlist& nl, std::uint64_t patterns, std::uint64_t pairs,
 
 }  // namespace
 
-int main(int argc, char** argv) {
+namespace {
+
+int run_main(int argc, char** argv) {
   Cli cli(argc, argv);
   const std::string name =
       cli.positional().empty() ? "syn150" : cli.positional()[0];
@@ -91,4 +94,11 @@ int main(int argc, char** argv) {
                "stuck-at testability\nwhile dropping untestable path delay "
                "faults, so PDF coverage rises.\n";
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return compsyn::robust::guard_main("testability_report", argc, argv,
+                                     [&] { return run_main(argc, argv); });
 }

@@ -5,6 +5,7 @@
 
 #include "obs/counters.hpp"
 #include "obs/trace.hpp"
+#include "robust/robust.hpp"
 
 namespace compsyn {
 namespace {
@@ -74,6 +75,12 @@ class Podem {
     imply();
     for (;;) {
       if (opt_.backtrack_limit != 0 && res.backtracks > opt_.backtrack_limit) {
+        res.status = AtpgStatus::Aborted;
+        return res;
+      }
+      // Cancellation winds the search down as an abort: the caller's
+      // normal Aborted handling (SAT fallback, undecided marking) applies.
+      if (robust::cancel_requested()) {
         res.status = AtpgStatus::Aborted;
         return res;
       }
@@ -297,6 +304,9 @@ AtpgResult run_podem(const Netlist& nl, const StuckFault& fault,
   const auto sp = Trace::span("atpg.podem");
   Podem engine(nl, fault, opt);
   AtpgResult res = engine.run();
+  // One budget tick per call plus one per backtrack — the same unit
+  // opt.backtrack_limit bounds per call.
+  robust::charge(1 + res.backtracks);
   // Batched per call: one counter update per fault, nothing in the search.
   Counters::incr("atpg.calls");
   Counters::incr("atpg.decisions", res.decisions);

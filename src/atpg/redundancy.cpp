@@ -128,26 +128,38 @@ RedundancyRemovalStats remove_redundancies(Netlist& nl,
   // fixpoint.
   std::uint64_t round_unresolved = 0;
   bool fixpoint = false;
-  for (unsigned round = 0; round < opt.max_rounds; ++round) {
+  bool stopped = false;
+  for (unsigned round = 0; round < opt.max_rounds && !stopped; ++round) {
+    // Round boundary: a budget trip (or pending cancel) stops before any
+    // new fault is examined; undecided faults stay in the circuit.
+    if (robust::should_stop()) {
+      stopped = true;
+      break;
+    }
     nl.simplify();
     bool removed_this_round = false;
     round_unresolved = 0;
     const auto all_faults = enumerate_faults(nl, /*collapse=*/true);
     // Random-pattern filter: anything detected is testable, no proof needed.
     std::vector<StuckFault> faults;
-    if (opt.random_filter_blocks > 0 && !nl.inputs().empty()) {
-      FaultSimulator sim(nl, all_faults);
-      Rng rng(opt.random_filter_seed);
-      std::vector<std::uint64_t> pi(nl.inputs().size());
-      for (unsigned b = 0; b < opt.random_filter_blocks && sim.remaining(); ++b) {
-        for (auto& w : pi) w = rng.next();
-        sim.simulate_block(pi, 64ull * b);
+    try {
+      if (opt.random_filter_blocks > 0 && !nl.inputs().empty()) {
+        FaultSimulator sim(nl, all_faults);
+        Rng rng(opt.random_filter_seed);
+        std::vector<std::uint64_t> pi(nl.inputs().size());
+        for (unsigned b = 0; b < opt.random_filter_blocks && sim.remaining(); ++b) {
+          for (auto& w : pi) w = rng.next();
+          sim.simulate_block(pi, 64ull * b);
+        }
+        for (std::size_t i = 0; i < all_faults.size(); ++i) {
+          if (!sim.is_detected(i)) faults.push_back(all_faults[i]);
+        }
+      } else {
+        faults = all_faults;
       }
-      for (std::size_t i = 0; i < all_faults.size(); ++i) {
-        if (!sim.is_detected(i)) faults.push_back(all_faults[i]);
-      }
-    } else {
-      faults = all_faults;
+    } catch (const robust::CancelledError&) {
+      stopped = true;
+      break;
     }
     // Speculative windowed commit (exec/exec.hpp): up to `window` faults are
     // decided in parallel against the current netlist, then the verdicts are
@@ -161,12 +173,26 @@ RedundancyRemovalStats remove_redundancies(Netlist& nl,
     std::size_t idx = 0;
     std::size_t window = 1;
     while (idx < faults.size()) {
+      // Window boundary: the serial commit point. Ticks charged by PODEM
+      // and the SAT fallback land here in a jobs-invariant total (the set
+      // of faults decided per window never depends on the job count), so a
+      // budget stop falls between the same two windows on every run.
+      if (robust::should_stop()) {
+        stopped = true;
+        break;
+      }
       const std::size_t end = std::min(idx + window, faults.size());
       nl.topo_order();
       nl.fanouts();  // warm the lazy caches before the parallel region
-      const auto verdicts = parallel_map<FaultVerdict>(
-          end - idx, /*grain=*/1,
-          [&](std::size_t k) { return evaluate_fault(nl, faults[idx + k], opt); });
+      std::vector<FaultVerdict> verdicts;
+      try {
+        verdicts = parallel_map<FaultVerdict>(
+            end - idx, /*grain=*/1,
+            [&](std::size_t k) { return evaluate_fault(nl, faults[idx + k], opt); });
+      } catch (const robust::CancelledError&) {
+        stopped = true;
+        break;
+      }
       bool mutated = false;
       for (std::size_t k = 0; k < verdicts.size() && !mutated; ++k) {
         const StuckFault& f = faults[idx];
@@ -206,6 +232,7 @@ RedundancyRemovalStats remove_redundancies(Netlist& nl,
       }
       window = mutated ? 1 : std::min(window * 2, kMaxCommitWindow);
     }
+    if (stopped) break;
     if (!removed_this_round) {
       fixpoint = true;
       break;
@@ -215,7 +242,11 @@ RedundancyRemovalStats remove_redundancies(Netlist& nl,
   // Only the final round's unresolved faults matter: earlier rounds were
   // re-examined after the netlist changed.
   stats.aborted_unresolved = round_unresolved;
-  stats.irredundant = fixpoint && round_unresolved == 0;
+  stats.irredundant = !stopped && fixpoint && round_unresolved == 0;
+  if (stopped) {
+    stats.stop_reason = robust::stop_reason();
+    stats.status = robust::run_status_for(stats.stop_reason);
+  }
   publish_stats(stats);
   if (stats.aborted_unresolved > 0) {
     std::cerr << "warning: redundancy removal finished with "

@@ -21,6 +21,7 @@
 
 #include "atpg/podem.hpp"
 #include "netlist/netlist.hpp"
+#include "robust/robust.hpp"
 #include "sat/solver.hpp"
 
 namespace compsyn {
@@ -53,6 +54,12 @@ struct RedundancyRemovalStats {
   std::uint64_t aborted_unresolved = 0;
   bool irredundant = false;        // true when the final circuit is proven
                                    // free of redundant faults
+  // Anytime outcome: Degraded/Interrupted when the sweep wound down early
+  // (budget / cancellation). Faults not yet decided are simply left in the
+  // circuit — never substituted — so the result is function-equivalent and
+  // `irredundant` stays false.
+  robust::RunStatus status = robust::RunStatus::Complete;
+  robust::StopReason stop_reason = robust::StopReason::None;
 };
 
 /// Removes redundancies in place. The circuit function is preserved exactly.

@@ -11,11 +11,23 @@
 #include <string>
 
 #include "netlist/netlist.hpp"
+#include "util/errors.hpp"
 
 namespace compsyn {
 
+/// Every malformed-input failure of the .bench reader: carries the
+/// 1-based line and column of the offending token. Derives from InputError
+/// (and thus std::runtime_error), so the top-level guard maps it to exit
+/// code 3.
+struct BenchParseError : InputError {
+  BenchParseError(int line_, int column_, const std::string& what);
+  int line;
+  int column;
+};
+
 /// Parses a .bench description. DFFs are scan-converted as described above.
-/// Throws std::runtime_error with a line-numbered message on malformed input.
+/// Throws BenchParseError with a line/column-numbered message on malformed
+/// input (duplicate definitions and combinational cycles included).
 Netlist read_bench(std::istream& is, std::string circuit_name = {});
 Netlist read_bench_string(const std::string& text, std::string circuit_name = {});
 Netlist read_bench_file(const std::string& path);

@@ -8,6 +8,8 @@
 #include "core/multi_unit.hpp"
 #include "core/sdc.hpp"
 #include "exec/exec.hpp"
+#include "robust/inject.hpp"
+#include "robust/robust.hpp"
 #include "obs/counters.hpp"
 #include "obs/trace.hpp"
 #include "paths/paths.hpp"
@@ -125,6 +127,10 @@ Candidate make_candidate(const Candidate& proto, const TruthTable& reduced,
 void consider_dc_specs(const ConeEval& ev, const ReachabilityOracle& reach,
                        std::uint64_t np_g, const std::vector<std::uint64_t>& np,
                        const ResynthOptions& opt, Candidate& best) {
+  // Chaos hook (oracle:N): a timed-out oracle query degrades to the safe
+  // over-approximation "every combination reachable" — no don't-cares, so
+  // the base candidates stand unmodified.
+  if (robust::inject_oracle_timeout()) return;
   std::vector<NodeId> kept_nodes;
   for (unsigned v : ev.proto.kept) kept_nodes.push_back(ev.proto.cone.leaves[v]);
   const TruthTable care = reach.reachable_combos(kept_nodes);
@@ -224,8 +230,10 @@ Candidate best_candidate(const Netlist& nl, NodeId g,
   if (!opt.identify.exact) {
     // Historical serial sweep: base specs, then DC specs, then multi-unit,
     // cone by cone, sharing one Rng stream.
+    robust::charge(1);
     for (const Cone& cone : enumerate_cones(nl, g, cone_opt)) {
       ++stats.cones_considered;
+      robust::charge(1);
       ConeEval ev = evaluate_cone(nl, cone, np, np_g, nullptr, opt);
       if (ev.comparison_cone) ++stats.comparison_cones;
       if (ev.base.valid && better(ev.base, best, opt)) best = ev.base;
@@ -239,6 +247,10 @@ Candidate best_candidate(const Netlist& nl, NodeId g,
 
   const std::vector<Cone> cones = enumerate_cones(nl, g, cone_opt);
   stats.cones_considered += cones.size();
+  // One tick per root plus one per cone evaluated, charged serially before
+  // the fan-out: the tick stream is a pure function of the netlist state,
+  // so budget decisions taken between roots are jobs-invariant.
+  robust::charge(1 + cones.size());
   // Warm the netlist's lazy caches (topo order, fanouts) before the
   // fan-out: workers only ever read them.
   nl.topo_order();
@@ -260,10 +272,15 @@ Candidate best_candidate(const Netlist& nl, NodeId g,
   return best;
 }
 
-/// One full sweep; returns the number of replacements applied.
-std::uint64_t run_pass(Netlist& nl, const ResynthOptions& opt, ResynthStats& stats) {
+/// One full sweep; returns the number of replacements applied. Sets
+/// *stopped when the sweep wound down early (budget or cancellation); the
+/// netlist is then valid and function-equivalent — it holds exactly the
+/// replacements committed before the stop, each applied atomically between
+/// two root visits.
+std::uint64_t run_pass(Netlist& nl, const ResynthOptions& opt,
+                       ResynthStats& stats, bool* stopped) {
   const std::vector<NodeId> order = nl.topo_order();  // snapshot
-  const PathCounts pc = count_paths(nl);
+  const PathCounts pc = count_paths_clamped(nl);
   std::vector<char> marked(nl.size(), 0);
   std::vector<char> skip(nl.size(), 0);
   for (NodeId o : nl.outputs()) marked[o] = 1;
@@ -288,7 +305,21 @@ std::uint64_t run_pass(Netlist& nl, const ResynthOptions& opt, ResynthStats& sta
     if (nl.is_dead(g) || !is_gate(nl, g)) continue;
     if (!marked[g] || skip[g]) continue;
 
-    Candidate cand = best_candidate(nl, g, pc.np, reach.get(), opt, stats);
+    // Serial decision point: the tick total here is jobs-invariant, so a
+    // budget trip stops every run at the same root. Cancellation observed
+    // here (or thrown from the fan-out below) abandons only the current
+    // root — nothing of it has been committed yet.
+    if (robust::should_stop()) {
+      *stopped = true;
+      break;
+    }
+    Candidate cand;
+    try {
+      cand = best_candidate(nl, g, pc.np, reach.get(), opt, stats);
+    } catch (const robust::CancelledError&) {
+      *stopped = true;
+      break;
+    }
 
     if (cand.valid && improves(cand, opt)) {
       if (cand.is_constant) {
@@ -328,13 +359,21 @@ ResynthStats resynthesize(Netlist& nl, const ResynthOptions& opt) {
   const auto whole = Trace::span("resynth");
   ResynthStats stats;
   stats.gates_before = nl.equivalent_gate_count();
-  stats.paths_before = count_paths(nl).total;
+  stats.paths_before = count_paths_clamped(nl).total;
   for (unsigned pass = 0; pass < opt.max_passes; ++pass) {
+    // Pass-boundary decision point: a budget that tripped during an
+    // earlier stage (or the previous pass) stops here before any work.
+    if (robust::should_stop()) {
+      stats.stop_reason = robust::stop_reason();
+      stats.status = robust::run_status_for(stats.stop_reason);
+      break;
+    }
     ++stats.passes;
     std::uint64_t replaced = 0;
+    bool stopped = false;
     {
       const auto sp = Trace::span("resynth.pass");
-      replaced = run_pass(nl, opt, stats);
+      replaced = run_pass(nl, opt, stats, &stopped);
       stats.replacements += replaced;
       nl.simplify();
     }
@@ -342,12 +381,17 @@ ResynthStats resynthesize(Netlist& nl, const ResynthOptions& opt) {
     rec.pass = stats.passes;
     rec.replacements = replaced;
     rec.gates = nl.equivalent_gate_count();
-    rec.paths = count_paths(nl).total;
+    rec.paths = count_paths_clamped(nl).total;
     stats.history.push_back(rec);
+    if (stopped) {
+      stats.stop_reason = robust::stop_reason();
+      stats.status = robust::run_status_for(stats.stop_reason);
+      break;
+    }
     if (replaced == 0) break;
   }
   stats.gates_after = nl.equivalent_gate_count();
-  stats.paths_after = count_paths(nl).total;
+  stats.paths_after = count_paths_clamped(nl).total;
   // Counters mirror the struct so cross-run aggregates line up with the
   // per-run stats; batched here to keep the sweep itself untouched.
   Counters::incr("resynth.runs");

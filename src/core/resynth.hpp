@@ -26,6 +26,7 @@
 #include "core/cones.hpp"
 #include "core/comparison_unit.hpp"
 #include "netlist/netlist.hpp"
+#include "robust/robust.hpp"
 
 namespace compsyn {
 
@@ -85,6 +86,13 @@ struct ResynthStats {
   std::uint64_t paths_before = 0;
   std::uint64_t paths_after = 0;
   std::vector<ResynthPassRecord> history;  // one record per pass, in order
+  // Anytime outcome: Complete at a natural fixpoint (or max_passes);
+  // Degraded when the tick budget stopped the sweep (best-so-far netlist,
+  // every committed replacement fully verified); Interrupted on
+  // signal/deadline cancellation. The netlist is function-equivalent to
+  // the input in all three cases.
+  robust::RunStatus status = robust::RunStatus::Complete;
+  robust::StopReason stop_reason = robust::StopReason::None;
 };
 
 /// Runs the selected procedure in place until a fixpoint (or max_passes).

@@ -8,6 +8,7 @@
 #include <thread>
 
 #include "obs/counters.hpp"
+#include "robust/robust.hpp"
 
 namespace compsyn {
 namespace {
@@ -120,8 +121,13 @@ class Pool {
                   const std::function<void(std::size_t, unsigned)>& body) {
     RegionGuard guard;
     // Exceptions propagate directly: with one thread, chunk c throwing
-    // before chunks > c ran is exactly the serial contract.
-    for (std::size_t c = 0; c < num_chunks; ++c) body(c, 0);
+    // before chunks > c ran is exactly the serial contract. The poll point
+    // makes every chunk boundary a cancellation opportunity (CancelledError
+    // propagates like any other chunk exception).
+    for (std::size_t c = 0; c < num_chunks; ++c) {
+      robust::poll_cancellation();
+      body(c, 0);
+    }
   }
 
   void run_chunks(const std::function<void(std::size_t, unsigned)>& body,
@@ -130,6 +136,10 @@ class Pool {
       const std::size_t c = next_chunk_.fetch_add(1, std::memory_order_relaxed);
       if (c >= num_chunks_) return;
       try {
+        // Cancellation poll: a pending cancel fails this chunk (and every
+        // later one) with CancelledError, which run() rethrows as the
+        // lowest-chunk exception after the region drains.
+        robust::poll_cancellation();
         body(c, worker);
       } catch (...) {
         excs_[c] = std::current_exception();

@@ -6,6 +6,7 @@
 #include "exec/exec.hpp"
 #include "obs/counters.hpp"
 #include "obs/trace.hpp"
+#include "robust/robust.hpp"
 
 namespace compsyn {
 
@@ -142,6 +143,9 @@ std::vector<std::size_t> FaultSimulator::simulate_block(
     events += s.events;
     activated += s.activated;
   }
+  // One budget tick per simulated pattern block, charged at this serial
+  // merge point so the tick stream is jobs-invariant.
+  robust::charge(1);
   // Batched per pattern block; patterns/sec falls out of the patterns
   // counter over the fsim.block span's total time.
   Counters::incr("fsim.blocks");

@@ -12,9 +12,17 @@ namespace {
 
 std::uint64_t checked_add(std::uint64_t a, std::uint64_t b) {
   std::uint64_t s = a + b;
-  if (s < a || s > (1ull << 63)) {
+  if (s < a || s > kPathCountSaturated) {
     throw std::overflow_error("path count exceeds 2^63");
   }
+  return s;
+}
+
+/// Saturating variant: once either operand is saturated (or the sum would
+/// be), the result pins to kPathCountSaturated and stays there.
+std::uint64_t clamped_add(std::uint64_t a, std::uint64_t b) {
+  const std::uint64_t s = a + b;
+  if (s < a || s > kPathCountSaturated) return kPathCountSaturated;
   return s;
 }
 
@@ -48,6 +56,37 @@ PathCounts count_paths(const Netlist& nl) {
   pc.output_offsets.push_back(total);
   pc.total = total;
   return pc;
+}
+
+PathCounts count_paths_clamped(const Netlist& nl) {
+  const auto sp = Trace::span("paths.count");
+  Counters::incr("paths.count_sweeps");
+  PathCounts pc;
+  pc.np.assign(nl.size(), 0);
+  for (NodeId pi : nl.inputs()) {
+    if (!nl.is_dead(pi)) pc.np[pi] = 1;
+  }
+  for (NodeId n : nl.topo_order()) {
+    const Node& nd = nl.node(n);
+    if (is_source(nd.type)) continue;
+    std::uint64_t sum = 0;
+    for (NodeId f : nd.fanins) sum = clamped_add(sum, pc.np[f]);
+    pc.np[n] = sum;
+  }
+  pc.output_offsets.reserve(nl.outputs().size() + 1);
+  std::uint64_t total = 0;
+  for (NodeId o : nl.outputs()) {
+    pc.output_offsets.push_back(total);
+    total = clamped_add(total, pc.np[o]);
+  }
+  pc.output_offsets.push_back(total);
+  pc.total = total;
+  return pc;
+}
+
+std::string format_path_total(std::uint64_t total) {
+  if (total >= kPathCountSaturated) return ">=2^63";
+  return std::to_string(total);
 }
 
 namespace {

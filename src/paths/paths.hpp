@@ -13,11 +13,16 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "netlist/netlist.hpp"
 
 namespace compsyn {
+
+/// Sentinel for a path total that overflowed the representable range: every
+/// count at or above 2^63 saturates to exactly this value.
+inline constexpr std::uint64_t kPathCountSaturated = 1ull << 63;
 
 struct PathCounts {
   /// N_p label per node (stem label; branches inherit it). Dead nodes and
@@ -32,6 +37,16 @@ struct PathCounts {
 /// Procedure 1 (overflow-checked; throws std::overflow_error if the path
 /// count exceeds 2^63, far beyond anything the procedures are run on).
 PathCounts count_paths(const Netlist& nl);
+
+/// Procedure 1, saturating instead of throwing: any label or total that
+/// would exceed 2^63 is clamped to kPathCountSaturated. Never throws, so
+/// report/printing boundaries can label pathological circuits instead of
+/// crashing. output_offsets are valid only while total < saturation.
+PathCounts count_paths_clamped(const Netlist& nl);
+
+/// Renders a (possibly saturated) path total for tables and reports:
+/// ">=2^63" when saturated, the plain decimal number otherwise.
+std::string format_path_total(std::uint64_t total);
 
 /// A structural path: nodes from its origin (a primary input) to a primary
 /// output, in input-to-output order.

@@ -1,0 +1,198 @@
+#include "robust/checkpoint.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "robust/inject.hpp"
+
+namespace compsyn::robust {
+
+std::uint64_t fnv1a64(std::string_view data) {
+  std::uint64_t h = 14695981039346656037ull;
+  for (unsigned char c : data) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+namespace {
+
+constexpr const char* kFormat = "compsyn-checkpoint-v1";
+
+const Json* require(const Json& j, const char* key, Json::Type type,
+                    std::string* error) {
+  const Json* v = j.find(key);
+  if (v == nullptr || v->type() != type) {
+    if (error) {
+      *error = std::string("checkpoint field '") + key + "' is " +
+               (v == nullptr ? "missing" : "the wrong type");
+    }
+    return nullptr;
+  }
+  return v;
+}
+
+}  // namespace
+
+Json FlowCheckpoint::to_json() const {
+  Json j = Json::object();
+  j.set("format", kFormat);
+  Json compat = Json::object();
+  compat.set("circuit", circuit);
+  compat.set("proc", proc);
+  compat.set("k", k);
+  compat.set("weight_gates", weight_gates);
+  compat.set("weight_paths", weight_paths);
+  compat.set("verify", verify);
+  compat.set("budget_limit", budget_limit);
+  j.set("compat", std::move(compat));
+  Json progress = Json::object();
+  progress.set("stage", stage);
+  progress.set("passes_done", passes_done);
+  progress.set("ticks", ticks);
+  progress.set("stopped_degraded", stopped_degraded);
+  j.set("progress", std::move(progress));
+  j.set("netlist_hash", fnv1a64(netlist_bench));
+  j.set("netlist_bench", netlist_bench);
+  j.set("original_bench", original_bench);
+  j.set("stats", stats);
+  j.set("counters", counters);
+  return j;
+}
+
+bool FlowCheckpoint::from_json(const Json& j, std::string* error) {
+  if (!j.is_object()) {
+    if (error) *error = "checkpoint root is not an object";
+    return false;
+  }
+  const Json* fmt = require(j, "format", Json::Type::String, error);
+  if (fmt == nullptr) return false;
+  if (fmt->as_string() != kFormat) {
+    if (error) {
+      *error = "unsupported checkpoint format '" + fmt->as_string() +
+               "' (expected " + kFormat + ")";
+    }
+    return false;
+  }
+  const Json* compat = require(j, "compat", Json::Type::Object, error);
+  const Json* progress = require(j, "progress", Json::Type::Object, error);
+  if (compat == nullptr || progress == nullptr) return false;
+
+  const Json* v = nullptr;
+  if ((v = require(*compat, "circuit", Json::Type::String, error)) == nullptr)
+    return false;
+  circuit = v->as_string();
+  if ((v = require(*compat, "proc", Json::Type::String, error)) == nullptr)
+    return false;
+  proc = v->as_string();
+  if ((v = require(*compat, "k", Json::Type::Uint, error)) == nullptr)
+    return false;
+  k = static_cast<unsigned>(v->as_u64());
+  if ((v = compat->find("weight_gates")) == nullptr) {
+    if (error) *error = "checkpoint field 'weight_gates' is missing";
+    return false;
+  }
+  weight_gates = v->as_double();
+  if ((v = compat->find("weight_paths")) == nullptr) {
+    if (error) *error = "checkpoint field 'weight_paths' is missing";
+    return false;
+  }
+  weight_paths = v->as_double();
+  if ((v = require(*compat, "verify", Json::Type::String, error)) == nullptr)
+    return false;
+  verify = v->as_string();
+  if ((v = require(*compat, "budget_limit", Json::Type::Uint, error)) ==
+      nullptr)
+    return false;
+  budget_limit = v->as_u64();
+
+  if ((v = require(*progress, "stage", Json::Type::String, error)) == nullptr)
+    return false;
+  stage = v->as_string();
+  if ((v = require(*progress, "passes_done", Json::Type::Uint, error)) ==
+      nullptr)
+    return false;
+  passes_done = static_cast<unsigned>(v->as_u64());
+  if ((v = require(*progress, "ticks", Json::Type::Uint, error)) == nullptr)
+    return false;
+  ticks = v->as_u64();
+  if ((v = require(*progress, "stopped_degraded", Json::Type::Bool, error)) ==
+      nullptr)
+    return false;
+  stopped_degraded = v->as_bool();
+
+  if ((v = require(j, "netlist_bench", Json::Type::String, error)) == nullptr)
+    return false;
+  netlist_bench = v->as_string();
+  if ((v = require(j, "original_bench", Json::Type::String, error)) == nullptr)
+    return false;
+  original_bench = v->as_string();
+  const Json* hash = require(j, "netlist_hash", Json::Type::Uint, error);
+  if (hash == nullptr) return false;
+  if (hash->as_u64() != fnv1a64(netlist_bench)) {
+    if (error) {
+      *error = "checkpoint netlist hash mismatch (file corrupt or edited)";
+    }
+    return false;
+  }
+  const Json* st = j.find("stats");
+  stats = (st != nullptr && st->is_object()) ? *st : Json::object();
+  const Json* ct = j.find("counters");
+  counters = (ct != nullptr && ct->is_object()) ? *ct : Json::object();
+  return true;
+}
+
+bool FlowCheckpoint::save(const std::string& path, std::string* error) const {
+  if (inject_write_failure()) {
+    if (error) *error = "injected write failure for " + path;
+    return false;
+  }
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    if (!os) {
+      if (error) *error = "cannot open " + tmp + " for writing";
+      return false;
+    }
+    to_json().write(os, /*indent=*/2);
+    os << '\n';
+    if (!os.flush()) {
+      if (error) *error = "write to " + tmp + " failed";
+      return false;
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    if (error) *error = "cannot rename " + tmp + " to " + path;
+    return false;
+  }
+  // A scripted halt fires only after the rename: the file on disk is always
+  // either the previous checkpoint or this complete one, never a torso.
+  inject_halt_after_checkpoint();
+  return true;
+}
+
+bool FlowCheckpoint::load(const std::string& path, std::string* error) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) {
+    if (error) *error = "cannot open checkpoint " + path;
+    return false;
+  }
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  std::string parse_error;
+  const auto j = Json::parse(buf.str(), &parse_error);
+  if (!j) {
+    if (error) *error = "checkpoint " + path + " is not valid JSON: " + parse_error;
+    return false;
+  }
+  std::string field_error;
+  if (!from_json(*j, &field_error)) {
+    if (error) *error = "checkpoint " + path + ": " + field_error;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace compsyn::robust

@@ -1,0 +1,67 @@
+// Flow checkpoint serialization (format "compsyn-checkpoint-v1").
+//
+// A checkpoint is cut only at a pass boundary of the resynthesis flow: the
+// netlist is a complete, function-equivalent circuit and the recorded
+// stats/counters describe exactly the work done so far. Resuming re-enters
+// the pass loop with the restored netlist, tick count, and stats, so an
+// interrupted run's final netlist and (masked) report are byte-identical to
+// an uninterrupted run with the same --budget — see DESIGN.md §10 for the
+// argument.
+//
+// The netlist travels as .bench text (the flow converts both ways), which
+// keeps this library independent of compsyn_netlist and makes checkpoints
+// human-inspectable. An FNV-1a hash of that text guards against truncated
+// or hand-edited files; the obs strict JSON parser rejects half-written
+// ones. Stats and counters are carried as opaque JSON blobs the flow
+// interprets.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "obs/json.hpp"
+
+namespace compsyn::robust {
+
+/// FNV-1a 64-bit hash (checkpoint integrity; not cryptographic).
+std::uint64_t fnv1a64(std::string_view data);
+
+struct FlowCheckpoint {
+  // Compatibility fields: a resume refuses to continue under different
+  // flags, because the continuation would not match any uninterrupted run.
+  std::string circuit;  // circuit name/path as given on the command line
+  std::string proc;     // "2" | "3" | "combined"
+  unsigned k = 6;
+  double weight_gates = 1.0;
+  double weight_paths = 1.0;
+  std::string verify;  // "sim" | "sat" | "both"
+  std::uint64_t budget_limit = 0;
+
+  // Progress.
+  std::string stage;            // "resynth" (pass loop) | "post" (after it)
+  unsigned passes_done = 0;     // completed resynthesis passes
+  std::uint64_t ticks = 0;      // budget ticks consumed so far
+  bool stopped_degraded = false;  // budget already tripped before the cut
+
+  // State.
+  std::string netlist_bench;   // current netlist, .bench text
+  std::string original_bench;  // pre-flow netlist (for final verification)
+  Json stats = Json::object();     // flow-defined pass records etc.
+  Json counters = Json::object();  // obs counter snapshot (name -> value)
+
+  Json to_json() const;
+
+  /// Parses and validates a checkpoint; returns false and sets *error on
+  /// format/version/hash mismatch.
+  bool from_json(const Json& j, std::string* error);
+
+  /// Writes the checkpoint atomically-ish (temp file + rename) and runs the
+  /// inject_write_failure / inject_halt_after_checkpoint hooks. Returns
+  /// false and sets *error on I/O failure.
+  bool save(const std::string& path, std::string* error) const;
+
+  /// Loads and validates; returns false and sets *error on any failure.
+  bool load(const std::string& path, std::string* error);
+};
+
+}  // namespace compsyn::robust

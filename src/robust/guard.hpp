@@ -1,0 +1,56 @@
+// Top-level error boundary for every binary (bench tables, examples,
+// resynth_flow).
+//
+// guard_main wraps the program body so that *every* outcome — success,
+// degraded budget run, SIGINT, malformed input, internal bug — ends with a
+// documented exit code and, when --report=<file> was requested, a report
+// that parses and carries a "status"/"error" block. Uncaught exceptions
+// never reach std::terminate.
+//
+// Exit codes (see README / DESIGN.md §10):
+//   0    success (complete run, verification passed where requested)
+//   1    verification failed, or the report file could not be written
+//   2    usage error (bad flags; report not attempted)
+//   3    input error (malformed .bench, unreadable file, bad checkpoint)
+//   4    internal error (unexpected exception; please report)
+//   20   degraded: the tick budget tripped; output is valid best-so-far
+//   21   interrupted by the --deadline watchdog
+//   130  interrupted by SIGINT  (128 + 2)
+//   143  interrupted by SIGTERM (128 + 15)
+//   137  scripted halt from the fault-injection harness (halt:N)
+#pragma once
+
+#include <functional>
+#include <string>
+
+namespace compsyn::robust {
+
+inline constexpr int kExitOk = 0;
+inline constexpr int kExitVerifyFailed = 1;
+inline constexpr int kExitUsage = 2;
+inline constexpr int kExitInputError = 3;
+inline constexpr int kExitInternalError = 4;
+inline constexpr int kExitDegraded = 20;
+inline constexpr int kExitDeadline = 21;
+
+/// Exit code for a cancellation: 128+sig for signals, kExitDeadline for
+/// the watchdog, kExitDegraded for an injected budget trip.
+int exit_code_for_cancel();
+
+/// Runs `body` behind the error boundary. Installs the SIGINT/SIGTERM
+/// handlers first, then:
+///   - a normal return passes the body's exit code through;
+///   - CancelledError   -> writes an "interrupted" error report (when the
+///     command line asked for --report) and returns exit_code_for_cancel();
+///   - InputError / std::invalid_argument -> "error" report, exit 3;
+///   - any other std::exception           -> "error" report, exit 4.
+/// `argv` is scanned for --report=<path> so the boundary can emit a report
+/// even when the failure happened before the body built one.
+int guard_main(const char* name, int argc, char** argv,
+               const std::function<int()>& body);
+
+/// The --report path from an argv scan ("" when absent). Exposed for the
+/// boundary's own use and for tests.
+std::string report_path_from_args(int argc, char** argv);
+
+}  // namespace compsyn::robust

@@ -1,0 +1,122 @@
+#include "robust/inject.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <cstdlib>
+
+#include "util/strings.hpp"
+
+namespace compsyn::robust {
+namespace {
+
+const FaultPlan* g_plan = nullptr;
+std::atomic<std::uint64_t> g_sat_calls{0};
+std::atomic<std::uint64_t> g_oracle_calls{0};
+std::atomic<std::uint64_t> g_write_calls{0};
+std::atomic<std::uint64_t> g_checkpoint_writes{0};
+
+/// True when the 1-based ordinal of this event is scripted in `hits`.
+bool fires(std::atomic<std::uint64_t>& counter,
+           const std::vector<std::uint64_t>& hits) {
+  if (hits.empty()) return false;
+  const std::uint64_t n = counter.fetch_add(1, std::memory_order_relaxed) + 1;
+  return std::find(hits.begin(), hits.end(), n) != hits.end();
+}
+
+bool parse_count(const std::string& s, std::uint64_t* out) {
+  if (s.empty()) return false;
+  std::uint64_t v = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') return false;
+    v = v * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+std::optional<FaultPlan> FaultPlan::parse(const std::string& spec,
+                                          std::string* error) {
+  FaultPlan plan;
+  if (trim(spec).empty()) {
+    if (error) *error = "empty inject spec";
+    return std::nullopt;
+  }
+  for (const std::string& part : split(spec, ',')) {
+    const std::string item(trim(part));
+    if (item.empty()) {
+      // An empty item is a typo ("sat:1,,halt:2"), not a request for
+      // nothing; a chaos plan that silently loses events is worse than an
+      // error.
+      if (error) *error = "empty item in inject spec";
+      return std::nullopt;
+    }
+    const auto colon = item.find(':');
+    if (colon == std::string::npos) {
+      if (error) *error = "inject spec '" + item + "' is missing ':N'";
+      return std::nullopt;
+    }
+    const std::string kind(trim(item.substr(0, colon)));
+    std::uint64_t n = 0;
+    if (!parse_count(std::string(trim(item.substr(colon + 1))), &n) || n == 0) {
+      if (error) {
+        *error = "inject spec '" + item + "' needs a positive count";
+      }
+      return std::nullopt;
+    }
+    if (kind == "sat") plan.sat_failures.push_back(n);
+    else if (kind == "oracle") plan.oracle_timeouts.push_back(n);
+    else if (kind == "write") plan.write_failures.push_back(n);
+    else if (kind == "halt") plan.halts.push_back(n);
+    else if (kind == "budget") plan.budget_trip = n;
+    else {
+      if (error) {
+        *error = "unknown inject kind '" + kind +
+                 "' (expected sat|oracle|write|budget|halt)";
+      }
+      return std::nullopt;
+    }
+  }
+  return plan;
+}
+
+InjectScope::InjectScope(const FaultPlan& plan) {
+  assert(g_plan == nullptr && "nested InjectScope is not supported");
+  g_sat_calls.store(0);
+  g_oracle_calls.store(0);
+  g_write_calls.store(0);
+  g_checkpoint_writes.store(0);
+  g_plan = &plan;
+}
+
+InjectScope::~InjectScope() { g_plan = nullptr; }
+
+bool inject_active() { return g_plan != nullptr; }
+
+bool inject_sat_failure() {
+  if (g_plan == nullptr) return false;
+  return fires(g_sat_calls, g_plan->sat_failures);
+}
+
+bool inject_oracle_timeout() {
+  if (g_plan == nullptr) return false;
+  return fires(g_oracle_calls, g_plan->oracle_timeouts);
+}
+
+bool inject_write_failure() {
+  if (g_plan == nullptr) return false;
+  return fires(g_write_calls, g_plan->write_failures);
+}
+
+void inject_halt_after_checkpoint() {
+  if (g_plan == nullptr) return;
+  if (fires(g_checkpoint_writes, g_plan->halts)) std::_Exit(137);
+}
+
+std::uint64_t injected_budget_trip() {
+  return g_plan ? g_plan->budget_trip : 0;
+}
+
+}  // namespace compsyn::robust

@@ -1,0 +1,77 @@
+// Deterministic fault injection for chaos testing.
+//
+// A FaultPlan scripts failures by *count*, not by time: "the 3rd SAT call
+// returns Unknown", "the 2nd oracle query times out", "the budget trips at
+// tick 5000", "exit hard after the 1st checkpoint write". Counters are
+// global atomics, so a plan replays identically on every run with the same
+// input and flags (at --jobs=1 exactly; at higher job counts the *set* of
+// events is fixed even when several threads race to the counter, because
+// fetch_add hands out each ordinal exactly once).
+//
+// Hooks are free functions that engines call at the matching points; with
+// no plan installed they compile down to one relaxed atomic load. The plan
+// is installed via InjectScope RAII, mirroring BudgetScope.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace compsyn::robust {
+
+/// Parsed --inject specification. Spec grammar (comma-separated):
+///   sat:N     — the Nth SAT solve (1-based) returns Unknown
+///   oracle:N  — the Nth reachability-oracle query times out (the caller
+///               receives the safe over-approximation "all combinations
+///               reachable", i.e. no don't-cares)
+///   write:N   — the Nth guarded file write fails
+///   budget:T  — the run behaves as if the budget tripped at tick T
+///               (equivalent to --budget=T with StopReason::Injected)
+///   halt:N    — the process _Exit(137)s right after the Nth checkpoint
+///               write, simulating a kill at a crash-consistent point
+struct FaultPlan {
+  std::vector<std::uint64_t> sat_failures;
+  std::vector<std::uint64_t> oracle_timeouts;
+  std::vector<std::uint64_t> write_failures;
+  std::vector<std::uint64_t> halts;
+  std::uint64_t budget_trip = 0;  // 0 = disabled
+
+  /// Parses a spec string; returns nullopt and sets *error on bad syntax.
+  static std::optional<FaultPlan> parse(const std::string& spec,
+                                        std::string* error);
+};
+
+/// Installs a plan for a scope (resets all event counters). Non-nesting,
+/// like BudgetScope.
+class InjectScope {
+ public:
+  explicit InjectScope(const FaultPlan& plan);
+  ~InjectScope();
+  InjectScope(const InjectScope&) = delete;
+  InjectScope& operator=(const InjectScope&) = delete;
+};
+
+/// True when an InjectScope is active.
+bool inject_active();
+
+/// Called at the top of every SAT solve. True => this call must fail
+/// (return Unknown without searching).
+bool inject_sat_failure();
+
+/// Called per reachability-oracle query. True => treat the query as timed
+/// out and use the safe over-approximation.
+bool inject_oracle_timeout();
+
+/// Called before every guarded file write. True => the write must fail.
+bool inject_write_failure();
+
+/// Called after every successful checkpoint write. Calls std::_Exit(137)
+/// when this write's ordinal is scripted as a halt — simulating a kill
+/// without flushing anything further, deterministically.
+void inject_halt_after_checkpoint();
+
+/// Tick at which the plan trips the budget (0 = no scripted trip).
+std::uint64_t injected_budget_trip();
+
+}  // namespace compsyn::robust

@@ -1,0 +1,153 @@
+#include "robust/robust.hpp"
+
+#include "robust/inject.hpp"
+
+#include <cassert>
+#include <chrono>
+#include <condition_variable>
+#include <csignal>
+#include <mutex>
+#include <thread>
+
+namespace compsyn::robust {
+namespace {
+
+// The installed budget. A raw atomic pointer (not unique_ptr) so charge()
+// stays wait-free and safe to call from exec workers.
+std::atomic<Budget*> g_budget{nullptr};
+
+// Pending cancellation, encoded so the signal handler can publish reason
+// and signal number with lock-free stores only. 0 = none; otherwise the
+// StopReason value. First-wins via compare_exchange.
+std::atomic<int> g_cancel_reason{0};
+std::atomic<int> g_cancel_signal{0};
+
+extern "C" void robust_signal_handler(int sig) {
+  request_cancel(StopReason::Signal, sig);
+}
+
+}  // namespace
+
+const char* to_string(RunStatus s) {
+  switch (s) {
+    case RunStatus::Complete: return "ok";
+    case RunStatus::Degraded: return "degraded";
+    case RunStatus::Interrupted: return "interrupted";
+  }
+  return "?";
+}
+
+const char* to_string(StopReason r) {
+  switch (r) {
+    case StopReason::None: return "none";
+    case StopReason::Budget: return "budget";
+    case StopReason::Deadline: return "deadline";
+    case StopReason::Signal: return "signal";
+    case StopReason::Injected: return "injected";
+  }
+  return "?";
+}
+
+BudgetScope::BudgetScope(Budget& b) {
+  Budget* expected = nullptr;
+  const bool ok = g_budget.compare_exchange_strong(expected, &b);
+  assert(ok && "nested BudgetScope is not supported");
+  (void)ok;
+}
+
+BudgetScope::~BudgetScope() { g_budget.store(nullptr); }
+
+void charge(std::uint64_t n) {
+  if (Budget* b = g_budget.load(std::memory_order_relaxed)) b->charge(n);
+}
+
+std::uint64_t ticks_consumed() {
+  Budget* b = g_budget.load(std::memory_order_relaxed);
+  return b ? b->ticks() : 0;
+}
+
+bool budget_exhausted() {
+  Budget* b = g_budget.load(std::memory_order_relaxed);
+  return b != nullptr && b->exhausted();
+}
+
+bool budget_installed() {
+  return g_budget.load(std::memory_order_relaxed) != nullptr;
+}
+
+void request_cancel(StopReason reason, int signal) noexcept {
+  int expected = 0;
+  if (g_cancel_reason.compare_exchange_strong(expected,
+                                              static_cast<int>(reason))) {
+    g_cancel_signal.store(signal, std::memory_order_relaxed);
+  }
+}
+
+void clear_cancel() noexcept {
+  g_cancel_reason.store(0);
+  g_cancel_signal.store(0);
+}
+
+bool cancel_requested() noexcept {
+  return g_cancel_reason.load(std::memory_order_relaxed) != 0;
+}
+
+StopReason cancel_reason() noexcept {
+  return static_cast<StopReason>(
+      g_cancel_reason.load(std::memory_order_relaxed));
+}
+
+int cancel_signal() noexcept {
+  return g_cancel_signal.load(std::memory_order_relaxed);
+}
+
+StopReason stop_reason() {
+  if (cancel_requested()) return cancel_reason();
+  if (budget_exhausted()) {
+    // A trip scripted by the fault-injection plan reports as Injected so
+    // chaos reports distinguish it from a user-requested --budget.
+    return injected_budget_trip() != 0 ? StopReason::Injected
+                                       : StopReason::Budget;
+  }
+  return StopReason::None;
+}
+
+void install_signal_handlers() {
+  std::signal(SIGINT, robust_signal_handler);
+  std::signal(SIGTERM, robust_signal_handler);
+}
+
+struct DeadlineWatchdog::Impl {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool stop = false;
+  std::thread thread;
+};
+
+DeadlineWatchdog::DeadlineWatchdog(double seconds) {
+  if (seconds <= 0.0) return;
+  impl_ = new Impl();
+  impl_->thread = std::thread([impl = impl_, seconds] {
+    std::unique_lock<std::mutex> lock(impl->mu);
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(seconds));
+    if (!impl->cv.wait_until(lock, deadline, [&] { return impl->stop; })) {
+      request_cancel(StopReason::Deadline);
+    }
+  });
+}
+
+DeadlineWatchdog::~DeadlineWatchdog() {
+  if (impl_ == nullptr) return;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->stop = true;
+  }
+  impl_->cv.notify_all();
+  impl_->thread.join();
+  delete impl_;
+}
+
+}  // namespace compsyn::robust

@@ -1,0 +1,173 @@
+// Deterministic budgets and cooperative cancellation.
+//
+// Two independent stop mechanisms with very different guarantees:
+//
+// * Budget — counts abstract work *ticks* (cones evaluated, SAT conflicts,
+//   PODEM backtracks, fault-sim blocks). Engines charge ticks for work they
+//   have COMPLETED and consult the budget only at serial commit points
+//   (between roots in the resynthesis sweep, between commit windows in
+//   redundancy removal). Because the work performed before each commit
+//   point is a pure function of the input — the exec layer's chunk
+//   partition never depends on the job count — the tick total observed at
+//   every decision point is identical at any --jobs, so `--budget=N` stops
+//   at the same place bit-for-bit on every run. The budget never throws:
+//   engines notice `should_stop()` and wind down, committing only
+//   fully-verified work.
+//
+// * Cancellation — an asynchronous flag set by a signal handler, the
+//   deadline watchdog, or `request_cancel()`. It is checked at frequent
+//   poll points (exec chunk loops, solver iterations) and surfaces as a
+//   `CancelledError` thrown from `poll_cancellation()`. Where the flag
+//   happens to be observed depends on wall-clock timing, so cancellation is
+//   documented non-deterministic; the contract is weaker but still strong:
+//   the run winds down at the next poll point, commits nothing unverified,
+//   and the flow reports `"status":"interrupted"`.
+//
+// Both mechanisms are process-global (installed via RAII scopes) so deep
+// engine code reaches them without threading a context object through every
+// signature. The globals are plain atomics: reads are wait-free and safe
+// from signal handlers and worker threads.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace compsyn::robust {
+
+/// How a run ended.
+enum class RunStatus {
+  Complete,     // ran to its natural fixpoint
+  Degraded,     // budget tripped: best-so-far result, fully verified
+  Interrupted,  // signal / deadline: wound down at a poll point
+};
+
+/// What triggered a stop (None while running normally).
+enum class StopReason {
+  None,
+  Budget,    // deterministic tick budget exhausted
+  Deadline,  // wall-clock watchdog fired (non-deterministic)
+  Signal,    // SIGINT / SIGTERM
+  Injected,  // fault-injection harness tripped the run
+};
+
+const char* to_string(RunStatus s);
+const char* to_string(StopReason r);
+
+/// The run status a stop reason maps to: budget-style stops degrade the
+/// run (deterministic best-so-far), asynchronous ones interrupt it.
+inline RunStatus run_status_for(StopReason r) {
+  switch (r) {
+    case StopReason::Budget:
+    case StopReason::Injected:
+      return RunStatus::Degraded;
+    case StopReason::Signal:
+    case StopReason::Deadline:
+      return RunStatus::Interrupted;
+    case StopReason::None:
+      break;
+  }
+  return RunStatus::Complete;
+}
+
+/// Counts work ticks against an optional limit. `limit == 0` means
+/// unlimited (counting still happens so reports can show ticks consumed).
+/// The counter is atomic: engines may charge from worker threads; the
+/// *decision* to stop is only ever taken at serial points.
+class Budget {
+ public:
+  explicit Budget(std::uint64_t limit = 0, std::uint64_t consumed = 0)
+      : ticks_(consumed), limit_(limit) {}
+
+  void charge(std::uint64_t n) {
+    ticks_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t ticks() const { return ticks_.load(std::memory_order_relaxed); }
+  std::uint64_t limit() const { return limit_; }
+  bool exhausted() const { return limit_ != 0 && ticks() >= limit_; }
+
+ private:
+  std::atomic<std::uint64_t> ticks_;
+  std::uint64_t limit_;
+};
+
+/// Installs `b` as the process-global budget for a scope. Nesting is not
+/// supported (the inner scope would silently shadow the outer charge
+/// stream); the constructor asserts none is installed.
+class BudgetScope {
+ public:
+  explicit BudgetScope(Budget& b);
+  ~BudgetScope();
+  BudgetScope(const BudgetScope&) = delete;
+  BudgetScope& operator=(const BudgetScope&) = delete;
+};
+
+/// Charges `n` ticks to the installed budget; no-op when none is installed.
+void charge(std::uint64_t n = 1);
+/// Ticks consumed by the installed budget (0 when none is installed).
+std::uint64_t ticks_consumed();
+/// True when a budget is installed and its limit is reached.
+bool budget_exhausted();
+/// True when a BudgetScope is active.
+bool budget_installed();
+
+/// Requests cooperative cancellation. First caller wins; later requests
+/// (e.g. a second Ctrl-C while winding down) keep the original reason.
+/// Async-signal-safe: touches only lock-free atomics.
+void request_cancel(StopReason reason, int signal = 0) noexcept;
+/// Clears any pending cancellation (used between test scenarios).
+void clear_cancel() noexcept;
+/// True once request_cancel has been called.
+bool cancel_requested() noexcept;
+/// Reason of the pending cancellation (None if none).
+StopReason cancel_reason() noexcept;
+/// Signal number recorded with a StopReason::Signal cancel (0 otherwise).
+int cancel_signal() noexcept;
+
+/// Serial-point check: budget exhausted OR cancellation pending. Engines
+/// consult this where winding down is deterministic-safe.
+inline bool should_stop() {
+  return cancel_requested() || budget_exhausted();
+}
+
+/// The reason should_stop() fired: the cancel reason if one is pending,
+/// else Budget if the budget tripped, else None.
+StopReason stop_reason();
+
+/// Thrown from poll points when cancellation is pending. Engines either
+/// let it propagate to the top-level guard (flow stages) or catch it and
+/// return a degraded-but-valid result (solver, PODEM).
+struct CancelledError : std::runtime_error {
+  explicit CancelledError(StopReason r)
+      : std::runtime_error("run cancelled"), reason(r) {}
+  StopReason reason;
+};
+
+/// Poll point: throws CancelledError when cancellation is pending. Budget
+/// exhaustion never throws here — the budget stops runs only at serial
+/// decision points, keeping its behaviour jobs-invariant.
+inline void poll_cancellation() {
+  if (cancel_requested()) throw CancelledError(cancel_reason());
+}
+
+/// Installs SIGINT/SIGTERM handlers that call
+/// `request_cancel(StopReason::Signal, sig)`. Idempotent.
+void install_signal_handlers();
+
+/// Wall-clock watchdog: requests cancellation (StopReason::Deadline) after
+/// `seconds` of wall time unless destroyed first. Inert for seconds <= 0.
+/// Deadlines are inherently non-deterministic; see the header comment.
+class DeadlineWatchdog {
+ public:
+  explicit DeadlineWatchdog(double seconds);
+  ~DeadlineWatchdog();
+  DeadlineWatchdog(const DeadlineWatchdog&) = delete;
+  DeadlineWatchdog& operator=(const DeadlineWatchdog&) = delete;
+
+ private:
+  struct Impl;
+  Impl* impl_ = nullptr;
+};
+
+}  // namespace compsyn::robust

@@ -4,6 +4,8 @@
 #include <cassert>
 
 #include "obs/counters.hpp"
+#include "robust/inject.hpp"
+#include "robust/robust.hpp"
 
 namespace compsyn {
 
@@ -290,6 +292,12 @@ SatVar Solver::pick_branch_var() {
 SolveStatus Solver::solve(const std::vector<SatLit>& assumptions,
                           const SolverBudget& budget) {
   ++stats_.solves;
+  // Chaos hook: a scripted sat:N failure makes this call give up without
+  // searching, exactly like an exhausted per-call budget.
+  if (robust::inject_sat_failure()) {
+    publish_counters();
+    return SolveStatus::Unknown;
+  }
   if (!ok_) {
     publish_counters();
     return SolveStatus::Unsat;
@@ -303,6 +311,10 @@ SolveStatus Solver::solve(const std::vector<SatLit>& assumptions,
   SolveStatus result = SolveStatus::Unknown;
 
   for (;;) {
+    // Cooperative cancellation: wind down with Unknown at the next
+    // iteration. Checked like a budget (never throws) so callers deep in
+    // ATPG loops always receive a three-valued answer.
+    if (robust::cancel_requested()) break;
     const std::uint32_t confl = propagate();
     if (confl != kNoReason) {
       ++stats_.conflicts;
@@ -373,6 +385,9 @@ SolveStatus Solver::solve(const std::vector<SatLit>& assumptions,
     enqueue(mk_lit(next, phase_[next] == kFalse), kNoReason);
   }
   backtrack_to(0);
+  // One tick per call plus one per conflict resolved: the work unit the
+  // per-call SolverBudget already bounds deterministically.
+  robust::charge(1 + (stats_.conflicts - conflict_start));
   publish_counters();
   return result;
 }

@@ -2,6 +2,8 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdio>
+#include <fstream>
 #include <sstream>
 #include <thread>
 #include <vector>
@@ -336,6 +338,74 @@ TEST(ObsDisabled, StubsCompileAndReturnEmpty) {
 }
 
 #endif
+
+// Consumers parse report files long after the producing run is gone, so the
+// failure modes of interest are on-disk: a complete file must round-trip,
+// and a truncated or corrupted one must be *rejected* by the strict parser,
+// never misread as a shorter-but-valid report.
+TEST(ReportRoundTrip, WrittenFileParsesBackIdentically) {
+  RunReport report("roundtrip");
+  report.set_meta("status", "ok");
+  report.set_meta("k", std::uint64_t{6});
+  Json rec = Json::object();
+  rec.set("name", "c17");
+  rec.set("gates", std::uint64_t{6});
+  report.add_record("circuits", std::move(rec));
+
+  const std::string path = testing::TempDir() + "compsyn_obs_roundtrip.json";
+  std::string error;
+  ASSERT_TRUE(report.write(path, &error)) << error;
+
+  std::ifstream is(path, std::ios::binary);
+  std::string text((std::istreambuf_iterator<char>(is)),
+                   std::istreambuf_iterator<char>());
+  is.close();
+  ASSERT_FALSE(text.empty());
+  const auto parsed = Json::parse(text, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->find("name")->as_string(), "roundtrip");
+  EXPECT_EQ(parsed->find("meta")->find("status")->as_string(), "ok");
+  EXPECT_EQ(parsed->find("meta")->find("k")->as_u64(), 6u);
+  EXPECT_EQ(parsed->find("circuits")->at(0).find("gates")->as_u64(), 6u);
+  // Dump -> parse -> dump is a fixpoint.
+  EXPECT_EQ(Json::parse(parsed->dump(2))->dump(), parsed->dump());
+  std::remove(path.c_str());
+}
+
+TEST(ReportRoundTrip, TruncatedReportFailsToParse) {
+  RunReport report("truncated");
+  report.set_meta("status", "ok");
+  for (int i = 0; i < 8; ++i) {
+    Json rec = Json::object();
+    rec.set("i", static_cast<std::uint64_t>(i));
+    report.add_record("rows", std::move(rec));
+  }
+  const std::string text = report.to_json().dump(2);
+  for (double frac : {0.1, 0.5, 0.9}) {
+    const auto cut = static_cast<std::size_t>(text.size() * frac);
+    std::string error;
+    EXPECT_FALSE(Json::parse(text.substr(0, cut), &error).has_value())
+        << "fraction " << frac;
+    EXPECT_FALSE(error.empty());
+  }
+}
+
+TEST(ReportRoundTrip, CorruptedReportFailsToParse) {
+  RunReport report("corrupt");
+  report.set_meta("status", "ok");
+  const std::string text = report.to_json().dump(2);
+  // Structural damage at assorted positions: braces, quotes, separators.
+  const struct { char find; char replace; } edits[] = {
+      {'{', '<'}, {'"', '\''}, {':', ';'}, {'}', '!'}};
+  for (const auto& e : edits) {
+    std::string bad = text;
+    const auto pos = bad.find(e.find);
+    ASSERT_NE(pos, std::string::npos) << e.find;
+    bad[pos] = e.replace;
+    EXPECT_FALSE(Json::parse(bad).has_value())
+        << "edit '" << e.find << "' -> '" << e.replace << "'";
+  }
+}
 
 }  // namespace
 }  // namespace compsyn

@@ -215,5 +215,37 @@ TEST(PathCount, OutputOffsetsPartitionIds) {
   EXPECT_EQ(pc.output_offsets[2], 11u);
 }
 
+// The clamped variant is the boundary-safe sibling of count_paths: same
+// numbers below 2^63, saturation (never a throw) above it.
+TEST(PathCount, ClampedSaturatesInsteadOfThrowing) {
+  Netlist nl("ovf");
+  NodeId prev = nl.add_input();
+  for (int i = 0; i < 70; ++i) prev = nl.add_gate(GateType::And, {prev, prev});
+  nl.mark_output(prev);
+  EXPECT_THROW(count_paths(nl), std::overflow_error);  // exact API unchanged
+  const PathCounts pc = count_paths_clamped(nl);
+  EXPECT_EQ(pc.total, kPathCountSaturated);
+}
+
+TEST(PathCount, ClampedMatchesExactBelowSaturation) {
+  Netlist nl = c17();
+  EXPECT_EQ(count_paths_clamped(nl).total, count_paths(nl).total);
+  Netlist chain("chain");
+  NodeId a = chain.add_input();
+  NodeId b = chain.add_input();
+  NodeId g = chain.add_gate(GateType::And, {a, b});
+  chain.mark_output(g);
+  EXPECT_EQ(count_paths_clamped(chain).total, 2u);
+}
+
+TEST(PathCount, FormatPathTotal) {
+  EXPECT_EQ(format_path_total(0), "0");
+  EXPECT_EQ(format_path_total(12345), "12345");
+  EXPECT_EQ(format_path_total(kPathCountSaturated - 1),
+            std::to_string(kPathCountSaturated - 1));
+  EXPECT_EQ(format_path_total(kPathCountSaturated), ">=2^63");
+  EXPECT_EQ(format_path_total(kPathCountSaturated + 12345), ">=2^63");
+}
+
 }  // namespace
 }  // namespace compsyn

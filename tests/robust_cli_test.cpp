@@ -1,0 +1,274 @@
+// End-to-end CLI tests of resynth_flow as a subprocess: documented exit
+// codes, degraded-run reports, checkpoint/halt/resume byte-identity, signal
+// handling, and the saturated path-count formatting at the binary boundary.
+// The binary path is injected by CMake as RESYNTH_FLOW_PATH.
+#include <gtest/gtest.h>
+
+#include <sys/types.h>
+#include <sys/wait.h>
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "obs/json.hpp"
+
+namespace compsyn {
+namespace {
+
+#ifndef RESYNTH_FLOW_PATH
+#error "RESYNTH_FLOW_PATH must be defined by the build"
+#endif
+
+std::string temp_path(const std::string& leaf) {
+  return testing::TempDir() + "compsyn_cli_" + leaf;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  std::ostringstream os;
+  os << is.rdbuf();
+  return os.str();
+}
+
+void spit(const std::string& path, const std::string& text) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  os << text;
+  ASSERT_TRUE(os.good()) << path;
+}
+
+struct RunResult {
+  int exit_code = -1;
+  std::string out;
+  std::string err;
+};
+
+/// Runs the flow binary with `args`, capturing stdout/stderr and the real
+/// exit code (std::system + WEXITSTATUS).
+RunResult run_flow(const std::string& args) {
+  static int serial = 0;
+  const std::string out_path = temp_path("out" + std::to_string(serial));
+  const std::string err_path = temp_path("err" + std::to_string(serial));
+  ++serial;
+  const std::string cmd = std::string(RESYNTH_FLOW_PATH) + " " + args + " >" +
+                          out_path + " 2>" + err_path;
+  const int raw = std::system(cmd.c_str());
+  RunResult r;
+  r.exit_code = WIFEXITED(raw) ? WEXITSTATUS(raw) : -1;
+  r.out = slurp(out_path);
+  r.err = slurp(err_path);
+  std::remove(out_path.c_str());
+  std::remove(err_path.c_str());
+  return r;
+}
+
+/// Parses a report file; fails the test on parse errors.
+Json parse_report(const std::string& path) {
+  std::string err;
+  auto j = Json::parse(slurp(path), &err);
+  EXPECT_TRUE(j.has_value()) << path << ": " << err;
+  return j.has_value() ? *j : Json();
+}
+
+const Json* meta_of(const Json& report, const char* key) {
+  const Json* meta = report.find("meta");
+  return meta == nullptr ? nullptr : meta->find(key);
+}
+
+/// A 3-rail XOR ladder whose per-level linear map T = [[1,1,0],[0,1,1],
+/// [1,1,1]] over GF(2) is invertible, so the outputs depend on all inputs
+/// while the path count grows geometrically: 80 levels push it far past
+/// 2^63. Three primary inputs keep exhaustive verification instant.
+std::string xor_ladder_bench(unsigned levels) {
+  std::ostringstream os;
+  os << "INPUT(a0)\nINPUT(b0)\nINPUT(c0)\n";
+  os << "OUTPUT(a" << levels << ")\nOUTPUT(b" << levels << ")\nOUTPUT(c"
+     << levels << ")\n";
+  for (unsigned i = 0; i < levels; ++i) {
+    os << "a" << i + 1 << " = XOR(a" << i << ", b" << i << ")\n";
+    os << "b" << i + 1 << " = XOR(b" << i << ", c" << i << ")\n";
+    os << "c" << i + 1 << " = XOR(a" << i << ", b" << i << ", c" << i << ")\n";
+  }
+  return os.str();
+}
+
+TEST(FlowCli, DefaultRunSucceeds) {
+  const RunResult r = run_flow("syn150");
+  EXPECT_EQ(r.exit_code, 0) << r.err;
+  EXPECT_NE(r.out.find("function preserved: yes"), std::string::npos) << r.out;
+}
+
+TEST(FlowCli, UsageErrorsExit2) {
+  EXPECT_EQ(run_flow("").exit_code, 2);
+  EXPECT_EQ(run_flow("--verify=maybe syn150").exit_code, 2);
+  EXPECT_EQ(run_flow("--inject=frob:1 syn150").exit_code, 2);
+}
+
+TEST(FlowCli, UnknownCircuitExit3WithErrorReport) {
+  const std::string report = temp_path("bad_circuit.json");
+  const RunResult r =
+      run_flow("--report=" + report + " no_such_circuit_anywhere");
+  EXPECT_EQ(r.exit_code, 3) << r.err;
+  const Json j = parse_report(report);
+  ASSERT_NE(meta_of(j, "status"), nullptr);
+  EXPECT_EQ(meta_of(j, "status")->as_string(), "error");
+  EXPECT_NE(meta_of(j, "error"), nullptr);
+  std::remove(report.c_str());
+}
+
+TEST(FlowCli, TinyBudgetDegradesWithVerifiedResult) {
+  const std::string report = temp_path("degraded.json");
+  const RunResult r = run_flow("--budget=1 --report=" + report + " syn150");
+  EXPECT_EQ(r.exit_code, 20) << r.err;
+  EXPECT_NE(r.out.find("degraded"), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("function preserved: yes"), std::string::npos) << r.out;
+  const Json j = parse_report(report);
+  ASSERT_NE(meta_of(j, "status"), nullptr);
+  EXPECT_EQ(meta_of(j, "status")->as_string(), "degraded");
+  ASSERT_NE(meta_of(j, "stop_reason"), nullptr);
+  EXPECT_EQ(meta_of(j, "stop_reason")->as_string(), "budget");
+  ASSERT_NE(meta_of(j, "function_preserved"), nullptr);
+  EXPECT_TRUE(meta_of(j, "function_preserved")->as_bool());
+  std::remove(report.c_str());
+}
+
+TEST(FlowCli, HaltResumeReproducesUninterruptedRun) {
+  const std::string ck_a = temp_path("resume_a.ck.json");
+  const std::string ck_b = temp_path("resume_b.ck.json");
+  const std::string out_a = temp_path("resume_a.bench");
+  const std::string out_b = temp_path("resume_b.bench");
+  const std::string flags = "--budget=2000 --k=5 ";
+
+  // Reference: checkpointed but uninterrupted.
+  const RunResult ref = run_flow(flags + "--checkpoint=" + ck_a + " --out=" +
+                                 out_a + " syn150");
+  EXPECT_TRUE(ref.exit_code == 0 || ref.exit_code == 20) << ref.err;
+
+  // Chaos run: the scripted halt kills the process (exit 137) right after
+  // the first checkpoint write...
+  const RunResult halted =
+      run_flow(flags + "--checkpoint=" + ck_b + " --inject=halt:1 --out=" +
+               out_b + " syn150");
+  EXPECT_EQ(halted.exit_code, 137) << halted.err;
+
+  // ...and resuming from that checkpoint (at a different job count) must
+  // produce the byte-identical final netlist.
+  const RunResult resumed =
+      run_flow(flags + "--resume=" + ck_b + " --jobs=4 --out=" + out_b +
+               " syn150");
+  EXPECT_EQ(resumed.exit_code, ref.exit_code) << resumed.err;
+  EXPECT_NE(resumed.out.find("resumed from"), std::string::npos) << resumed.out;
+  const std::string bench_a = slurp(out_a);
+  const std::string bench_b = slurp(out_b);
+  ASSERT_FALSE(bench_a.empty());
+  EXPECT_EQ(bench_a, bench_b);
+
+  for (const std::string& p : {ck_a, ck_b, out_a, out_b}) {
+    std::remove(p.c_str());
+  }
+}
+
+TEST(FlowCli, ResumeFlagMismatchExit3) {
+  const std::string ck = temp_path("mismatch.ck.json");
+  const RunResult ref =
+      run_flow("--budget=2000 --k=5 --checkpoint=" + ck + " syn150");
+  EXPECT_TRUE(ref.exit_code == 0 || ref.exit_code == 20) << ref.err;
+  // Same checkpoint, different K: the continuation would not match any
+  // uninterrupted run, so the flow must refuse.
+  const RunResult r = run_flow("--budget=2000 --k=6 --resume=" + ck + " syn150");
+  EXPECT_EQ(r.exit_code, 3) << r.err;
+  std::remove(ck.c_str());
+}
+
+TEST(FlowCli, CorruptCheckpointExit3) {
+  const std::string ck = temp_path("corrupt.ck.json");
+  const RunResult ref =
+      run_flow("--budget=2000 --k=5 --checkpoint=" + ck + " syn150");
+  EXPECT_TRUE(ref.exit_code == 0 || ref.exit_code == 20) << ref.err;
+  const std::string text = slurp(ck);
+  ASSERT_FALSE(text.empty());
+
+  // Truncated file: the strict JSON parser rejects it.
+  spit(ck, text.substr(0, text.size() / 2));
+  EXPECT_EQ(run_flow("--budget=2000 --k=5 --resume=" + ck + " syn150").exit_code,
+            3);
+
+  // Valid JSON, tampered netlist: the integrity hash rejects it.
+  std::string tampered = text;
+  const auto pos = tampered.find("INPUT(");
+  ASSERT_NE(pos, std::string::npos);
+  tampered.replace(pos, 6, "INPUT[");
+  spit(ck, tampered);
+  EXPECT_EQ(run_flow("--budget=2000 --k=5 --resume=" + ck + " syn150").exit_code,
+            3);
+  std::remove(ck.c_str());
+}
+
+TEST(FlowCli, InjectedCheckpointWriteFailureWarnsAndContinues) {
+  const std::string ck = temp_path("wfail.ck.json");
+  const RunResult r =
+      run_flow("--inject=write:1 --checkpoint=" + ck + " --k=5 syn150");
+  EXPECT_EQ(r.exit_code, 0) << r.err;
+  EXPECT_NE(r.err.find("checkpoint"), std::string::npos) << r.err;
+  EXPECT_NE(r.out.find("function preserved: yes"), std::string::npos);
+  std::remove(ck.c_str());
+}
+
+TEST(FlowCli, SigintInterruptsWithParseableReport) {
+  const std::string report = temp_path("sigint.json");
+  const pid_t pid = fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    // Child: a long multi-threaded run, stdout/stderr silenced.
+    FILE* sink = std::fopen("/dev/null", "w");
+    if (sink != nullptr) {
+      dup2(fileno(sink), STDOUT_FILENO);
+      dup2(fileno(sink), STDERR_FILENO);
+    }
+    const std::string report_flag = "--report=" + report;
+    execl(RESYNTH_FLOW_PATH, RESYNTH_FLOW_PATH, "--jobs=4", report_flag.c_str(),
+          "syn1000", static_cast<char*>(nullptr));
+    _exit(99);  // exec failed
+  }
+  // Give the run time to spin up its workers, then interrupt it.
+  std::this_thread::sleep_for(std::chrono::milliseconds(500));
+  ASSERT_EQ(kill(pid, SIGINT), 0);
+  int raw = 0;
+  ASSERT_EQ(waitpid(pid, &raw, 0), pid);
+  ASSERT_TRUE(WIFEXITED(raw));
+  EXPECT_EQ(WEXITSTATUS(raw), 130);
+  const Json j = parse_report(report);
+  ASSERT_NE(meta_of(j, "status"), nullptr);
+  EXPECT_EQ(meta_of(j, "status")->as_string(), "interrupted");
+  std::remove(report.c_str());
+}
+
+TEST(FlowCli, DeadlineInterruptsExit21) {
+  const RunResult r = run_flow("--deadline=0.05 --jobs=2 syn1000");
+  EXPECT_EQ(r.exit_code, 21) << r.out << r.err;
+}
+
+TEST(FlowCli, SaturatedPathCountsFormatAtBoundary) {
+  const std::string bench = temp_path("ladder.bench");
+  const std::string report = temp_path("ladder.json");
+  spit(bench, xor_ladder_bench(80));
+  const RunResult r =
+      run_flow("--budget=1 --report=" + report + " " + bench);
+  EXPECT_EQ(r.exit_code, 20) << r.err;
+  EXPECT_NE(r.out.find(">=2^63"), std::string::npos) << r.out;
+  const Json j = parse_report(report);
+  ASSERT_NE(meta_of(j, "paths_before"), nullptr);
+  EXPECT_EQ(meta_of(j, "paths_before")->as_string(), ">=2^63");
+  std::remove(bench.c_str());
+  std::remove(report.c_str());
+}
+
+}  // namespace
+}  // namespace compsyn

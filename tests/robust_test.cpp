@@ -1,0 +1,421 @@
+// Unit tests for the robustness layer: budgets, cancellation, fault plans,
+// checkpoint serialization, and the guard's exit-code mapping.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+
+#include "obs/json.hpp"
+#include "robust/checkpoint.hpp"
+#include "robust/guard.hpp"
+#include "robust/inject.hpp"
+#include "robust/robust.hpp"
+#include "util/errors.hpp"
+
+namespace compsyn::robust {
+namespace {
+
+/// Clears cancellation state around each test so scenarios don't leak.
+struct CancelGuard {
+  CancelGuard() { clear_cancel(); }
+  ~CancelGuard() { clear_cancel(); }
+};
+
+TEST(RobustStatus, ToStringAndMapping) {
+  EXPECT_STREQ(to_string(RunStatus::Complete), "ok");
+  EXPECT_STREQ(to_string(RunStatus::Degraded), "degraded");
+  EXPECT_STREQ(to_string(RunStatus::Interrupted), "interrupted");
+  EXPECT_STREQ(to_string(StopReason::None), "none");
+  EXPECT_STREQ(to_string(StopReason::Budget), "budget");
+  EXPECT_STREQ(to_string(StopReason::Deadline), "deadline");
+  EXPECT_STREQ(to_string(StopReason::Signal), "signal");
+  EXPECT_STREQ(to_string(StopReason::Injected), "injected");
+
+  EXPECT_EQ(run_status_for(StopReason::None), RunStatus::Complete);
+  EXPECT_EQ(run_status_for(StopReason::Budget), RunStatus::Degraded);
+  EXPECT_EQ(run_status_for(StopReason::Injected), RunStatus::Degraded);
+  EXPECT_EQ(run_status_for(StopReason::Signal), RunStatus::Interrupted);
+  EXPECT_EQ(run_status_for(StopReason::Deadline), RunStatus::Interrupted);
+}
+
+TEST(RobustBudget, CountsAndTrips) {
+  Budget b(10);
+  EXPECT_EQ(b.limit(), 10u);
+  EXPECT_FALSE(b.exhausted());
+  b.charge(9);
+  EXPECT_FALSE(b.exhausted());
+  b.charge(1);
+  EXPECT_TRUE(b.exhausted());
+  EXPECT_EQ(b.ticks(), 10u);
+}
+
+TEST(RobustBudget, LimitZeroCountsWithoutTripping) {
+  Budget b(0);
+  b.charge(1'000'000);
+  EXPECT_EQ(b.ticks(), 1'000'000u);
+  EXPECT_FALSE(b.exhausted());
+}
+
+TEST(RobustBudget, ResumeSeedsConsumedTicks) {
+  Budget b(100, 60);
+  EXPECT_EQ(b.ticks(), 60u);
+  b.charge(40);
+  EXPECT_TRUE(b.exhausted());
+}
+
+TEST(RobustBudget, FreeFunctionsNoOpWithoutScope) {
+  EXPECT_FALSE(budget_installed());
+  charge(5);  // must not crash
+  EXPECT_EQ(ticks_consumed(), 0u);
+  EXPECT_FALSE(budget_exhausted());
+}
+
+TEST(RobustBudget, ScopeInstallsAndUninstalls) {
+  Budget b(3);
+  {
+    BudgetScope scope(b);
+    EXPECT_TRUE(budget_installed());
+    charge(2);
+    EXPECT_FALSE(budget_exhausted());
+    charge(1);
+    EXPECT_TRUE(budget_exhausted());
+    EXPECT_EQ(ticks_consumed(), 3u);
+    EXPECT_TRUE(should_stop());
+    EXPECT_EQ(stop_reason(), StopReason::Budget);
+  }
+  EXPECT_FALSE(budget_installed());
+  EXPECT_FALSE(should_stop());
+}
+
+TEST(RobustCancel, FirstReasonWins) {
+  CancelGuard guard;
+  EXPECT_FALSE(cancel_requested());
+  request_cancel(StopReason::Deadline);
+  request_cancel(StopReason::Signal, 2);  // too late: deadline already won
+  EXPECT_TRUE(cancel_requested());
+  EXPECT_EQ(cancel_reason(), StopReason::Deadline);
+  EXPECT_EQ(cancel_signal(), 0);
+  clear_cancel();
+  EXPECT_FALSE(cancel_requested());
+}
+
+TEST(RobustCancel, PollThrowsWithReason) {
+  CancelGuard guard;
+  EXPECT_NO_THROW(poll_cancellation());
+  request_cancel(StopReason::Signal, 15);
+  EXPECT_EQ(cancel_signal(), 15);
+  try {
+    poll_cancellation();
+    FAIL() << "poll_cancellation did not throw";
+  } catch (const CancelledError& e) {
+    EXPECT_EQ(e.reason, StopReason::Signal);
+  }
+}
+
+TEST(RobustCancel, CancelOutranksBudgetInStopReason) {
+  CancelGuard guard;
+  Budget b(1);
+  BudgetScope scope(b);
+  charge(2);
+  EXPECT_EQ(stop_reason(), StopReason::Budget);
+  request_cancel(StopReason::Signal, 2);
+  EXPECT_EQ(stop_reason(), StopReason::Signal);
+}
+
+TEST(RobustDeadline, InertForNonPositiveSeconds) {
+  CancelGuard guard;
+  {
+    DeadlineWatchdog w(0.0);
+    DeadlineWatchdog w2(-1.0);
+  }
+  EXPECT_FALSE(cancel_requested());
+}
+
+TEST(RobustDeadline, FiresAndCancels) {
+  CancelGuard guard;
+  DeadlineWatchdog w(0.02);
+  for (int i = 0; i < 500 && !cancel_requested(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ASSERT_TRUE(cancel_requested());
+  EXPECT_EQ(cancel_reason(), StopReason::Deadline);
+}
+
+TEST(RobustDeadline, DestructionBeforeExpiryLeavesNoCancel) {
+  CancelGuard guard;
+  { DeadlineWatchdog w(30.0); }
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(cancel_requested());
+}
+
+TEST(FaultPlanParse, AcceptsFullGrammar) {
+  std::string err;
+  auto plan = FaultPlan::parse("sat:3,oracle:2,write:1,budget:5000,halt:4", &err);
+  ASSERT_TRUE(plan.has_value()) << err;
+  EXPECT_EQ(plan->sat_failures, std::vector<std::uint64_t>{3});
+  EXPECT_EQ(plan->oracle_timeouts, std::vector<std::uint64_t>{2});
+  EXPECT_EQ(plan->write_failures, std::vector<std::uint64_t>{1});
+  EXPECT_EQ(plan->halts, std::vector<std::uint64_t>{4});
+  EXPECT_EQ(plan->budget_trip, 5000u);
+}
+
+TEST(FaultPlanParse, RepeatedKindsAccumulate) {
+  std::string err;
+  auto plan = FaultPlan::parse("sat:1,sat:5,sat:9", &err);
+  ASSERT_TRUE(plan.has_value()) << err;
+  EXPECT_EQ(plan->sat_failures, (std::vector<std::uint64_t>{1, 5, 9}));
+}
+
+TEST(FaultPlanParse, RejectsBadSpecs) {
+  std::string err;
+  EXPECT_FALSE(FaultPlan::parse("", &err).has_value());
+  EXPECT_FALSE(FaultPlan::parse("sat", &err).has_value());
+  EXPECT_FALSE(FaultPlan::parse("sat:", &err).has_value());
+  EXPECT_FALSE(FaultPlan::parse("sat:x", &err).has_value());
+  EXPECT_FALSE(FaultPlan::parse("sat:1x", &err).has_value());
+  EXPECT_FALSE(FaultPlan::parse("frob:1", &err).has_value());
+  EXPECT_FALSE(FaultPlan::parse("sat:1,,halt:2", &err).has_value());
+  EXPECT_FALSE(FaultPlan::parse("sat:1 halt:2", &err).has_value());
+}
+
+TEST(FaultInject, HooksFireAtScriptedOrdinals) {
+  std::string err;
+  auto plan = FaultPlan::parse("sat:2,oracle:1,write:3", &err);
+  ASSERT_TRUE(plan.has_value()) << err;
+  EXPECT_FALSE(inject_active());
+  {
+    InjectScope scope(*plan);
+    EXPECT_TRUE(inject_active());
+    EXPECT_FALSE(inject_sat_failure());  // 1st call: not scripted
+    EXPECT_TRUE(inject_sat_failure());   // 2nd call: fails
+    EXPECT_FALSE(inject_sat_failure());  // 3rd call: clean again
+    EXPECT_TRUE(inject_oracle_timeout());
+    EXPECT_FALSE(inject_oracle_timeout());
+    EXPECT_FALSE(inject_write_failure());
+    EXPECT_FALSE(inject_write_failure());
+    EXPECT_TRUE(inject_write_failure());
+  }
+  EXPECT_FALSE(inject_active());
+  // With no plan installed every hook reports "no fault".
+  EXPECT_FALSE(inject_sat_failure());
+  EXPECT_FALSE(inject_oracle_timeout());
+  EXPECT_FALSE(inject_write_failure());
+}
+
+TEST(FaultInject, ScopeResetsCounters) {
+  std::string err;
+  auto plan = FaultPlan::parse("sat:1", &err);
+  ASSERT_TRUE(plan.has_value());
+  {
+    InjectScope scope(*plan);
+    EXPECT_TRUE(inject_sat_failure());
+    EXPECT_FALSE(inject_sat_failure());
+  }
+  {
+    InjectScope scope(*plan);
+    EXPECT_TRUE(inject_sat_failure());  // ordinal counter restarted
+  }
+}
+
+TEST(FaultInject, InjectedBudgetTripReportsInjected) {
+  CancelGuard guard;
+  std::string err;
+  auto plan = FaultPlan::parse("budget:4", &err);
+  ASSERT_TRUE(plan.has_value());
+  InjectScope iscope(*plan);
+  EXPECT_EQ(injected_budget_trip(), 4u);
+  Budget b(plan->budget_trip);
+  BudgetScope bscope(b);
+  charge(4);
+  EXPECT_TRUE(should_stop());
+  EXPECT_EQ(stop_reason(), StopReason::Injected);
+}
+
+TEST(Checkpoint, Fnv1a64KnownValues) {
+  // Standard FNV-1a test vectors.
+  EXPECT_EQ(fnv1a64(""), 0xcbf29ce484222325ull);
+  EXPECT_EQ(fnv1a64("a"), 0xaf63dc4c8601ec8cull);
+  EXPECT_NE(fnv1a64("INPUT(a)"), fnv1a64("INPUT(b)"));
+}
+
+FlowCheckpoint sample_checkpoint() {
+  FlowCheckpoint cp;
+  cp.circuit = "syn150";
+  cp.proc = "2";
+  cp.k = 5;
+  cp.weight_gates = 1.0;
+  cp.weight_paths = 0.25;
+  cp.verify = "both";
+  cp.budget_limit = 4000;
+  cp.stage = "resynth";
+  cp.passes_done = 2;
+  cp.ticks = 1234;
+  cp.stopped_degraded = false;
+  cp.netlist_bench = "INPUT(a)\nOUTPUT(z)\nz = NOT(a)\n";
+  cp.original_bench = "INPUT(a)\nOUTPUT(z)\nz = NOT(a)\n";
+  cp.stats = Json::object();
+  cp.stats.set("passes", std::uint64_t{2});
+  cp.counters = Json::object();
+  cp.counters.set("resynth.runs", std::uint64_t{2});
+  return cp;
+}
+
+TEST(Checkpoint, JsonRoundTrip) {
+  const FlowCheckpoint cp = sample_checkpoint();
+  const Json j = cp.to_json();
+  FlowCheckpoint back;
+  std::string err;
+  ASSERT_TRUE(back.from_json(j, &err)) << err;
+  EXPECT_EQ(back.circuit, cp.circuit);
+  EXPECT_EQ(back.proc, cp.proc);
+  EXPECT_EQ(back.k, cp.k);
+  EXPECT_EQ(back.weight_gates, cp.weight_gates);
+  EXPECT_EQ(back.weight_paths, cp.weight_paths);
+  EXPECT_EQ(back.verify, cp.verify);
+  EXPECT_EQ(back.budget_limit, cp.budget_limit);
+  EXPECT_EQ(back.stage, cp.stage);
+  EXPECT_EQ(back.passes_done, cp.passes_done);
+  EXPECT_EQ(back.ticks, cp.ticks);
+  EXPECT_EQ(back.stopped_degraded, cp.stopped_degraded);
+  EXPECT_EQ(back.netlist_bench, cp.netlist_bench);
+  EXPECT_EQ(back.original_bench, cp.original_bench);
+  EXPECT_EQ(back.stats.dump(), cp.stats.dump());
+  EXPECT_EQ(back.counters.dump(), cp.counters.dump());
+}
+
+TEST(Checkpoint, RejectsTamperedNetlist) {
+  Json j = sample_checkpoint().to_json();
+  j.set("netlist_bench", "INPUT(a)\nOUTPUT(a)\n");  // hash no longer matches
+  FlowCheckpoint back;
+  std::string err;
+  EXPECT_FALSE(back.from_json(j, &err));
+  EXPECT_NE(err.find("hash"), std::string::npos) << err;
+}
+
+TEST(Checkpoint, RejectsWrongFormatAndMissingFields) {
+  FlowCheckpoint back;
+  std::string err;
+  Json j = sample_checkpoint().to_json();
+  j.set("format", "compsyn-checkpoint-v999");
+  EXPECT_FALSE(back.from_json(j, &err));
+
+  Json empty = Json::object();
+  EXPECT_FALSE(back.from_json(empty, &err));
+}
+
+TEST(Checkpoint, FileRoundTripAndTruncationDetected) {
+  const std::string path = testing::TempDir() + "compsyn_ckpt_test.json";
+  const FlowCheckpoint cp = sample_checkpoint();
+  std::string err;
+  ASSERT_TRUE(cp.save(path, &err)) << err;
+
+  FlowCheckpoint back;
+  ASSERT_TRUE(back.load(path, &err)) << err;
+  EXPECT_EQ(back.netlist_bench, cp.netlist_bench);
+
+  // Truncate the file: the strict JSON parser must reject it.
+  std::ifstream is(path);
+  std::string text((std::istreambuf_iterator<char>(is)),
+                   std::istreambuf_iterator<char>());
+  is.close();
+  for (double frac : {0.1, 0.5, 0.9}) {
+    std::ofstream os(path, std::ios::trunc);
+    os << text.substr(0, static_cast<std::size_t>(text.size() * frac));
+    os.close();
+    EXPECT_FALSE(back.load(path, &err)) << "fraction " << frac;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, InjectedWriteFailureIsReported) {
+  const std::string path = testing::TempDir() + "compsyn_ckpt_fail.json";
+  std::string perr;
+  auto plan = FaultPlan::parse("write:1", &perr);
+  ASSERT_TRUE(plan.has_value());
+  InjectScope scope(*plan);
+  const FlowCheckpoint cp = sample_checkpoint();
+  std::string err;
+  EXPECT_FALSE(cp.save(path, &err));
+  EXPECT_FALSE(err.empty());
+  // The second write (ordinal 2) is not scripted and succeeds.
+  EXPECT_TRUE(cp.save(path, &err)) << err;
+  std::remove(path.c_str());
+}
+
+TEST(Guard, ExitCodesForCancellation) {
+  CancelGuard guard;
+  request_cancel(StopReason::Signal, 2);
+  EXPECT_EQ(exit_code_for_cancel(), 130);
+  clear_cancel();
+  request_cancel(StopReason::Signal, 15);
+  EXPECT_EQ(exit_code_for_cancel(), 143);
+  clear_cancel();
+  request_cancel(StopReason::Deadline);
+  EXPECT_EQ(exit_code_for_cancel(), kExitDeadline);
+  clear_cancel();
+  request_cancel(StopReason::Injected);
+  EXPECT_EQ(exit_code_for_cancel(), kExitDegraded);
+}
+
+TEST(Guard, ReportPathScan) {
+  const char* argv1[] = {"prog", "--report=/tmp/r.json", "syn150"};
+  EXPECT_EQ(report_path_from_args(3, const_cast<char**>(argv1)), "/tmp/r.json");
+  const char* argv2[] = {"prog", "syn150"};
+  EXPECT_EQ(report_path_from_args(2, const_cast<char**>(argv2)), "");
+}
+
+TEST(Guard, MapsExceptionsToDocumentedExitCodes) {
+  const char* argv[] = {"prog"};
+  char** av = const_cast<char**>(argv);
+  EXPECT_EQ(guard_main("t", 1, av, [] { return 0; }), 0);
+  EXPECT_EQ(guard_main("t", 1, av, [] { return 7; }), 7);
+  EXPECT_EQ(guard_main("t", 1, av,
+                       []() -> int { throw InputError("bad input"); }),
+            kExitInputError);
+  EXPECT_EQ(guard_main("t", 1, av,
+                       []() -> int { throw std::invalid_argument("bad"); }),
+            kExitInputError);
+  EXPECT_EQ(guard_main("t", 1, av,
+                       []() -> int { throw std::runtime_error("boom"); }),
+            kExitInternalError);
+  {
+    CancelGuard guard;
+    EXPECT_EQ(guard_main("t", 1, av,
+                         []() -> int {
+                           request_cancel(StopReason::Signal, 2);
+                           throw CancelledError(StopReason::Signal);
+                         }),
+              130);
+  }
+}
+
+TEST(Guard, WritesErrorReportOnFailure) {
+  CancelGuard guard;
+  const std::string path = testing::TempDir() + "compsyn_guard_report.json";
+  const std::string flag = "--report=" + path;
+  const char* argv[] = {"prog", flag.c_str()};
+  char** av = const_cast<char**>(argv);
+  EXPECT_EQ(guard_main("guard_test", 2, av,
+                       []() -> int { throw InputError("no such circuit"); }),
+            kExitInputError);
+  std::ifstream is(path);
+  std::string text((std::istreambuf_iterator<char>(is)),
+                   std::istreambuf_iterator<char>());
+  std::string jerr;
+  auto j = Json::parse(text, &jerr);
+  ASSERT_TRUE(j.has_value()) << jerr;
+  const Json* meta = j->find("meta");
+  ASSERT_NE(meta, nullptr);
+  ASSERT_NE(meta->find("status"), nullptr);
+  EXPECT_EQ(meta->find("status")->as_string(), "error");
+  ASSERT_NE(meta->find("error"), nullptr);
+  EXPECT_NE(meta->find("error")->as_string().find("no such circuit"),
+            std::string::npos);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace compsyn::robust
