@@ -18,6 +18,7 @@
 #include "netlist/netlist.hpp"
 #include "obs/counters.hpp"
 #include "sat/cec.hpp"
+#include "sat/session.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
 #include "paths/paths.hpp"
@@ -34,6 +35,7 @@ namespace compsyn::bench {
 ///   --report=<file>   write a machine-readable JSON (or .jsonl) run report
 ///   --trace           print the span/counter summary after the tables
 ///   --jobs=N          worker threads for the parallel regions (default 1)
+///   --sat=MODE        SAT backend: session (persistent, default) | oneshot
 ///   --budget=TICKS    deterministic anytime budget (DESIGN.md §10)
 ///   --deadline=SECS   wall-clock watchdog (non-deterministic)
 ///   --inject=SPEC     scripted fault injection for chaos testing
@@ -55,6 +57,14 @@ class BenchRun {
       }
       set_jobs(static_cast<unsigned>(j));
     }
+    const std::string sat_str = cli_.get("sat", "session");
+    const auto sat = parse_sat_backend(sat_str);
+    if (!sat) {
+      std::cerr << "error: --sat=" << sat_str
+                << " (expected session or oneshot)\n";
+      std::exit(2);
+    }
+    set_sat_backend(*sat);
     robust_active_ = cli_.has("budget") || cli_.has("deadline") || cli_.has("inject");
     if (cli_.has("inject")) {
       std::string err;
@@ -240,10 +250,22 @@ inline VerifyMode bench_verify_mode(const Cli& cli) {
 inline void verify_or_die(const Netlist& a, const Netlist& b, const std::string& what,
                           VerifyMode mode = VerifyMode::Sim) {
   Rng rng(0xC0FFEE);
+  // Under --sat=session all verification proofs share one session: circuits
+  // that reappear across checks (the resynthesized "best" is verified against
+  // the original AND against its redundancy-removed form) keep their
+  // encodings, and an unchanged circuit pair closes structurally for free.
+  SatSession* session = nullptr;
+  if (mode != VerifyMode::Sim && sat_backend() == SatBackend::Session) {
+    static SatSession shared;
+    session = &shared;
+  }
   const auto res = mode == VerifyMode::Sim
                        ? check_equivalent(a, b, rng, /*random_words=*/64)
                        : check_equivalent_mode(a, b, rng, mode,
-                                               /*random_words=*/64);
+                                               /*random_words=*/64,
+                                               kDefaultExhaustiveLimit,
+                                               {kDefaultCecConflicts, 0},
+                                               session);
   if (!res.equivalent) {
     std::cerr << "FATAL: " << what << " changed the circuit function ("
               << res.message << ")\n";

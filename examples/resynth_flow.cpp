@@ -41,6 +41,7 @@
 #include "robust/inject.hpp"
 #include "robust/robust.hpp"
 #include "sat/cec.hpp"
+#include "sat/session.hpp"
 #include "util/cli.hpp"
 #include "util/errors.hpp"
 
@@ -238,6 +239,7 @@ int flow_main(int argc, char** argv) {
   if (cli.positional().empty()) {
     std::cerr << "usage: resynth_flow [--proc=2|3|combined] [--k=K] "
                  "[--weight-gates=W --weight-paths=W] [--verify=sim|sat|both] "
+                 "[--sat=session|oneshot] "
                  "[--out=file.bench] [--report=file.json] [--trace] "
                  "[--jobs=N] [--budget=TICKS] [--deadline=SECONDS] "
                  "[--checkpoint=ck.json] [--resume=ck.json] [--inject=SPEC] "
@@ -264,6 +266,14 @@ int flow_main(int argc, char** argv) {
               << " (expected sim, sat, or both)\n";
     return robust::kExitUsage;
   }
+  const std::string sat_str = cli.get("sat", "session");
+  const auto backend = parse_sat_backend(sat_str);
+  if (!backend) {
+    std::cerr << "error: --sat=" << sat_str
+              << " (expected session or oneshot)\n";
+    return robust::kExitUsage;
+  }
+  set_sat_backend(*backend);
 
   FlowConfig cfg;
   cfg.source = cli.positional()[0];
@@ -457,9 +467,19 @@ int flow_main(int argc, char** argv) {
   std::cout << "depth: " << original.depth() << " -> " << nl.depth() << "\n";
 
   Rng rng(1);
+  // Under --sat=session the final proof runs through a local session (the
+  // redundancy-removal sessions are scoped to their netlist states).
+  std::optional<SatSession> verify_session;
+  if (cfg.verify != VerifyMode::Sim && sat_backend() == SatBackend::Session) {
+    verify_session.emplace();
+  }
   auto eq = cfg.verify == VerifyMode::Sim
                 ? check_equivalent(original, nl, rng, 128)
-                : check_equivalent_mode(original, nl, rng, cfg.verify, 128);
+                : check_equivalent_mode(original, nl, rng, cfg.verify, 128,
+                                        kDefaultExhaustiveLimit,
+                                        {kDefaultCecConflicts, 0},
+                                        verify_session ? &*verify_session
+                                                       : nullptr);
   // A cancel that landed during verification leaves eq unreliable (the SAT
   // side may have wound down Unknown); report "interrupted", not a verdict.
   if (robust::cancel_requested()) {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <iostream>
+#include <optional>
 
 #include "exec/exec.hpp"
 #include "faults/fault.hpp"
@@ -86,6 +87,11 @@ struct FaultVerdict {
   SatFaultStatus sat = SatFaultStatus::Unknown;
 };
 
+/// Worker-side fault evaluation. With the Session backend the SAT step is
+/// NOT taken here: a session is single-threaded, so aborted faults are
+/// deferred to the serial commit loop (deferred_session_sat), which re-
+/// decides them in fault order -- the same order the one-shot path commits
+/// them in, keeping verdicts jobs-invariant.
 FaultVerdict evaluate_fault(const Netlist& nl, const StuckFault& f,
                             const RedundancyRemovalOptions& opt) {
   FaultVerdict v;
@@ -95,11 +101,24 @@ FaultVerdict evaluate_fault(const Netlist& nl, const StuckFault& f,
   }
   const AtpgResult r = run_podem(nl, f, opt.atpg);
   v.podem = r.status;
-  if (r.status == AtpgStatus::Aborted && opt.sat_fallback) {
+  if (r.status == AtpgStatus::Aborted && opt.sat_fallback &&
+      opt.backend == SatBackend::Oneshot) {
     v.sat_ran = true;
     v.sat = prove_fault(nl, f, opt.sat_budget).status;
   }
   return v;
+}
+
+/// Commit-time SAT completion for the Session backend: one persistent
+/// session per netlist state (the caller resets `cid` after any mutation),
+/// encoding the circuit once and sharing learned clauses across the state's
+/// aborted faults.
+SatFaultStatus deferred_session_sat(SatSession& session,
+                                    std::optional<SatSession::CircuitId>& cid,
+                                    const Netlist& nl, const StuckFault& f,
+                                    const RedundancyRemovalOptions& opt) {
+  if (!cid) cid = session.add_circuit(nl);
+  return session.prove_fault(*cid, f, opt.sat_budget).status;
 }
 
 /// Flushes the fallback tallies into the obs counters (no-ops while
@@ -129,6 +148,19 @@ RedundancyRemovalStats remove_redundancies(Netlist& nl,
   std::uint64_t round_unresolved = 0;
   bool fixpoint = false;
   bool stopped = false;
+  // Session backend: one persistent SAT session per netlist state. Any
+  // mutation (simplify, substitution) resets it -- proofs must run against
+  // the netlist as already modified, exactly like the one-shot path.
+  const bool session_sat =
+      opt.sat_fallback && opt.backend == SatBackend::Session;
+  std::optional<SatSession> session;
+  std::optional<SatSession::CircuitId> session_cid;
+  const auto reset_session = [&] {
+    if (!session_sat) return;
+    session.emplace();
+    session_cid.reset();
+  };
+  reset_session();
   for (unsigned round = 0; round < opt.max_rounds && !stopped; ++round) {
     // Round boundary: a budget trip (or pending cancel) stops before any
     // new fault is examined; undecided faults stay in the circuit.
@@ -137,6 +169,7 @@ RedundancyRemovalStats remove_redundancies(Netlist& nl,
       break;
     }
     nl.simplify();
+    reset_session();
     bool removed_this_round = false;
     round_unresolved = 0;
     const auto all_faults = enumerate_faults(nl, /*collapse=*/true);
@@ -203,9 +236,23 @@ RedundancyRemovalStats remove_redundancies(Netlist& nl,
         bool untestable = v.podem == AtpgStatus::Untestable;
         if (v.podem == AtpgStatus::Aborted) {
           ++stats.aborted;
-          if (v.sat_ran) {
+          bool sat_ran = v.sat_ran;
+          SatFaultStatus sat_status = v.sat;
+          if (session_sat) {
+            // Deferred completion: the worker left the fault undecided; the
+            // session re-decides it here, serially and in fault order, so
+            // the verdict stream is identical at any job count.
+            try {
+              sat_status = deferred_session_sat(*session, session_cid, nl, f, opt);
+              sat_ran = true;
+            } catch (const robust::CancelledError&) {
+              stopped = true;
+              break;
+            }
+          }
+          if (sat_ran) {
             ++stats.sat_fallback_calls;
-            switch (v.sat) {
+            switch (sat_status) {
               case SatFaultStatus::Untestable:
                 ++stats.sat_proved_untestable;
                 untestable = true;
@@ -227,9 +274,11 @@ RedundancyRemovalStats remove_redundancies(Netlist& nl,
           ++stats.removed;
           removed_this_round = true;
           nl.simplify();
+          reset_session();
           mutated = true;  // verdicts past this fault are stale: re-decide
         }
       }
+      if (stopped) break;
       window = mutated ? 1 : std::min(window * 2, kMaxCommitWindow);
     }
     if (stopped) break;
@@ -258,12 +307,24 @@ RedundancyRemovalStats remove_redundancies(Netlist& nl,
 }
 
 bool is_irredundant(const Netlist& nl, const AtpgOptions& opt) {
+  // The netlist is const here, so one session encoding serves every
+  // SAT-completed fault (the one-shot backend keeps the per-fault miters).
+  std::optional<SatSession> session;
+  std::optional<SatSession::CircuitId> cid;
+  if (sat_backend() == SatBackend::Session) session.emplace();
   for (const StuckFault& f : enumerate_faults(nl, /*collapse=*/true)) {
     const AtpgResult r = run_podem(nl, f, opt);
     if (r.status == AtpgStatus::Detected) continue;
     if (r.status == AtpgStatus::Aborted) {
       // Same completion step as remove_redundancies: let SAT decide.
-      if (prove_fault(nl, f).status == SatFaultStatus::Testable) continue;
+      SatFaultStatus st;
+      if (session) {
+        if (!cid) cid = session->add_circuit(nl);
+        st = session->prove_fault(*cid, f).status;
+      } else {
+        st = prove_fault(nl, f).status;
+      }
+      if (st == SatFaultStatus::Testable) continue;
     }
     return false;
   }

@@ -22,6 +22,7 @@
 #include "atpg/podem.hpp"
 #include "netlist/netlist.hpp"
 #include "robust/robust.hpp"
+#include "sat/session.hpp"
 #include "sat/solver.hpp"
 
 namespace compsyn {
@@ -38,6 +39,12 @@ struct RedundancyRemovalOptions {
   // changes the resulting circuit, hence opt-in; see the header comment).
   bool sat_fallback = false;
   SolverBudget sat_budget{/*max_conflicts=*/200000, /*max_propagations=*/0};
+  // Session: aborted faults are re-decided through one persistent SatSession
+  // (shared encoding + learned clauses per netlist state), serially at the
+  // commit point so the verdict stream stays jobs-invariant. Oneshot keeps
+  // the per-fault fresh-miter path, solved inside the evaluation workers.
+  // Defaults to the process-wide --sat flag.
+  SatBackend backend = sat_backend();
 };
 
 struct RedundancyRemovalStats {

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdint>
 #include <numeric>
 #include <unordered_map>
 
+#include "core/signature.hpp"
 #include "exec/exec.hpp"
 #include "obs/counters.hpp"
 
@@ -253,19 +255,43 @@ namespace {
 /// behaviour-preserving (identical spec vectors) and removes the dominant
 /// repeated work. Thread-local (the procedures are single-threaded per
 /// netlist) and bounded: the map is dropped wholesale past kMemoCap entries.
-using ExactMemoMap = std::unordered_map<std::string, std::vector<ComparisonSpec>>;
+///
+/// Keys are 64-bit functional signatures (core/signature.hpp) of the table
+/// plus the query flags; every bucket hit is confirmed by an exact table and
+/// flag compare, so a signature collision costs one extra compare but can
+/// never return a wrong cached answer -- hit/miss behaviour is identical to
+/// the full-string-key cache this replaces, at a fraction of the key cost.
+struct ExactMemoEntry {
+  TruthTable table;
+  bool try_complement = false;
+  unsigned max_results = 0;
+  std::vector<ComparisonSpec> specs;
+};
+
+struct ExactMemo {
+  std::unordered_map<std::uint64_t, std::vector<ExactMemoEntry>> buckets;
+  std::size_t entries = 0;
+};
+
 constexpr std::size_t kMemoCap = 1u << 16;
 
-ExactMemoMap& exact_memo() {
-  thread_local ExactMemoMap memo;
+ExactMemo& exact_memo() {
+  thread_local ExactMemo memo;
   return memo;
 }
 
-std::string memo_key(const TruthTable& f, const IdentifyOptions& opt) {
-  std::string key = f.to_bits();  // length encodes num_vars
-  key += opt.try_complement ? "|c" : "|n";
-  key += std::to_string(opt.max_results);
-  return key;
+std::uint64_t memo_signature(const TruthTable& f, const IdentifyOptions& opt) {
+  std::uint64_t sig = table_signature(f);
+  const std::uint64_t flags =
+      (static_cast<std::uint64_t>(opt.max_results) << 1) |
+      (opt.try_complement ? 1u : 0u);
+  return signature_mix(sig, flags);
+}
+
+bool memo_entry_matches(const ExactMemoEntry& e, const TruthTable& f,
+                        const IdentifyOptions& opt) {
+  return e.try_complement == opt.try_complement &&
+         e.max_results == opt.max_results && e.table == f;
 }
 
 }  // namespace
@@ -297,26 +323,40 @@ std::vector<ComparisonSpec> identify_comparison(const TruthTable& f,
   }
   if (opt.exact) {
     Counters::incr("identify.exact.attempts");
-    ExactMemoMap& memo = exact_memo();
+    ExactMemo& memo = exact_memo();
     // The memo is per thread, so inside an exec region the hit/miss split
     // depends on which worker ran which query -- a jobs-variant quantity.
     // Reports must be identical at any --jobs value, so the memo tallies
     // are only kept for queries made outside parallel regions (the inline
     // --jobs=1 path counts as a region too, keeping the counts invariant).
     const bool tally = !in_parallel_region();
-    std::string key = memo_key(f, opt);
-    if (auto it = memo.find(key); it != memo.end()) {
-      if (tally) Counters::incr("identify.memo.hits");
-      if (!it->second.empty()) Counters::incr("identify.exact.hits");
-      return it->second;
+    const std::uint64_t sig = memo_signature(f, opt);
+    auto it = memo.buckets.find(sig);
+    if (it != memo.buckets.end()) {
+      for (const ExactMemoEntry& e : it->second) {
+        if (memo_entry_matches(e, f, opt)) {
+          if (tally) Counters::incr("identify.memo.hits");
+          if (!e.specs.empty()) Counters::incr("identify.exact.hits");
+          return e.specs;
+        }
+      }
+      // Same signature, different query: a genuine 64-bit collision. The
+      // exact confirm above keeps it harmless; count it so reports surface
+      // how (in)frequent collisions are in practice.
+      if (tally) Counters::incr("identify.memo.collisions");
     }
     if (tally) Counters::incr("identify.memo.misses");
     collect_specs(f, /*complemented=*/false, opt, out);
     if (opt.try_complement) {
       collect_specs(f.complemented(), /*complemented=*/true, opt, out);
     }
-    if (memo.size() >= kMemoCap) memo.clear();
-    memo.emplace(std::move(key), out);
+    if (memo.entries >= kMemoCap) {
+      memo.buckets.clear();
+      memo.entries = 0;
+    }
+    memo.buckets[sig].push_back(
+        ExactMemoEntry{f, opt.try_complement, opt.max_results, out});
+    ++memo.entries;
     if (!out.empty()) Counters::incr("identify.exact.hits");
     return out;
   }

@@ -2,8 +2,11 @@
 
 #include <numeric>
 #include <stdexcept>
+#include <utility>
 
+#include "core/signature.hpp"
 #include "netlist/equivalence.hpp"
+#include "obs/counters.hpp"
 #include "util/rng.hpp"
 
 namespace compsyn {
@@ -51,20 +54,34 @@ TruthTable ReachabilityTable::reachable_combos(const std::vector<NodeId>& nodes)
   return reach;
 }
 
-SatReachability::SatReachability(const Netlist& nl, const SolverBudget& per_query)
-    : per_query_(per_query) {
+SatReachability::SatReachability(const Netlist& nl, const SolverBudget& per_query,
+                                 bool signature_cache)
+    : per_query_(per_query), signature_cache_(signature_cache) {
   enc_ = encode_circuit(nl, solver_);
+  if (signature_cache_) sigs_ = node_signatures(nl);
 }
 
-TruthTable SatReachability::reachable_combos(const std::vector<NodeId>& nodes) const {
+bool SatReachability::nodes_equal(NodeId a, NodeId b) const {
+  if (a == b) return true;
+  if (a > b) std::swap(a, b);
+  if (a < sigs_.size() && b < sigs_.size() && sigs_[a] != sigs_[b]) return false;
+  const std::uint64_t key = (static_cast<std::uint64_t>(a) << 32) | b;
+  if (auto it = eq_memo_.find(key); it != eq_memo_.end()) return it->second;
+  // a != b is Sat iff (a & !b) or (!a & b) is: two assumption-only queries,
+  // no clauses added. Equality holds only when both directions are Unsat.
+  const bool equal =
+      solver_.solve({enc_.lit(a, false), enc_.lit(b, true)}, per_query_) ==
+          SolveStatus::Unsat &&
+      solver_.solve({enc_.lit(a, true), enc_.lit(b, false)}, per_query_) ==
+          SolveStatus::Unsat;
+  if (eq_memo_.size() >= 4096) eq_memo_.clear();
+  eq_memo_.emplace(key, equal);
+  return equal;
+}
+
+TruthTable SatReachability::solve_combos(const std::vector<NodeId>& nodes) const {
   const unsigned k = static_cast<unsigned>(nodes.size());
   TruthTable reach(k);
-  for (NodeId n : nodes) {
-    if (!enc_.has(n)) {
-      // Unknown node: be conservative, declare everything reachable.
-      return reach.complemented();  // all-ones
-    }
-  }
   std::vector<SatLit> assumptions(k);
   for (std::uint32_t combo = 0; combo < reach.num_minterms(); ++combo) {
     for (unsigned i = 0; i < k; ++i) {
@@ -77,6 +94,52 @@ TruthTable SatReachability::reachable_combos(const std::vector<NodeId>& nodes) c
       reach.set(combo, true);
     }
   }
+  return reach;
+}
+
+TruthTable SatReachability::reachable_combos(const std::vector<NodeId>& nodes) const {
+  const unsigned k = static_cast<unsigned>(nodes.size());
+  for (NodeId n : nodes) {
+    if (!enc_.has(n)) {
+      // Unknown node: be conservative, declare everything reachable.
+      return TruthTable(k).complemented();  // all-ones
+    }
+  }
+  if (!signature_cache_) return solve_combos(nodes);
+
+  // Exact repeat of an earlier query: the memoized table is the answer.
+  for (const auto& [prev, table] : memo_) {
+    if (prev == nodes) {
+      Counters::incr("sat.sdc.cache_hits");
+      return table;
+    }
+  }
+  // Signature-aligned reuse: a cached node set whose per-position signatures
+  // match is a candidate; reuse its table only once SAT proves every paired
+  // node functionally equal (equal functions of the primary inputs have the
+  // same joint value distribution, hence the same reachable set).
+  for (const auto& [prev, table] : memo_) {
+    if (prev.size() != nodes.size()) continue;
+    bool aligned = true;
+    for (unsigned i = 0; aligned && i < k; ++i) {
+      aligned = nodes[i] < sigs_.size() && prev[i] < sigs_.size() &&
+                sigs_[nodes[i]] == sigs_[prev[i]];
+    }
+    if (!aligned) continue;
+    bool proven = true;
+    for (unsigned i = 0; proven && i < k; ++i) {
+      proven = nodes_equal(nodes[i], prev[i]);
+    }
+    if (!proven) continue;
+    Counters::incr("sat.sdc.sig_hits");
+    TruthTable copy = table;  // copy before emplace_back may reallocate memo_
+    memo_.emplace_back(nodes, copy);
+    return copy;
+  }
+
+  TruthTable reach = solve_combos(nodes);
+  if (memo_.size() >= 1024) memo_.clear();
+  memo_.emplace_back(nodes, reach);
   return reach;
 }
 

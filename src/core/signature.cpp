@@ -1,0 +1,30 @@
+#include "core/signature.hpp"
+
+#include "util/rng.hpp"
+
+namespace compsyn {
+
+std::uint64_t signature_mix(std::uint64_t h, std::uint64_t value) {
+  // splitmix64 finalisation over the running hash xor the new value.
+  std::uint64_t z = (h ^ value) + 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t table_signature(const TruthTable& f) {
+  // hash() already folds every table word; mixing in num_vars separates the
+  // (say) 1-variable "01" table from the 2-variable "0101" one.
+  return signature_mix(f.hash(), f.num_vars());
+}
+
+std::vector<std::uint64_t> node_signatures(const Netlist& nl, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::uint64_t> pi(nl.inputs().size());
+  for (auto& w : pi) w = rng.next();
+  std::vector<std::uint64_t> sig;
+  nl.simulate_into(pi, sig);
+  return sig;
+}
+
+}  // namespace compsyn

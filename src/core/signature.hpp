@@ -1,0 +1,48 @@
+// Functional signatures: cheap 64-bit keys that stand in for full functional
+// comparison, with an exact (or SAT) confirmation behind every match.
+//
+//  * table_signature hashes a complete truth table (plus query flags) into
+//    the key of the comparison-identification memo (core/comparison.cpp):
+//    equal signatures select a bucket, and an exact table compare inside the
+//    bucket confirms the hit, so the cache is collision-safe and its
+//    hit/miss behaviour is identical to a full-key cache.
+//  * node_signatures runs ONE seeded 64-pattern parallel simulation of a
+//    netlist and returns a per-node signature word. Two nodes with different
+//    signatures compute provably different functions of the primary inputs;
+//    equal signatures mean "possibly equal" and need a proof (the SAT
+//    reachability oracle in core/sdc.hpp confirms candidate pairs with an
+//    incremental equality query before reusing cached answers).
+//
+// Both are deterministic: fixed seeds, no time or address dependence.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/truth_table.hpp"
+#include "netlist/netlist.hpp"
+
+namespace compsyn {
+
+/// Seed of the node-signature simulation patterns (any fixed constant works;
+/// changing it changes which node pairs collide, never correctness).
+inline constexpr std::uint64_t kNodeSignatureSeed = 0x51C7A7u;
+
+/// Mixes `value` into `h` (splitmix64 finalisation): used to fold query
+/// flags into a table signature so different option sets never share a
+/// bucket by construction.
+std::uint64_t signature_mix(std::uint64_t h, std::uint64_t value);
+
+/// 64-bit signature of a complete truth table. Distinct tables map to
+/// distinct signatures with overwhelming probability; callers must still
+/// confirm matches exactly (operator== on the tables).
+std::uint64_t table_signature(const TruthTable& f);
+
+/// One 64-pattern random simulation of `nl` (seeded, deterministic):
+/// sig[n] holds node n's output word, i.e. its value on each of the 64
+/// patterns. Dead nodes get 0. Unequal signatures prove unequal functions;
+/// equal signatures are only a candidate for equality.
+std::vector<std::uint64_t> node_signatures(const Netlist& nl,
+                                           std::uint64_t seed = kNodeSignatureSeed);
+
+}  // namespace compsyn

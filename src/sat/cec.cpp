@@ -4,6 +4,7 @@
 
 #include "obs/counters.hpp"
 #include "obs/trace.hpp"
+#include "sat/session.hpp"
 #include "sat/tseitin.hpp"
 
 namespace compsyn {
@@ -63,17 +64,28 @@ EquivalenceResult check_equivalent_sat(const Netlist& a, const Netlist& b,
   return res;
 }
 
+EquivalenceResult check_equivalent_sat(SatSession& session, const Netlist& a,
+                                       const Netlist& b,
+                                       const SolverBudget& budget) {
+  return session.check_equivalent(a, b, budget);
+}
+
 EquivalenceResult check_equivalent_mode(const Netlist& a, const Netlist& b,
                                         Rng& rng, VerifyMode mode,
                                         unsigned random_words,
                                         unsigned exhaustive_limit,
-                                        const SolverBudget& budget) {
-  if (mode == VerifyMode::Sat) return check_equivalent_sat(a, b, budget);
+                                        const SolverBudget& budget,
+                                        SatSession* session) {
+  const auto sat_check = [&] {
+    return session ? check_equivalent_sat(*session, a, b, budget)
+                   : check_equivalent_sat(a, b, budget);
+  };
+  if (mode == VerifyMode::Sat) return sat_check();
   EquivalenceResult sim =
       check_equivalent(a, b, rng, random_words, exhaustive_limit);
   if (mode == VerifyMode::Sim || sim.proven || !sim.equivalent) return sim;
   // Both: simulation passed without a proof; close the gap with SAT.
-  EquivalenceResult sat = check_equivalent_sat(a, b, budget);
+  EquivalenceResult sat = sat_check();
   if (sat.proven) return sat;
   // Budget ran out: keep the (unproven) simulation verdict, note the attempt.
   sim.message += "; " + sat.message;

@@ -23,6 +23,8 @@
 
 namespace compsyn {
 
+class SatSession;  // sat/session.hpp
+
 enum class VerifyMode { Sim, Sat, Both };
 
 const char* to_string(VerifyMode m);
@@ -40,11 +42,21 @@ EquivalenceResult check_equivalent_sat(
     const Netlist& a, const Netlist& b,
     const SolverBudget& budget = {kDefaultCecConflicts, 0});
 
-/// Mode dispatcher used by resynth_flow and the bench harnesses.
+/// As above, but through a persistent SatSession (sat/session.hpp): the
+/// circuits' encodings and the solver's learned clauses are shared with
+/// every other query on the session instead of being rebuilt.
+EquivalenceResult check_equivalent_sat(
+    SatSession& session, const Netlist& a, const Netlist& b,
+    const SolverBudget& budget = {kDefaultCecConflicts, 0});
+
+/// Mode dispatcher used by resynth_flow and the bench harnesses. When
+/// `session` is non-null the SAT proofs route through it (--sat=session);
+/// null keeps the historical per-query path (--sat=oneshot).
 EquivalenceResult check_equivalent_mode(
     const Netlist& a, const Netlist& b, Rng& rng, VerifyMode mode,
     unsigned random_words = 256,
     unsigned exhaustive_limit = kDefaultExhaustiveLimit,
-    const SolverBudget& budget = {kDefaultCecConflicts, 0});
+    const SolverBudget& budget = {kDefaultCecConflicts, 0},
+    SatSession* session = nullptr);
 
 }  // namespace compsyn

@@ -5,56 +5,75 @@
 namespace compsyn {
 namespace {
 
+/// Clause emitter with optional activation gating: when `gate` is a real
+/// literal (the negated activation literal), it is appended to every clause,
+/// so the whole constraint group holds only while solving under the
+/// assumption ~gate and can later be retired for good by adding the unit
+/// clause `gate` (sat/session.hpp).
+struct ClauseSink {
+  Solver& s;
+  SatLit gate = kNoSatLit;
+
+  SatVar new_var() { return s.new_var(); }
+  void add(std::vector<SatLit> lits) {
+    if (gate != kNoSatLit) lits.push_back(gate);
+    s.add_clause(std::move(lits));
+  }
+  void add(SatLit a) { add(std::vector<SatLit>{a}); }
+  void add(SatLit a, SatLit b) { add(std::vector<SatLit>{a, b}); }
+  void add(SatLit a, SatLit b, SatLit c) { add(std::vector<SatLit>{a, b, c}); }
+};
+
 /// Clauses for out = AND(ins): (~out | in_i) for all i, (out | ~in_1 ... ~in_k).
-void clauses_and(Solver& s, SatLit out, const std::vector<SatLit>& ins) {
+void clauses_and(ClauseSink& s, SatLit out, const std::vector<SatLit>& ins) {
   std::vector<SatLit> big;
-  big.reserve(ins.size() + 1);
+  big.reserve(ins.size() + 2);
   big.push_back(out);
   for (const SatLit in : ins) {
-    s.add_clause(~out, in);
+    s.add(~out, in);
     big.push_back(~in);
   }
-  s.add_clause(std::move(big));
+  s.add(std::move(big));
 }
 
 /// Clauses for out = OR(ins): (out | ~in_i) for all i, (~out | in_1 ... in_k).
-void clauses_or(Solver& s, SatLit out, const std::vector<SatLit>& ins) {
+void clauses_or(ClauseSink& s, SatLit out, const std::vector<SatLit>& ins) {
   std::vector<SatLit> big;
-  big.reserve(ins.size() + 1);
+  big.reserve(ins.size() + 2);
   big.push_back(~out);
   for (const SatLit in : ins) {
-    s.add_clause(out, ~in);
+    s.add(out, ~in);
     big.push_back(in);
   }
-  s.add_clause(std::move(big));
+  s.add(std::move(big));
 }
 
 /// Clauses for out = a XOR b (4 clauses).
-void clauses_xor2(Solver& s, SatLit out, SatLit a, SatLit b) {
-  s.add_clause(~out, a, b);
-  s.add_clause(~out, ~a, ~b);
-  s.add_clause(out, ~a, b);
-  s.add_clause(out, a, ~b);
+void clauses_xor2(ClauseSink& s, SatLit out, SatLit a, SatLit b) {
+  s.add(~out, a, b);
+  s.add(~out, ~a, ~b);
+  s.add(out, ~a, b);
+  s.add(out, a, ~b);
 }
 
 /// Clauses for out = in (2 clauses).
-void clauses_buf(Solver& s, SatLit out, SatLit in) {
-  s.add_clause(~out, in);
-  s.add_clause(out, ~in);
+void clauses_buf(ClauseSink& s, SatLit out, SatLit in) {
+  s.add(~out, in);
+  s.add(out, ~in);
 }
 
 /// Encodes one gate given its (possibly substituted) input literals. The
 /// inverting types reuse the base encoders with a negated output literal.
-void encode_gate(Solver& s, GateType type, SatLit out,
+void encode_gate(ClauseSink& s, GateType type, SatLit out,
                  const std::vector<SatLit>& ins) {
   switch (type) {
     case GateType::Input:
       return;  // free variable
     case GateType::Const0:
-      s.add_clause(~out);
+      s.add(~out);
       return;
     case GateType::Const1:
-      s.add_clause(out);
+      s.add(out);
       return;
     case GateType::Buf:
       clauses_buf(s, out, ins[0]);
@@ -97,8 +116,9 @@ void encode_gate(Solver& s, GateType type, SatLit out,
 
 /// Core encoder: encodes all live nodes, reusing `pinned[n]` as the variable
 /// of node n when set (primary-input sharing, good/faulty copy sharing).
-CircuitEncoding encode_with_pins(const Netlist& nl, Solver& s,
+CircuitEncoding encode_with_pins(const Netlist& nl, Solver& solver,
                                  const std::vector<SatVar>& pinned) {
+  ClauseSink s{solver};
   CircuitEncoding enc;
   enc.node_var.assign(nl.size(), kNoSatVar);
   for (const NodeId n : nl.topo_order()) {
@@ -117,7 +137,7 @@ CircuitEncoding encode_with_pins(const Netlist& nl, Solver& s,
 }
 
 /// Fresh XOR variable d = (a != b), returned as a literal.
-SatLit encode_diff(Solver& s, SatLit a, SatLit b) {
+SatLit encode_diff(ClauseSink& s, SatLit a, SatLit b) {
   const SatLit d = mk_lit(s.new_var(), false);
   clauses_xor2(s, d, a, b);
   return d;
@@ -159,24 +179,53 @@ MiterEncoding encode_miter(const Netlist& a, const Netlist& b, Solver& s) {
   for (std::size_t i = 0; i < a.inputs().size(); ++i) m.pi_vars.push_back(s.new_var());
   m.a = encode_circuit(a, s, m.pi_vars);
   m.b = encode_circuit(b, s, m.pi_vars);
+  ClauseSink sink{s};
   std::vector<SatLit> any_diff;
   any_diff.reserve(a.outputs().size());
   for (std::size_t o = 0; o < a.outputs().size(); ++o) {
     any_diff.push_back(
-        encode_diff(s, m.a.lit(a.outputs()[o]), m.b.lit(b.outputs()[o])));
+        encode_diff(sink, m.a.lit(a.outputs()[o]), m.b.lit(b.outputs()[o])));
   }
-  s.add_clause(std::move(any_diff));
+  sink.add(std::move(any_diff));
   return m;
+}
+
+void encode_miter_gated(const Netlist& a, const CircuitEncoding& ea,
+                        const Netlist& b, const CircuitEncoding& eb,
+                        Solver& s, SatLit act) {
+  assert(a.inputs().size() == b.inputs().size());
+  assert(a.outputs().size() == b.outputs().size());
+  ClauseSink sink{s, ~act};
+  // The copies were encoded over separate primary-input variables; bind
+  // them pairwise (under the activation) so the miter ranges over one
+  // shared input space.
+  for (std::size_t i = 0; i < a.inputs().size(); ++i) {
+    clauses_buf(sink, ea.lit(a.inputs()[i]), eb.lit(b.inputs()[i]));
+  }
+  std::vector<SatLit> any_diff;
+  any_diff.reserve(a.outputs().size());
+  for (std::size_t o = 0; o < a.outputs().size(); ++o) {
+    any_diff.push_back(
+        encode_diff(sink, ea.lit(a.outputs()[o]), eb.lit(b.outputs()[o])));
+  }
+  sink.add(std::move(any_diff));
 }
 
 std::vector<bool> FaultMiterEncoding::test(const Solver& s) const {
   return read_pi_model(s, pi_vars);
 }
 
-FaultMiterEncoding encode_fault_miter(const Netlist& nl, const StuckFault& fault,
-                                      Solver& s) {
+namespace {
+
+/// Shared body of the fault-miter encoders. The good copy is `good` (already
+/// present in the solver); every clause added here goes through `s`, whose
+/// gating (if any) the caller chose.
+FaultMiterEncoding encode_fault_miter_impl(const Netlist& nl,
+                                           const StuckFault& fault,
+                                           ClauseSink& s,
+                                           CircuitEncoding good) {
   FaultMiterEncoding m;
-  m.good = encode_circuit(nl, s);
+  m.good = std::move(good);
   m.pi_vars.reserve(nl.inputs().size());
   for (const NodeId in : nl.inputs()) m.pi_vars.push_back(m.good.node_var[in]);
 
@@ -201,7 +250,7 @@ FaultMiterEncoding encode_fault_miter(const Netlist& nl, const StuckFault& fault
 
   // Constant literal for the stuck value (a pinned fresh variable).
   const SatLit stuck = mk_lit(s.new_var(), false);
-  s.add_clause(fault.value ? stuck : ~stuck);
+  s.add(fault.value ? stuck : ~stuck);
 
   CircuitEncoding faulty;
   faulty.node_var.assign(nl.size(), kNoSatVar);
@@ -235,7 +284,7 @@ FaultMiterEncoding encode_fault_miter(const Netlist& nl, const StuckFault& fault
   const NodeId driver =
       fault.is_stem() ? root
                       : nl.node(root).fanins[static_cast<std::size_t>(fault.pin)];
-  s.add_clause(m.good.lit(driver, /*negated=*/fault.value));
+  s.add(m.good.lit(driver, /*negated=*/fault.value));
 
   // D-constraint: some primary output differs between the two machines.
   std::vector<SatLit> any_diff;
@@ -244,12 +293,30 @@ FaultMiterEncoding encode_fault_miter(const Netlist& nl, const StuckFault& fault
     any_diff.push_back(encode_diff(s, m.good.lit(o), faulty.lit(o)));
   }
   if (any_diff.empty()) {
-    // The fault reaches no output: untestable by construction.
-    s.add_clause(std::vector<SatLit>{});
+    // The fault reaches no output: untestable by construction. (Under a
+    // gate, the empty clause reduces to the unit ~act: the query, not the
+    // whole formula, becomes unsatisfiable.)
+    s.add(std::vector<SatLit>{});
   } else {
-    s.add_clause(std::move(any_diff));
+    s.add(std::move(any_diff));
   }
   return m;
+}
+
+}  // namespace
+
+FaultMiterEncoding encode_fault_miter(const Netlist& nl, const StuckFault& fault,
+                                      Solver& s) {
+  ClauseSink sink{s};
+  return encode_fault_miter_impl(nl, fault, sink, encode_circuit(nl, s));
+}
+
+FaultMiterEncoding encode_fault_miter_gated(const Netlist& nl,
+                                            const StuckFault& fault, Solver& s,
+                                            const CircuitEncoding& good,
+                                            SatLit act) {
+  ClauseSink sink{s, ~act};
+  return encode_fault_miter_impl(nl, fault, sink, good);
 }
 
 }  // namespace compsyn

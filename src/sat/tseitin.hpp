@@ -69,4 +69,25 @@ struct FaultMiterEncoding {
 FaultMiterEncoding encode_fault_miter(const Netlist& nl, const StuckFault& fault,
                                       Solver& s);
 
+// Activation-gated variants (sat/session.hpp). Every clause added by these
+// encoders carries the extra literal ~act, so the constraint group binds only
+// while solving under the assumption `act`; adding the unit clause ~act
+// afterwards retires the group permanently (its clauses become satisfied and
+// inert). The circuit copies themselves are NOT added here -- they are pure
+// definitions, safe to keep ungated and share across queries.
+
+/// Fault miter over an existing (ungated) encoding of `nl`: gated faulty
+/// cone, activation constraint, and D-constraint.
+FaultMiterEncoding encode_fault_miter_gated(const Netlist& nl,
+                                            const StuckFault& fault, Solver& s,
+                                            const CircuitEncoding& good,
+                                            SatLit act);
+
+/// CEC miter constraint between two circuits already encoded (over separate
+/// primary-input variables): gated pairwise PI binding plus the gated
+/// some-output-differs constraint. Satisfiable under {act} iff they differ.
+void encode_miter_gated(const Netlist& a, const CircuitEncoding& ea,
+                        const Netlist& b, const CircuitEncoding& eb,
+                        Solver& s, SatLit act);
+
 }  // namespace compsyn

@@ -1,0 +1,137 @@
+// Exhaustive property test of comparison-function identification: for EVERY
+// function of up to 4 inputs, a brute-force interval detector over every
+// variable permutation is the ground truth. The exact engine must agree on
+// classification (completeness and soundness), every returned spec must
+// denote the queried function, and the synthesized comparison unit must
+// compute the spec's truth table exactly.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "core/comparison.hpp"
+#include "core/comparison_unit.hpp"
+#include "core/truth_table.hpp"
+#include "netlist/netlist.hpp"
+
+namespace compsyn {
+namespace {
+
+/// Ground truth by definition: f (or ~f when `complemented`) is an interval
+/// function under SOME variable permutation. Tries all n! orders, computing
+/// each minterm's decimal value with the same mapping
+/// ComparisonSpec::to_truth_table uses (perm[0] = MSB), independently.
+bool brute_force_interval(const TruthTable& f, bool complemented) {
+  const unsigned n = f.num_vars();
+  std::vector<unsigned> perm(n);
+  std::iota(perm.begin(), perm.end(), 0u);
+  std::vector<unsigned> pos(n);
+  do {
+    for (unsigned j = 0; j < n; ++j) pos[perm[j]] = j;
+    const auto value_of = [&](std::uint32_t m) {
+      std::uint32_t value = 0;
+      for (unsigned v = 0; v < n; ++v) {
+        value |= ((m >> (n - 1 - v)) & 1u) << (n - 1 - pos[v]);
+      }
+      return value;
+    };
+    std::uint32_t lo = ~0u, hi = 0;
+    bool any_on = false;
+    for (std::uint32_t m = 0; m < f.num_minterms(); ++m) {
+      if (f.get(m) == complemented) continue;  // OFF under this polarity
+      const std::uint32_t v = value_of(m);
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+      any_on = true;
+    }
+    if (!any_on) continue;  // constants are handled by the caller
+    bool ok = true;
+    for (std::uint32_t m = 0; ok && m < f.num_minterms(); ++m) {
+      if (f.get(m) != complemented) continue;
+      ok = value_of(m) < lo || value_of(m) > hi;
+    }
+    if (ok) return true;
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  return false;
+}
+
+/// The unit netlist's exhaustive simulation as a truth table.
+TruthTable simulate_unit(const Netlist& nl, unsigned n) {
+  std::vector<std::uint64_t> pi(n, 0);
+  for (std::uint32_t m = 0; m < (1u << n); ++m) {
+    for (unsigned v = 0; v < n; ++v) {
+      if ((m >> (n - 1 - v)) & 1u) pi[v] |= 1ull << m;
+    }
+  }
+  const auto values = nl.simulate(pi);
+  const std::uint64_t out = values[nl.outputs()[0]];
+  return TruthTable::from_function(
+      n, [&](std::uint32_t m) { return ((out >> m) & 1ull) != 0; });
+}
+
+void check_all_functions(unsigned n) {
+  const std::uint32_t tables = 1u << (1u << n);
+  for (std::uint32_t bits = 0; bits < tables; ++bits) {
+    const TruthTable f = TruthTable::from_function(
+        n, [&](std::uint32_t m) { return ((bits >> m) & 1u) != 0; });
+    const bool is_const = f.is_const_zero() || f.is_const_one();
+    const bool plain = is_const || brute_force_interval(f, false);
+    const bool comp = is_const || brute_force_interval(f, true);
+
+    // Classification: is_comparison_function uses the non-complemented
+    // exact engine (complement handling is a realisation detail).
+    EXPECT_EQ(is_comparison_function(f), plain) << "n=" << n << " bits=" << bits;
+
+    IdentifyOptions opt;  // exact, try_complement=true
+    const auto specs = identify_comparison(f, opt);
+    EXPECT_EQ(!specs.empty(), plain || comp) << "n=" << n << " bits=" << bits;
+
+    bool saw_plain = false, saw_comp = false;
+    for (const ComparisonSpec& spec : specs) {
+      // Soundness: every spec really denotes f.
+      EXPECT_TRUE(spec_matches(spec, f))
+          << "n=" << n << " bits=" << bits << " L=" << spec.lower
+          << " U=" << spec.upper;
+      EXPECT_LE(spec.lower, spec.upper);
+      (spec.complemented ? saw_comp : saw_plain) = true;
+    }
+    // Completeness per polarity (constants are reported under one spec
+    // whose polarity encodes which constant, so they are exempt).
+    if (!is_const) {
+      EXPECT_EQ(saw_plain, plain) << "n=" << n << " bits=" << bits;
+      EXPECT_EQ(saw_comp, comp) << "n=" << n << " bits=" << bits;
+    }
+
+    // The synthesized unit computes the function (first spec per polarity).
+    if (n > 0) {
+      for (const ComparisonSpec* spec : {specs.empty() ? nullptr : &specs.front(),
+                                         specs.empty() ? nullptr : &specs.back()}) {
+        if (!spec) continue;
+        const Netlist unit = build_unit_netlist(*spec);
+        EXPECT_EQ(simulate_unit(unit, n), f)
+            << "n=" << n << " bits=" << bits << " comp=" << spec->complemented;
+      }
+    }
+  }
+}
+
+TEST(ComparisonProperty, AllFunctionsOfOneInput) { check_all_functions(1); }
+TEST(ComparisonProperty, AllFunctionsOfTwoInputs) { check_all_functions(2); }
+TEST(ComparisonProperty, AllFunctionsOfThreeInputs) { check_all_functions(3); }
+TEST(ComparisonProperty, AllFunctionsOfFourInputs) { check_all_functions(4); }
+
+TEST(ComparisonProperty, ZeroInputConstants) {
+  for (bool one : {false, true}) {
+    const TruthTable f =
+        TruthTable::from_function(0, [&](std::uint32_t) { return one; });
+    EXPECT_TRUE(is_comparison_function(f));
+    const auto specs = identify_comparison(f);
+    ASSERT_FALSE(specs.empty());
+    EXPECT_EQ(specs.front().complemented, !one);
+  }
+}
+
+}  // namespace
+}  // namespace compsyn

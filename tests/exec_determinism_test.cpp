@@ -22,6 +22,7 @@
 #include "obs/obs.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
+#include "report_mask.hpp"
 #include "util/rng.hpp"
 
 namespace compsyn {
@@ -169,32 +170,8 @@ TEST(ExecDeterminism, RobustPathDelayTestability) {
   }
 }
 
-/// Masks the fields that legitimately vary between runs -- wall-clock
-/// seconds and per-span nanosecond totals -- and returns the rest of the
-/// report as a dump string.
-std::string masked_report_dump(const Json& j) {
-  if (j.is_object()) {
-    std::ostringstream os;
-    os << "{";
-    for (const auto& [k, v] : j.items()) {
-      const bool masked =
-          k == "wall_seconds" ||
-          (k.size() > 3 && k.compare(k.size() - 3, 3, "_ns") == 0);
-      os << '"' << k << "\":" << (masked ? "\"MASKED\"" : masked_report_dump(v))
-         << ",";
-    }
-    os << "}";
-    return os.str();
-  }
-  if (j.is_array()) {
-    std::ostringstream os;
-    os << "[";
-    for (std::size_t i = 0; i < j.size(); ++i) os << masked_report_dump(j.at(i)) << ",";
-    os << "]";
-    return os.str();
-  }
-  return j.dump();
-}
+// masked_report_dump lives in report_mask.hpp, shared with the
+// golden-reference flow tests.
 
 TEST(ExecDeterminism, RunReportCountersAndTables) {
   // The full observability surface: counters, spans (masked), and report

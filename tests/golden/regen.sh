@@ -1,0 +1,13 @@
+#!/bin/sh
+# Regenerates the golden expectation files after an INTENDED behaviour
+# change. Run from the repository root with a configured tracing build:
+#
+#   cmake -B build -S . && cmake --build build -j --target golden_flow_test resynth_flow
+#   tests/golden/regen.sh [build-dir]
+#
+# Then review `git diff tests/golden/` and commit the refreshed files
+# together with the change that moved them.
+set -e
+BUILD_DIR="${1:-build}"
+GOLDEN_REGEN=1 ctest --test-dir "$BUILD_DIR" -R '^golden_flow_test$' --output-on-failure
+git -C "$(dirname "$0")/../.." status --short tests/golden

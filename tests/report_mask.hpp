@@ -1,0 +1,40 @@
+// Shared report-masking helper for determinism and golden-reference tests:
+// every field of a run report is load-bearing and must be byte-stable except
+// the wall-clock ones, which legitimately vary between runs.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+#include "obs/json.hpp"
+
+namespace compsyn {
+
+/// Masks the fields that legitimately vary between runs -- wall-clock
+/// seconds and per-span nanosecond totals -- and returns the rest of the
+/// report as a dump string.
+inline std::string masked_report_dump(const Json& j) {
+  if (j.is_object()) {
+    std::ostringstream os;
+    os << "{";
+    for (const auto& [k, v] : j.items()) {
+      const bool masked =
+          k == "wall_seconds" ||
+          (k.size() > 3 && k.compare(k.size() - 3, 3, "_ns") == 0);
+      os << '"' << k << "\":" << (masked ? "\"MASKED\"" : masked_report_dump(v))
+         << ",";
+    }
+    os << "}";
+    return os.str();
+  }
+  if (j.is_array()) {
+    std::ostringstream os;
+    os << "[";
+    for (std::size_t i = 0; i < j.size(); ++i) os << masked_report_dump(j.at(i)) << ",";
+    os << "]";
+    return os.str();
+  }
+  return j.dump();
+}
+
+}  // namespace compsyn

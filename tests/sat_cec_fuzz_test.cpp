@@ -2,13 +2,22 @@
 // mutated, or independently generated), SAT verdict cross-checked against
 // the exhaustive-simulation ground truth. Deterministic by construction --
 // the seed sweep is fixed -- so a failure is always reproducible.
+//
+// The differential suites additionally push every pair (and full
+// redundancy-removal runs) through BOTH SAT backends, --sat=session and
+// --sat=oneshot: verdicts, substitutions, and final netlists must be
+// identical, which is the correctness contract of the persistent session.
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <string>
 
+#include "atpg/redundancy.hpp"
+#include "bench_io/bench_io.hpp"
 #include "gen/circuits.hpp"
 #include "netlist/equivalence.hpp"
 #include "sat/cec.hpp"
+#include "sat/session.hpp"
 #include "util/rng.hpp"
 
 namespace compsyn {
@@ -96,6 +105,92 @@ TEST(SatCecFuzz, RandomCircuitsAgreeWithExhaustiveSimulation) {
       }
       EXPECT_TRUE(differs) << "seed " << seed;
     }
+  }
+}
+
+TEST(SatCecFuzz, SessionAndOneshotBackendsAgreeOnEveryPair) {
+  // The same pair sweep, session vs oneshot vs exhaustive simulation: all
+  // three must return the same verdict on every seeded scenario.
+  Rng rng(0xF023);
+  for (std::uint64_t seed = 1; seed <= 24; ++seed) {
+    SyntheticOptions opt;
+    opt.inputs = 8 + static_cast<unsigned>(seed % 5);
+    opt.outputs = 3 + static_cast<unsigned>(seed % 3);
+    opt.gates = 60 + static_cast<unsigned>(seed * 7 % 60);
+    opt.seed = seed;
+    const Netlist a = make_synthetic(opt);
+    Netlist b = make_synthetic(opt);
+    const unsigned scenario = static_cast<unsigned>(seed % 3);
+    if (scenario == 1) {
+      if (!flip_random_gate(b, rng)) continue;
+    } else if (scenario == 2) {
+      SyntheticOptions other = opt;
+      other.seed = seed + 1000;
+      b = make_synthetic(other);
+      if (b.inputs().size() != a.inputs().size() ||
+          b.outputs().size() != a.outputs().size()) {
+        continue;
+      }
+    }
+
+    Rng ground_rng(seed);
+    const EquivalenceResult truth = check_equivalent(a, b, ground_rng);
+    ASSERT_TRUE(truth.proven) << "seed " << seed;
+
+    const EquivalenceResult oneshot = check_equivalent_sat(a, b);
+    SatSession session;
+    const EquivalenceResult ses = check_equivalent_sat(session, a, b);
+    ASSERT_TRUE(oneshot.proven) << "seed " << seed;
+    ASSERT_TRUE(ses.proven) << "seed " << seed;
+    EXPECT_EQ(oneshot.equivalent, truth.equivalent) << "seed " << seed;
+    EXPECT_EQ(ses.equivalent, truth.equivalent) << "seed " << seed;
+  }
+}
+
+/// Redundancy removal with the SAT fallback under one backend.
+Netlist run_removal(const Netlist& base, SatBackend backend,
+                    RedundancyRemovalStats* stats) {
+  Netlist nl = base;
+  RedundancyRemovalOptions opt;
+  opt.sat_fallback = true;
+  opt.backend = backend;
+  // A tiny PODEM budget aborts many faults, forcing the SAT engines to
+  // carry the untestability sweep -- the differential surface under test.
+  opt.atpg.backtrack_limit = 4;
+  *stats = remove_redundancies(nl, opt);
+  return nl;
+}
+
+TEST(SatCecFuzz, RedundancyRemovalIsBackendInvariant) {
+  // Full removal runs through both backends: identical final netlists (byte
+  // compare of the .bench serialisation) and identical removal outcomes.
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    SyntheticOptions opt;
+    opt.inputs = 8 + static_cast<unsigned>(seed % 4);
+    opt.outputs = 3;
+    opt.gates = 50 + static_cast<unsigned>(seed * 9 % 40);
+    opt.seed = seed;
+    opt.redundant_term_chance = 0.4;
+    const Netlist base = make_synthetic(opt);
+
+    RedundancyRemovalStats st_session, st_oneshot;
+    const Netlist via_session = run_removal(base, SatBackend::Session, &st_session);
+    const Netlist via_oneshot = run_removal(base, SatBackend::Oneshot, &st_oneshot);
+
+    EXPECT_EQ(write_bench_string(via_session), write_bench_string(via_oneshot))
+        << "seed " << seed;
+    EXPECT_EQ(st_session.removed, st_oneshot.removed) << "seed " << seed;
+    EXPECT_EQ(st_session.sat_proved_untestable, st_oneshot.sat_proved_untestable)
+        << "seed " << seed;
+    EXPECT_EQ(st_session.sat_found_tests, st_oneshot.sat_found_tests)
+        << "seed " << seed;
+    EXPECT_EQ(st_session.irredundant, st_oneshot.irredundant) << "seed " << seed;
+
+    // And the removal preserved the function (exhaustive at these widths).
+    Rng rng(seed);
+    const EquivalenceResult eq = check_equivalent(base, via_session, rng);
+    ASSERT_TRUE(eq.proven) << "seed " << seed;
+    EXPECT_TRUE(eq.equivalent) << "seed " << seed;
   }
 }
 
