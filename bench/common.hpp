@@ -16,7 +16,10 @@
 #include "gen/circuits.hpp"
 #include "netlist/equivalence.hpp"
 #include "netlist/netlist.hpp"
+#include "obs/chrome_trace.hpp"
 #include "obs/counters.hpp"
+#include "obs/events.hpp"
+#include "obs/telemetry.hpp"
 #include "sat/cec.hpp"
 #include "sat/session.hpp"
 #include "obs/report.hpp"
@@ -32,15 +35,23 @@
 namespace compsyn::bench {
 
 /// Shared observability + robustness wiring for every table harness:
-///   --report=<file>   write a machine-readable JSON (or .jsonl) run report
-///   --trace           print the span/counter summary after the tables
-///   --jobs=N          worker threads for the parallel regions (default 1)
-///   --sat=MODE        SAT backend: session (persistent, default) | oneshot
-///   --budget=TICKS    deterministic anytime budget (DESIGN.md §10)
-///   --deadline=SECS   wall-clock watchdog (non-deterministic)
-///   --inject=SPEC     scripted fault injection for chaos testing
-/// Either observability flag also enables runtime recording, so without them
-/// the binaries' stdout is byte-identical to an uninstrumented build. The
+///   --report=<file>     write a machine-readable JSON (or .jsonl) run report
+///   --trace             print the span/counter summary after the tables
+///   --trace-out=<file>  write a Chrome trace-event profile (chrome://tracing
+///                       or https://ui.perfetto.dev; DESIGN.md §12)
+///   --events=<file>     stream a compsyn-events-v1 JSONL event log
+///   --progress[=SECS]   stderr heartbeat, at most one line per SECS (bare
+///                       flag: every second); stdout untouched
+///   --jobs=N            worker threads for the parallel regions (default 1)
+///   --sat=MODE          SAT backend: session (persistent, default) | oneshot
+///   --budget=TICKS      deterministic anytime budget (DESIGN.md §10)
+///   --deadline=SECS     wall-clock watchdog (non-deterministic)
+///   --inject=SPEC       scripted fault injection for chaos testing
+/// Any observability flag also enables runtime recording, so without them
+/// the binaries' stdout is byte-identical to an uninstrumented build; the
+/// profile-grade flags (--trace-out/--events/--progress) additionally turn
+/// on extended telemetry, which adds the histograms/phases/hot_cones report
+/// sections -- plain --report output stays byte-identical either way. The
 /// exec layer guarantees identical results (and counters) at any --jobs
 /// value; only the timings change. A budget trip winds the tables down to
 /// their verified best-so-far state and finish() returns exit code 20.
@@ -48,6 +59,24 @@ class BenchRun {
  public:
   BenchRun(std::string name, const Cli& cli) : cli_(cli), report_(std::move(name)) {
     if (cli_.has("report") || cli_.has("trace")) obs_set_enabled(true);
+    if (cli_.has("trace-out")) {
+      telemetry_set_extended(true);
+      ChromeTrace::enable();
+      ChromeTrace::arm_output(cli_.get("trace-out"));
+    }
+    if (cli_.has("events")) {
+      telemetry_set_extended(true);
+      std::string err;
+      if (!EventLog::open(cli_.get("events"), report_.name(), &err)) {
+        std::cerr << "error: " << err << "\n";
+        std::exit(2);
+      }
+    }
+    if (cli_.has("progress")) {
+      telemetry_set_extended(true);
+      const double interval = cli_.get_double("progress", 1.0);
+      telemetry_set_progress(report_.name(), interval > 0 ? interval : 1.0);
+    }
     if (cli_.has("jobs")) {
       const int j = cli_.get_int("jobs", 1);
       if (j < 1) {
@@ -135,6 +164,19 @@ class BenchRun {
       std::cout << "\n";
       report_.print_summary(std::cout);
     }
+    if (cli_.has("trace-out")) {
+      // Normal-exit write; disarm so the guard's abnormal-exit flush does
+      // not rewrite the file after this (ChromeTrace::write never clears).
+      ChromeTrace::arm_output(std::string());
+      std::string err;
+      if (!ChromeTrace::write(cli_.get("trace-out"), &err)) {
+        std::cerr << "error: " << err << "\n";
+        rc = rc == 0 ? 1 : rc;
+      }
+    }
+    EventLog::finish(reason == robust::StopReason::None
+                         ? "ok"
+                         : robust::to_string(robust::run_status_for(reason)));
     cli_.warn_unrecognized(std::cerr);
     if (rc == 0 && (reason == robust::StopReason::Budget ||
                     reason == robust::StopReason::Injected)) {

@@ -32,9 +32,12 @@
 #include "exec/exec.hpp"
 #include "gen/circuits.hpp"
 #include "netlist/equivalence.hpp"
+#include "obs/chrome_trace.hpp"
 #include "obs/counters.hpp"
+#include "obs/events.hpp"
 #include "obs/obs.hpp"
 #include "obs/report.hpp"
+#include "obs/telemetry.hpp"
 #include "paths/paths.hpp"
 #include "robust/checkpoint.hpp"
 #include "robust/guard.hpp"
@@ -241,6 +244,8 @@ int flow_main(int argc, char** argv) {
                  "[--weight-gates=W --weight-paths=W] [--verify=sim|sat|both] "
                  "[--sat=session|oneshot] "
                  "[--out=file.bench] [--report=file.json] [--trace] "
+                 "[--trace-out=trace.json] [--events=log.jsonl] "
+                 "[--progress[=SECS]] "
                  "[--jobs=N] [--budget=TICKS] [--deadline=SECONDS] "
                  "[--checkpoint=ck.json] [--resume=ck.json] [--inject=SPEC] "
                  "<suite-name | file.bench>\n"
@@ -250,6 +255,28 @@ int flow_main(int argc, char** argv) {
     return robust::kExitUsage;
   }
   if (cli.has("report") || cli.has("trace")) obs_set_enabled(true);
+  // Extended telemetry (DESIGN.md §12): any of these flags turns on the
+  // profile-grade samples; with none of them the run is byte-identical to a
+  // telemetry-free build.
+  if (cli.has("trace-out")) {
+    telemetry_set_extended(true);
+    ChromeTrace::enable();
+    // Armed so a SIGINT/deadline wind-down still flushes the profile.
+    ChromeTrace::arm_output(cli.get("trace-out"));
+  }
+  if (cli.has("events")) {
+    telemetry_set_extended(true);
+    std::string err;
+    if (!EventLog::open(cli.get("events"), "resynth_flow", &err)) {
+      std::cerr << "error: " << err << "\n";
+      return robust::kExitUsage;
+    }
+  }
+  if (cli.has("progress")) {
+    telemetry_set_extended(true);
+    const double interval = cli.get_double("progress", 1.0);
+    telemetry_set_progress("resynth_flow", interval > 0 ? interval : 1.0);
+  }
   if (cli.has("jobs")) {
     const int j = cli.get_int("jobs", 1);
     if (j < 1) {
@@ -384,6 +411,7 @@ int flow_main(int argc, char** argv) {
     st = stats_from_json(ck.stats);
     restore_counters(ck.counters);
   } else {
+    PhaseScope phase_rr0("redundancy_removal");
     auto rr0 = remove_redundancies(nl, rr_opt);
     if (rr0.status == robust::RunStatus::Interrupted) {
       throw robust::CancelledError(rr0.stop_reason);
@@ -412,14 +440,17 @@ int flow_main(int argc, char** argv) {
     }
   }
 
-  if (ckpt_driver) {
-    st = run_passes_checkpointed(nl, cfg, original_bench, st);
-  } else if (cfg.proc == "combined") {
-    // Section 4.3: weighted gate/path objective. Weights default to (1,1);
-    // (1,0) recovers Procedure 2's primary criterion, (0,1) Procedure 3's.
-    st = resynthesize(nl, resynth_options(cfg));
-  } else {
-    st = cfg.proc == "3" ? procedure3(nl, cfg.k) : procedure2(nl, cfg.k);
+  {
+    PhaseScope phase_resynth("resynth");
+    if (ckpt_driver) {
+      st = run_passes_checkpointed(nl, cfg, original_bench, st);
+    } else if (cfg.proc == "combined") {
+      // Section 4.3: weighted gate/path objective. Weights default to (1,1);
+      // (1,0) recovers Procedure 2's primary criterion, (0,1) Procedure 3's.
+      st = resynthesize(nl, resynth_options(cfg));
+    } else {
+      st = cfg.proc == "3" ? procedure3(nl, cfg.k) : procedure2(nl, cfg.k);
+    }
   }
   if (st.status == robust::RunStatus::Interrupted) {
     throw robust::CancelledError(st.stop_reason);
@@ -451,7 +482,10 @@ int flow_main(int argc, char** argv) {
                  "verified\n";
   }
 
+  std::optional<PhaseScope> phase_rr1;
+  phase_rr1.emplace("redundancy_removal_post");
   auto rr1 = remove_redundancies(nl, rr_opt);
+  phase_rr1.reset();
   if (rr1.status == robust::RunStatus::Interrupted) {
     throw robust::CancelledError(rr1.stop_reason);
   }
@@ -473,6 +507,8 @@ int flow_main(int argc, char** argv) {
   if (cfg.verify != VerifyMode::Sim && sat_backend() == SatBackend::Session) {
     verify_session.emplace();
   }
+  std::optional<PhaseScope> phase_verify;
+  phase_verify.emplace("verify");
   auto eq = cfg.verify == VerifyMode::Sim
                 ? check_equivalent(original, nl, rng, 128)
                 : check_equivalent_mode(original, nl, rng, cfg.verify, 128,
@@ -480,6 +516,7 @@ int flow_main(int argc, char** argv) {
                                         {kDefaultCecConflicts, 0},
                                         verify_session ? &*verify_session
                                                        : nullptr);
+  phase_verify.reset();
   // A cancel that landed during verification leaves eq unreliable (the SAT
   // side may have wound down Unknown); report "interrupted", not a verdict.
   if (robust::cancel_requested()) {
@@ -540,6 +577,16 @@ int flow_main(int argc, char** argv) {
     std::cout << "\n";
     report.print_summary(std::cout);
   }
+  if (cli.has("trace-out")) {
+    // Normal completion: disarm the crash-flush path and write the profile.
+    ChromeTrace::arm_output(std::string());
+    std::string err;
+    if (!ChromeTrace::write(cli.get("trace-out"), &err)) {
+      std::cerr << "error: " << err << "\n";
+      rc = rc ? rc : robust::kExitVerifyFailed;
+    }
+  }
+  EventLog::finish(degraded ? "degraded" : "ok");
   cli.warn_unrecognized(std::cerr);
   if (rc == robust::kExitOk && degraded) rc = robust::kExitDegraded;
   return rc;

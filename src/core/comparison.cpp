@@ -8,6 +8,7 @@
 
 #include "core/signature.hpp"
 #include "exec/exec.hpp"
+#include "obs/chrome_trace.hpp"
 #include "obs/counters.hpp"
 
 namespace compsyn {
@@ -271,7 +272,24 @@ struct ExactMemoEntry {
 struct ExactMemo {
   std::unordered_map<std::uint64_t, std::vector<ExactMemoEntry>> buckets;
   std::size_t entries = 0;
+  // Per-thread query/hit tallies feeding the profile's memo hit-rate
+  // counter track (timing-only data, never part of the report).
+  std::uint64_t queries = 0;
+  std::uint64_t hits = 0;
 };
+
+/// Samples the memo hit rate onto the Chrome trace counter track every 256
+/// queries (cheap enough to leave unconditional: one add and a mask check,
+/// then a relaxed load inside counter() when tracing is off).
+void note_memo_query(ExactMemo& memo, bool hit) {
+  ++memo.queries;
+  if (hit) ++memo.hits;
+  if ((memo.queries & 0xffu) == 0) {
+    ChromeTrace::counter("identify.memo.hit_rate",
+                         static_cast<double>(memo.hits) /
+                             static_cast<double>(memo.queries));
+  }
+}
 
 constexpr std::size_t kMemoCap = 1u << 16;
 
@@ -336,6 +354,7 @@ std::vector<ComparisonSpec> identify_comparison(const TruthTable& f,
       for (const ExactMemoEntry& e : it->second) {
         if (memo_entry_matches(e, f, opt)) {
           if (tally) Counters::incr("identify.memo.hits");
+          note_memo_query(memo, /*hit=*/true);
           if (!e.specs.empty()) Counters::incr("identify.exact.hits");
           return e.specs;
         }
@@ -346,6 +365,7 @@ std::vector<ComparisonSpec> identify_comparison(const TruthTable& f,
       if (tally) Counters::incr("identify.memo.collisions");
     }
     if (tally) Counters::incr("identify.memo.misses");
+    note_memo_query(memo, /*hit=*/false);
     collect_specs(f, /*complemented=*/false, opt, out);
     if (opt.try_complement) {
       collect_specs(f.complemented(), /*complemented=*/true, opt, out);

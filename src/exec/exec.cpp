@@ -7,6 +7,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "obs/chrome_trace.hpp"
 #include "obs/counters.hpp"
 #include "robust/robust.hpp"
 
@@ -148,6 +149,11 @@ class Pool {
   }
 
   void worker_loop(unsigned worker) {
+    // The caller participates as worker 0 on trace track 0; spawned workers
+    // get their pool id as their Chrome trace track, so per-thread activity
+    // in a --trace-out profile lines up with the deterministic chunk
+    // assignment worker ids.
+    ChromeTrace::set_thread_track(worker);
     std::uint64_t seen_seq = 0;
     for (;;) {
       const std::function<void(std::size_t, unsigned)>* body = nullptr;

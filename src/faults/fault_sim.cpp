@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "exec/exec.hpp"
+#include "obs/chrome_trace.hpp"
 #include "obs/counters.hpp"
 #include "obs/trace.hpp"
 #include "robust/robust.hpp"
@@ -154,6 +155,11 @@ std::vector<std::size_t> FaultSimulator::simulate_block(
   Counters::incr("fsim.faults_activated", activated);
   Counters::incr("fsim.faults_dropped", newly.size());
   Counters::observe("fsim.dropped_per_block", static_cast<double>(newly.size()));
+  // Counter track for the profile: live (undetected) faults after each
+  // block, sampled at this serial merge point so the value sequence is
+  // jobs-invariant.
+  ChromeTrace::counter("fsim.live_faults",
+                       static_cast<double>(faults_.size() - detected_total_));
   return newly;
 }
 

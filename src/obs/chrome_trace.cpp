@@ -1,0 +1,266 @@
+#include "obs/chrome_trace.hpp"
+
+#include <fstream>
+
+#if COMPSYN_TRACE
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace compsyn {
+namespace {
+
+std::uint64_t steady_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+struct Event {
+  char ph;                // 'B', 'E', 'X', 'i', 'C'
+  std::uint32_t tid;
+  std::uint64_t ts_ns;    // relative to enable()
+  std::uint64_t dur_ns;   // 'X' only
+  double value;           // counter sample
+  std::string name;
+};
+
+struct Collector {
+  std::mutex mu;
+  std::vector<Event> events;
+  std::atomic<std::uint64_t> epoch_ns{0};  // set once by enable()
+  std::string armed_path;  // flush target for abnormal exits ("" = none)
+};
+
+std::atomic<bool> g_enabled{false};
+thread_local std::uint32_t t_track = 0;
+// Open B names on this thread, so end() can stamp the matching name on its
+// E event (the in-repo checker pairs B/E strictly by name).
+thread_local std::vector<std::string>* t_open = nullptr;
+
+std::vector<std::string>& open_stack() {
+  if (t_open == nullptr) t_open = new std::vector<std::string>();  // leaked
+  return *t_open;
+}
+
+Collector& collector() {
+  static Collector* c = new Collector();  // leaked: events may land at exit
+  return *c;
+}
+
+void push(Event e) {
+  Collector& c = collector();
+  std::lock_guard<std::mutex> lock(c.mu);
+  c.events.push_back(std::move(e));
+}
+
+/// ts in fractional microseconds, the unit the trace-event format uses.
+double ts_us(std::uint64_t ns) { return static_cast<double>(ns) / 1e3; }
+
+Json event_json(const Event& e) {
+  Json o = Json::object();
+  if (!e.name.empty()) o.set("name", e.name);
+  o.set("ph", std::string(1, e.ph));
+  o.set("ts", ts_us(e.ts_ns));
+  o.set("pid", std::uint64_t{1});
+  o.set("tid", static_cast<std::uint64_t>(e.tid));
+  if (e.ph == 'X') o.set("dur", ts_us(e.dur_ns));
+  if (e.ph == 'i') o.set("s", "t");
+  if (e.ph == 'C') {
+    Json args = Json::object();
+    args.set("value", e.value);
+    o.set("args", std::move(args));
+  }
+  return o;
+}
+
+Json metadata_json(const char* what, std::uint32_t tid, const std::string& name) {
+  Json o = Json::object();
+  o.set("name", what);
+  o.set("ph", "M");
+  o.set("ts", 0.0);
+  o.set("pid", std::uint64_t{1});
+  o.set("tid", static_cast<std::uint64_t>(tid));
+  Json args = Json::object();
+  args.set("name", name);
+  o.set("args", std::move(args));
+  return o;
+}
+
+}  // namespace
+
+bool ChromeTrace::enabled() {
+  return g_enabled.load(std::memory_order_relaxed);
+}
+
+void ChromeTrace::enable() {
+  Collector& c = collector();
+  std::uint64_t expected = 0;
+  c.epoch_ns.compare_exchange_strong(expected, steady_ns(),
+                                     std::memory_order_relaxed);
+  g_enabled.store(true, std::memory_order_relaxed);
+}
+
+void ChromeTrace::disable_and_clear() {
+  g_enabled.store(false, std::memory_order_relaxed);
+  Collector& c = collector();
+  std::lock_guard<std::mutex> lock(c.mu);
+  c.events.clear();
+  c.epoch_ns.store(0, std::memory_order_relaxed);
+}
+
+std::size_t ChromeTrace::event_count() {
+  Collector& c = collector();
+  std::lock_guard<std::mutex> lock(c.mu);
+  return c.events.size();
+}
+
+std::uint64_t ChromeTrace::now_ns() {
+  const std::uint64_t epoch =
+      collector().epoch_ns.load(std::memory_order_relaxed);
+  if (epoch == 0) return 0;
+  const std::uint64_t now = steady_ns();
+  return now >= epoch ? now - epoch : 0;
+}
+
+bool ChromeTrace::begin(std::string_view name) {
+  if (!enabled()) return false;
+  open_stack().emplace_back(name);
+  push({'B', t_track, now_ns(), 0, 0.0, std::string(name)});
+  return true;
+}
+
+void ChromeTrace::end() {
+  std::vector<std::string>& open = open_stack();
+  // Pop even when collection was disabled mid-span: begin() only pushes
+  // (and returns true) while enabled, and the caller latched that it did.
+  if (open.empty()) return;
+  std::string name = std::move(open.back());
+  open.pop_back();
+  if (!enabled()) return;
+  push({'E', t_track, now_ns(), 0, 0.0, std::move(name)});
+}
+
+void ChromeTrace::complete(std::string_view name, std::uint64_t start_ns,
+                           std::uint64_t end_ns) {
+  if (!enabled()) return;
+  if (end_ns < start_ns) end_ns = start_ns;
+  // A single X (complete) event, not a retro-dated B/E pair: it never has
+  // to interleave with the open-span stack of the track it lands on, so
+  // clock-granularity timestamp ties cannot corrupt B/E nesting.
+  push({'X', t_track, start_ns, end_ns - start_ns, 0.0, std::string(name)});
+}
+
+void ChromeTrace::instant(std::string_view name) {
+  if (!enabled()) return;
+  push({'i', t_track, now_ns(), 0, 0.0, std::string(name)});
+}
+
+void ChromeTrace::counter(std::string_view name, double value) {
+  if (!enabled()) return;
+  push({'C', t_track, now_ns(), 0, value, std::string(name)});
+}
+
+void ChromeTrace::set_thread_track(std::uint32_t track) { t_track = track; }
+
+std::uint32_t ChromeTrace::thread_track() { return t_track; }
+
+bool ChromeTrace::write(const std::string& path, std::string* error) {
+  std::vector<Event> snapshot;
+  {
+    Collector& c = collector();
+    std::lock_guard<std::mutex> lock(c.mu);
+    snapshot = c.events;
+  }
+  // Buffer order is push order; complete() events are pushed after the work
+  // they describe, so their B timestamps predate earlier pushes. Sort by
+  // time (stable, so a zero-length pair keeps B before E). Per thread the
+  // recorded intervals nest in real time, which makes the time-sorted
+  // per-track sequence a well-formed B/E nesting.
+  std::stable_sort(snapshot.begin(), snapshot.end(),
+                   [](const Event& a, const Event& b) {
+                     return a.ts_ns < b.ts_ns;
+                   });
+  Json events = Json::array();
+  events.push(metadata_json("process_name", 0, "compsyn"));
+  // One thread-name metadata event per track seen, in track order.
+  std::vector<std::uint32_t> tracks;
+  for (const Event& e : snapshot) {
+    bool seen = false;
+    for (std::uint32_t t : tracks) seen = seen || t == e.tid;
+    if (!seen) tracks.push_back(e.tid);
+  }
+  std::sort(tracks.begin(), tracks.end());
+  for (std::uint32_t t : tracks) {
+    events.push(metadata_json("thread_name", t,
+                              t == 0 ? "main/worker-0"
+                                     : "worker-" + std::to_string(t)));
+  }
+  for (const Event& e : snapshot) events.push(event_json(e));
+  Json doc = Json::object();
+  doc.set("traceEvents", std::move(events));
+  doc.set("displayTimeUnit", "ms");
+
+  std::ofstream os(path);
+  if (!os) {
+    if (error != nullptr) *error = "cannot open " + path + " for writing";
+    return false;
+  }
+  doc.write(os, 0);
+  os << '\n';
+  os.flush();
+  if (!os) {
+    if (error != nullptr) *error = "write to " + path + " failed";
+    return false;
+  }
+  return true;
+}
+
+void ChromeTrace::arm_output(std::string path) {
+  Collector& c = collector();
+  std::lock_guard<std::mutex> lock(c.mu);
+  c.armed_path = std::move(path);
+}
+
+void ChromeTrace::flush_armed() {
+  std::string path;
+  {
+    Collector& c = collector();
+    std::lock_guard<std::mutex> lock(c.mu);
+    path.swap(c.armed_path);
+  }
+  if (!path.empty()) write(path);
+}
+
+}  // namespace compsyn
+
+#else  // COMPSYN_TRACE == 0
+
+namespace compsyn {
+
+// Even the compiled-out build honours --trace-out with a valid (empty) trace
+// so tooling pointed at the file does not choke on a missing artifact.
+bool ChromeTrace::write(const std::string& path, std::string* error) {
+  std::ofstream os(path);
+  if (!os) {
+    if (error != nullptr) *error = "cannot open " + path + " for writing";
+    return false;
+  }
+  os << "{\"traceEvents\":[],\"displayTimeUnit\":\"ms\"}\n";
+  os.flush();
+  if (!os) {
+    if (error != nullptr) *error = "write to " + path + " failed";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace compsyn
+
+#endif  // COMPSYN_TRACE

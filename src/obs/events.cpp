@@ -1,0 +1,187 @@
+#include "obs/events.hpp"
+
+#if COMPSYN_TRACE
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+#include <utility>
+
+#include <unistd.h>
+
+namespace compsyn {
+namespace {
+
+struct LogState {
+  std::mutex mu;
+  std::FILE* file = nullptr;  // guarded by mu
+  std::uint64_t seq = 0;      // guarded by mu
+  std::chrono::steady_clock::time_point epoch;  // guarded by mu
+};
+
+LogState& state() {
+  static LogState s;
+  return s;
+}
+
+// Cheap pre-check so instrumentation sites skip the mutex when no log is
+// open (the common case).
+std::atomic<bool> g_active{false};
+
+// Must be called with s.mu held.
+void write_record_locked(LogState& s, std::string_view type, Json fields) {
+  double t_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - s.epoch)
+          .count();
+  Json rec = Json::object();
+  rec.set("type", Json(std::string(type)));
+  rec.set("seq", Json(s.seq++));
+  rec.set("t_ms", Json(t_ms));
+  if (fields.is_object()) {
+    for (const auto& [key, value] : fields.items()) {
+      rec.set(key, value);
+    }
+  }
+  std::string line = rec.dump();
+  line.push_back('\n');
+  std::fwrite(line.data(), 1, line.size(), s.file);
+  std::fflush(s.file);
+}
+
+// Must be called with s.mu held.
+void close_locked(LogState& s) {
+  if (s.file != nullptr) {
+    std::fclose(s.file);
+    s.file = nullptr;
+  }
+  g_active.store(false, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+bool EventLog::open(const std::string& path, std::string_view name,
+                    std::string* error) {
+  LogState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  close_locked(s);
+  s.file = std::fopen(path.c_str(), "w");
+  if (s.file == nullptr) {
+    if (error != nullptr) *error = "cannot open event log: " + path;
+    return false;
+  }
+  s.seq = 0;
+  s.epoch = std::chrono::steady_clock::now();
+  g_active.store(true, std::memory_order_relaxed);
+  obs_set_enabled(true);
+  Json fields = Json::object();
+  fields.set("schema", Json(std::string(kEventSchema)));
+  fields.set("name", Json(std::string(name)));
+  fields.set("pid", Json(static_cast<std::int64_t>(::getpid())));
+  write_record_locked(s, "start", std::move(fields));
+  return true;
+}
+
+bool EventLog::active() { return g_active.load(std::memory_order_relaxed); }
+
+void EventLog::emit(std::string_view type, Json fields) {
+  if (!active()) return;
+  LogState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  if (s.file == nullptr) return;
+  write_record_locked(s, type, std::move(fields));
+}
+
+void EventLog::phase(std::string_view name, bool begin) {
+  if (!active()) return;
+  Json fields = Json::object();
+  fields.set("phase", Json(std::string(name)));
+  fields.set("event", Json(std::string(begin ? "begin" : "end")));
+  emit("phase", std::move(fields));
+}
+
+void EventLog::progress(std::string_view phase, std::uint64_t done,
+                        std::uint64_t total) {
+  if (!active()) return;
+  Json fields = Json::object();
+  fields.set("phase", Json(std::string(phase)));
+  fields.set("done", Json(done));
+  fields.set("total", Json(total));
+  emit("progress", std::move(fields));
+}
+
+void EventLog::heartbeat(std::string_view phase, double elapsed_s) {
+  if (!active()) return;
+  Json fields = Json::object();
+  fields.set("phase", Json(std::string(phase)));
+  fields.set("elapsed_s", Json(elapsed_s));
+  emit("heartbeat", std::move(fields));
+}
+
+void EventLog::milestone(std::string_view what) {
+  if (!active()) return;
+  Json fields = Json::object();
+  fields.set("what", Json(std::string(what)));
+  emit("milestone", std::move(fields));
+}
+
+void EventLog::finish(std::string_view status) {
+  LogState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  if (s.file == nullptr) return;
+  Json fields = Json::object();
+  fields.set("status", Json(std::string(status)));
+  write_record_locked(s, "finish", std::move(fields));
+  close_locked(s);
+}
+
+void EventLog::reset() {
+  LogState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  close_locked(s);
+  s.seq = 0;
+}
+
+}  // namespace compsyn
+
+#else  // COMPSYN_TRACE == 0
+
+#include <cstdint>
+#include <cstdio>
+
+#include <unistd.h>
+
+namespace compsyn {
+
+// The compiled-out build still honours --events with a minimal, schema-valid
+// log (start + finish, no instrumentation records), so tooling pointed at
+// the file does not choke on a missing artifact.
+bool EventLog::open(const std::string& path, std::string_view name,
+                    std::string* error) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    if (error != nullptr) *error = "cannot open event log: " + path;
+    return false;
+  }
+  Json start = Json::object();
+  start.set("type", Json("start"));
+  start.set("seq", Json(std::uint64_t{0}));
+  start.set("t_ms", Json(0.0));
+  start.set("schema", Json(std::string(kEventSchema)));
+  start.set("name", Json(std::string(name)));
+  start.set("pid", Json(static_cast<std::int64_t>(::getpid())));
+  Json fin = Json::object();
+  fin.set("type", Json("finish"));
+  fin.set("seq", Json(std::uint64_t{1}));
+  fin.set("t_ms", Json(0.0));
+  fin.set("status", Json("ok"));
+  const std::string text = start.dump() + "\n" + fin.dump() + "\n";
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace compsyn
+
+#endif

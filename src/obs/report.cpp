@@ -4,6 +4,9 @@
 #include <ostream>
 
 #include "obs/counters.hpp"
+#include "obs/histogram.hpp"
+#include "obs/memstats.hpp"
+#include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
 #include "util/table.hpp"
 
@@ -40,6 +43,52 @@ Json distributions_json() {
     o.set("sum", d.sum);
     o.set("min", d.min);
     o.set("max", d.max);
+    arr.push(std::move(o));
+  }
+  return arr;
+}
+
+Json histograms_json() {
+  Json arr = Json::array();
+  for (const HistStat& h : Histogram::snapshot()) {
+    Json o = Json::object();
+    o.set("name", h.name);
+    o.set("count", h.count);
+    o.set("sum_ns", h.sum_ns);
+    // Trailing-zero buckets are elided; the layout is fixed (power-of-two
+    // ns ranges, bucket k = [2^k, 2^(k+1)) ns), so indices alone identify
+    // the ranges.
+    std::size_t last = h.buckets.size();
+    while (last > 0 && h.buckets[last - 1] == 0) --last;
+    Json buckets = Json::array();
+    for (std::size_t k = 0; k < last; ++k) buckets.push(h.buckets[k]);
+    o.set("buckets", std::move(buckets));
+    arr.push(std::move(o));
+  }
+  return arr;
+}
+
+Json phases_json() {
+  Json arr = Json::array();
+  for (const PhaseStat& p : telemetry_phases()) {
+    Json o = Json::object();
+    o.set("name", p.name);
+    o.set("wall_ns", p.wall_ns);
+    o.set("alloc_count", p.alloc_count);
+    o.set("alloc_bytes", p.alloc_bytes);
+    o.set("peak_rss_bytes", p.peak_rss_bytes);
+    arr.push(std::move(o));
+  }
+  return arr;
+}
+
+Json hot_cones_json() {
+  Json arr = Json::array();
+  for (const HotCone& c : telemetry_hot_cones()) {
+    Json o = Json::object();
+    o.set("root", c.root);
+    o.set("total_ns", c.total_ns);
+    o.set("cones", c.cones);
     arr.push(std::move(o));
   }
   return arr;
@@ -94,6 +143,15 @@ Json RunReport::to_json() const {
   doc.set("spans", spans_json());
   doc.set("counters", counters_json());
   doc.set("distributions", distributions_json());
+  // Extended-telemetry sections appear ONLY when one of the telemetry flags
+  // was passed: reports from plain --report runs stay byte-identical (the
+  // golden-reference tests depend on it).
+  if (telemetry_extended()) {
+    doc.set("histograms", histograms_json());
+    doc.set("phases", phases_json());
+    doc.set("hot_cones", hot_cones_json());
+    doc.set("peak_rss_bytes", peak_rss_bytes());
+  }
   Json tables = Json::object();
   for (const auto& [label, t] : tables_) tables.set(label, t);
   doc.set("tables", std::move(tables));

@@ -27,6 +27,8 @@ class RunReport {
   /// is measured from construction to to_json()/write().
   explicit RunReport(std::string name);
 
+  const std::string& name() const { return name_; }
+
   /// Run metadata (seed, K, circuit list, flag values, ...).
   void set_meta(std::string key, Json value);
 

@@ -9,6 +9,7 @@
 #include <mutex>
 #include <ostream>
 
+#include "obs/chrome_trace.hpp"
 #include "util/table.hpp"
 
 namespace compsyn {
@@ -72,7 +73,8 @@ thread_local Trace::Span* t_current = nullptr;
 
 }  // namespace
 
-Trace::Span::Span(std::uint32_t slot) : slot_(slot) {
+Trace::Span::Span(std::uint32_t slot, bool chrome)
+    : slot_(slot), chrome_(chrome) {
   if (slot_ == kInert) return;
   parent_ = t_current;
   t_current = this;
@@ -87,11 +89,17 @@ Trace::Span::~Span() {
   if (parent_ != nullptr) parent_->child_ns_ += total;
   const std::uint64_t self = total >= child_ns_ ? total - child_ns_ : 0;
   registry().record(slot_, total, self);
+  if (chrome_) ChromeTrace::end();
 }
 
 Trace::Span Trace::span(std::string_view label) {
   if (!obs_enabled()) return Span(Span::kInert);
-  return Span(registry().slot_for(label));
+  // Mirror the span into the Chrome trace here, where the label is at hand;
+  // the matching E is emitted by the destructor. The flag is latched into the
+  // span so an enable()/disable between entry and exit cannot unbalance the
+  // B/E stack.
+  const bool chrome = ChromeTrace::begin(label);
+  return Span(registry().slot_for(label), chrome);
 }
 
 std::vector<SpanStats> Trace::snapshot() {

@@ -47,10 +47,11 @@ class Trace {
 
    private:
     friend class Trace;
-    explicit Span(std::uint32_t slot);
+    explicit Span(std::uint32_t slot, bool chrome = false);
 
     static constexpr std::uint32_t kInert = ~0u;
     std::uint32_t slot_;
+    bool chrome_ = false;  // emitted a ChromeTrace begin; end on destruction
     std::uint64_t start_ns_ = 0;
     std::uint64_t child_ns_ = 0;  // accumulated by direct children
     Span* parent_ = nullptr;

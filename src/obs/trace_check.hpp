@@ -1,0 +1,39 @@
+// Strict structural checker for Chrome trace-event JSON, used by the tests
+// to validate --trace-out output without an external viewer. Deliberately
+// pickier than Perfetto's importer: a trace that passes here loads there.
+//
+// Checked invariants:
+//  * the document parses as JSON and is an object with a "traceEvents" array
+//  * every event is an object with "name" (non-empty string), "ph" (one of
+//    B E i C X M), "ts" (number), "pid" (number), "tid" (number)
+//  * duration events nest: per (pid, tid) track, every E closes the most
+//    recent open B with the same name, and no B is left open at the end
+//  * "X" events carry a numeric "dur"; "C" events carry an "args" object
+//    with at least one numeric series; "M" events carry "args"."name"
+//  * timestamps are non-negative and, per track, Bs/Es are non-decreasing
+//
+// The checker is independent of COMPSYN_TRACE -- it is a pure function over
+// text and also runs in trace-off builds (where it checks fixture strings).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace compsyn {
+
+struct TraceCheckResult {
+  bool ok = false;
+  std::vector<std::string> errors;   // empty iff ok
+  std::size_t events = 0;            // total events seen
+  std::size_t span_pairs = 0;        // matched B/E pairs
+  std::size_t instants = 0;          // "i" events
+  std::size_t counter_samples = 0;   // "C" events
+  std::size_t thread_tracks = 0;     // distinct (pid, tid) with B/E/X events
+};
+
+/// Validates `text` as a Chrome trace-event document.
+TraceCheckResult check_chrome_trace(std::string_view text);
+
+}  // namespace compsyn

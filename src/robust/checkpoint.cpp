@@ -4,6 +4,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "obs/chrome_trace.hpp"
+#include "obs/events.hpp"
 #include "robust/inject.hpp"
 
 namespace compsyn::robust {
@@ -167,6 +169,8 @@ bool FlowCheckpoint::save(const std::string& path, std::string* error) const {
     if (error) *error = "cannot rename " + tmp + " to " + path;
     return false;
   }
+  ChromeTrace::instant("checkpoint.write");
+  EventLog::milestone("checkpoint.write");
   // A scripted halt fires only after the rename: the file on disk is always
   // either the previous checkpoint or this complete one, never a torso.
   inject_halt_after_checkpoint();

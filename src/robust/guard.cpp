@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <string_view>
 
+#include "obs/chrome_trace.hpp"
+#include "obs/events.hpp"
 #include "obs/report.hpp"
 #include "robust/robust.hpp"
 #include "util/errors.hpp"
@@ -65,6 +67,12 @@ int guard_main(const char* name, int argc, char** argv,
         e.reason == StopReason::Budget || e.reason == StopReason::Injected
             ? "degraded"
             : "interrupted";
+    // Wind-down telemetry: stamped here (ordinary exception context), never
+    // in the signal handler, and the armed trace is flushed so a cancelled
+    // run still leaves its profile behind.
+    ChromeTrace::instant(std::string("cancel.") + to_string(e.reason));
+    EventLog::finish(status);
+    ChromeTrace::flush_armed();
     std::cerr << name << ": run " << status << " (" << to_string(e.reason)
               << ")\n";
     write_error_report(name, report_path, status, to_string(e.reason));

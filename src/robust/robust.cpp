@@ -9,6 +9,9 @@
 #include <mutex>
 #include <thread>
 
+#include "obs/chrome_trace.hpp"
+#include "obs/events.hpp"
+
 namespace compsyn::robust {
 namespace {
 
@@ -104,6 +107,14 @@ int cancel_signal() noexcept {
 StopReason stop_reason() {
   if (cancel_requested()) return cancel_reason();
   if (budget_exhausted()) {
+    // First observation of the trip gets a telemetry milestone. Emitted
+    // here -- a serial decision point -- rather than in charge(), which runs
+    // on worker threads in the hot path.
+    static std::atomic<bool> announced{false};
+    if (!announced.exchange(true, std::memory_order_relaxed)) {
+      ChromeTrace::instant("budget.exhausted");
+      EventLog::milestone("budget.exhausted");
+    }
     // A trip scripted by the fault-injection plan reports as Injected so
     // chaos reports distinguish it from a user-requested --budget.
     return injected_budget_trip() != 0 ? StopReason::Injected

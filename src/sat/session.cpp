@@ -1,9 +1,13 @@
 #include "sat/session.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <sstream>
 
+#include "obs/chrome_trace.hpp"
 #include "obs/counters.hpp"
+#include "obs/histogram.hpp"
+#include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
 #include "robust/checkpoint.hpp"  // fnv1a64
 
@@ -12,6 +16,23 @@ namespace compsyn {
 namespace {
 
 std::atomic<SatBackend> g_sat_backend{SatBackend::Session};
+
+std::uint64_t query_clock_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Per-query extended telemetry: one `sat.query.ns` histogram sample and a
+/// `sat.session.vars` counter-track point (the incremental session's size,
+/// which sawtooths as circuits accumulate and compactions reset it).
+void note_query(std::uint64_t t0_ns, std::uint64_t t1_ns,
+                std::size_t session_vars) {
+  Histogram::observe_ns("sat.query.ns", t1_ns - t0_ns);
+  ChromeTrace::counter("sat.session.vars",
+                       static_cast<double>(session_vars));
+}
 
 /// Exact structural serialisation of a netlist: node count, interface, and
 /// every live node's (id, type, fanins) in topological order. Two netlists
@@ -102,7 +123,10 @@ SatFaultResult SatSession::prove_fault(CircuitId id, const StuckFault& fault,
   const FaultMiterEncoding miter =
       encode_fault_miter_gated(e.netlist, fault, solver_, e.enc, act);
   const std::uint64_t conflicts_before = solver_.stats().conflicts;
+  const bool telem = telemetry_extended();
+  const std::uint64_t t0 = telem ? query_clock_ns() : 0;
   const SolveStatus st = solver_.solve({act}, budget);
+  if (telem) note_query(t0, query_clock_ns(), solver_.num_vars());
   res.conflicts = solver_.stats().conflicts - conflicts_before;
   Counters::incr("sat.atpg.calls");
   Counters::incr("sat.session.queries");
@@ -153,7 +177,10 @@ EquivalenceResult SatSession::check_equivalent(CircuitId a, CircuitId b,
   const SatLit act = new_activation();
   encode_miter_gated(ea.netlist, ea.enc, eb.netlist, eb.enc, solver_, act);
   const std::uint64_t conflicts_before = solver_.stats().conflicts;
+  const bool telem = telemetry_extended();
+  const std::uint64_t t0 = telem ? query_clock_ns() : 0;
   const SolveStatus st = solver_.solve({act}, budget);
+  if (telem) note_query(t0, query_clock_ns(), solver_.num_vars());
   const std::uint64_t conflicts = solver_.stats().conflicts - conflicts_before;
   std::ostringstream ss;
   switch (st) {

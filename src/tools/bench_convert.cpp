@@ -1,0 +1,62 @@
+// Migrates a legacy (untagged) bench report to the unified compsyn-bench-v2
+// schema (DESIGN.md §12.4): the same document with a leading
+// "schema": "compsyn-bench-v2" member. Idempotent -- converting a v2 report
+// rewrites it unchanged (modulo pretty-printing).
+//
+//   $ ./bench_convert BENCH_table2.json                  (in place)
+//   $ ./bench_convert --out=new.json BENCH_table2.json
+//
+// Exit codes: 0 converted/already-v2, 2 usage or I/O error.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "obs/bench_schema.hpp"
+#include "util/cli.hpp"
+
+using namespace compsyn;
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  if (cli.positional().size() != 1) {
+    std::cerr << "usage: bench_convert [--out=file.json] <report.json>\n";
+    return 2;
+  }
+  const std::string in_path = cli.positional()[0];
+  const std::string out_path = cli.has("out") ? cli.get("out") : in_path;
+
+  std::ifstream is(in_path);
+  if (!is) {
+    std::cerr << "error: cannot open " << in_path << "\n";
+    return 2;
+  }
+  std::ostringstream buf;
+  buf << is.rdbuf();
+
+  std::string err;
+  std::optional<Json> doc = Json::parse(buf.str(), &err);
+  if (!doc) {
+    std::cerr << "error: " << in_path << ": " << err << "\n";
+    return 2;
+  }
+  Json v2;
+  if (!bench_normalize_v2(std::move(*doc), &v2, &err)) {
+    std::cerr << "error: " << in_path << ": " << err << "\n";
+    return 2;
+  }
+
+  std::ofstream os(out_path);
+  if (!os) {
+    std::cerr << "error: cannot open " << out_path << " for writing\n";
+    return 2;
+  }
+  v2.write(os, 2);
+  os << '\n';
+  os.flush();
+  if (!os) {
+    std::cerr << "error: write to " << out_path << " failed\n";
+    return 2;
+  }
+  cli.warn_unrecognized(std::cerr);
+  return 0;
+}

@@ -1,0 +1,411 @@
+// Unit tests for the profile-grade telemetry layer (DESIGN.md §12): the
+// strict Chrome-trace checker, the ChromeTrace collector itself, the fixed
+// log-scale histograms (including jobs-invariance of sample counts), phase
+// attribution, the bench-v2 schema normalizer, and the Json double
+// round-trip contract the schemas rely on.
+//
+// Everything here must pass under -DCOMPSYN_TRACE=0 as well: collector tests
+// are gated on the macro, checker/schema/Json tests are pure functions.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/resynth.hpp"
+#include "exec/exec.hpp"
+#include "gen/circuits.hpp"
+#include "obs/bench_schema.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/histogram.hpp"
+#include "obs/json.hpp"
+#include "obs/obs.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/trace_check.hpp"
+
+namespace compsyn {
+namespace {
+
+std::string temp_path(const std::string& leaf) {
+  return testing::TempDir() + "compsyn_telemetry_" + leaf;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  std::ostringstream os;
+  os << is.rdbuf();
+  return os.str();
+}
+
+// ---------------------------------------------------------------- checker --
+
+const char* kGoodTrace = R"({"traceEvents":[
+  {"name":"process_name","ph":"M","ts":0,"pid":1,"tid":0,
+   "args":{"name":"resynth_flow"}},
+  {"name":"outer","ph":"B","ts":0,"pid":1,"tid":0},
+  {"name":"inner","ph":"B","ts":1.5,"pid":1,"tid":0},
+  {"name":"inner","ph":"E","ts":2.5,"pid":1,"tid":0},
+  {"name":"outer","ph":"E","ts":9,"pid":1,"tid":0},
+  {"name":"cone","ph":"X","ts":3,"dur":0.5,"pid":1,"tid":1},
+  {"name":"checkpoint.write","ph":"i","ts":4,"pid":1,"tid":0,"s":"t"},
+  {"name":"sat.session.vars","ph":"C","ts":5,"pid":1,"tid":0,
+   "args":{"value":120}}
+],"displayTimeUnit":"ms"})";
+
+TEST(TraceCheck, AcceptsWellFormedTrace) {
+  const TraceCheckResult r = check_chrome_trace(kGoodTrace);
+  EXPECT_TRUE(r.ok) << (r.errors.empty() ? "" : r.errors.front());
+  EXPECT_EQ(r.events, 8u);
+  EXPECT_EQ(r.span_pairs, 3u);  // outer, inner, and the X (complete) slice
+  EXPECT_EQ(r.instants, 1u);
+  EXPECT_EQ(r.counter_samples, 1u);
+  EXPECT_EQ(r.thread_tracks, 2u);  // tid 0 (B/E) and tid 1 (X)
+}
+
+TEST(TraceCheck, RejectsMalformedDocuments) {
+  EXPECT_FALSE(check_chrome_trace("not json").ok);
+  EXPECT_FALSE(check_chrome_trace("{}").ok);                     // no traceEvents
+  EXPECT_FALSE(check_chrome_trace(R"({"traceEvents":{}})").ok);  // not array
+}
+
+TEST(TraceCheck, RejectsBadEvents) {
+  // E with a name that does not match the open B.
+  EXPECT_FALSE(check_chrome_trace(R"({"traceEvents":[
+    {"name":"a","ph":"B","ts":0,"pid":1,"tid":0},
+    {"name":"b","ph":"E","ts":1,"pid":1,"tid":0}]})")
+                   .ok);
+  // Unclosed B.
+  EXPECT_FALSE(check_chrome_trace(R"({"traceEvents":[
+    {"name":"a","ph":"B","ts":0,"pid":1,"tid":0}]})")
+                   .ok);
+  // E without any open B.
+  EXPECT_FALSE(check_chrome_trace(R"({"traceEvents":[
+    {"name":"a","ph":"E","ts":0,"pid":1,"tid":0}]})")
+                   .ok);
+  // Missing ph.
+  EXPECT_FALSE(check_chrome_trace(R"({"traceEvents":[
+    {"name":"a","ts":0,"pid":1,"tid":0}]})")
+                   .ok);
+  // Unknown ph.
+  EXPECT_FALSE(check_chrome_trace(R"({"traceEvents":[
+    {"name":"a","ph":"Q","ts":0,"pid":1,"tid":0}]})")
+                   .ok);
+  // C without a numeric series.
+  EXPECT_FALSE(check_chrome_trace(R"({"traceEvents":[
+    {"name":"a","ph":"C","ts":0,"pid":1,"tid":0,"args":{}}]})")
+                   .ok);
+  // X without dur.
+  EXPECT_FALSE(check_chrome_trace(R"({"traceEvents":[
+    {"name":"a","ph":"X","ts":0,"pid":1,"tid":0}]})")
+                   .ok);
+  // Timestamps going backwards on one track.
+  EXPECT_FALSE(check_chrome_trace(R"({"traceEvents":[
+    {"name":"a","ph":"B","ts":5,"pid":1,"tid":0},
+    {"name":"a","ph":"E","ts":1,"pid":1,"tid":0}]})")
+                   .ok);
+}
+
+// -------------------------------------------------------------- collector --
+
+#if COMPSYN_TRACE
+
+class ChromeTraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override { ChromeTrace::disable_and_clear(); }
+  void TearDown() override {
+    ChromeTrace::disable_and_clear();
+    telemetry_set_extended(false);
+    telemetry_reset();
+    obs_set_enabled(false);
+  }
+};
+
+TEST_F(ChromeTraceTest, RecordsNothingWhileDisabled) {
+  EXPECT_FALSE(ChromeTrace::enabled());
+  EXPECT_FALSE(ChromeTrace::begin("x"));
+  ChromeTrace::instant("x");
+  ChromeTrace::counter("x", 1.0);
+  EXPECT_EQ(ChromeTrace::event_count(), 0u);
+}
+
+TEST_F(ChromeTraceTest, WritesCheckerCleanTrace) {
+  ChromeTrace::enable();
+  ASSERT_TRUE(ChromeTrace::begin("outer"));
+  ASSERT_TRUE(ChromeTrace::begin("inner"));
+  ChromeTrace::instant("milestone");
+  ChromeTrace::counter("series", 42.0);
+  ChromeTrace::end();  // inner
+  const std::uint64_t t0 = ChromeTrace::now_ns();
+  const std::uint64_t t1 = ChromeTrace::now_ns();
+  ChromeTrace::complete("slice", t0, t1);
+  ChromeTrace::end();  // outer
+
+  // A second thread records on its own track.
+  std::thread worker([] {
+    ChromeTrace::set_thread_track(1);
+    if (ChromeTrace::begin("worker-span")) ChromeTrace::end();
+  });
+  worker.join();
+
+  const std::string path = temp_path("basic.json");
+  std::string err;
+  ASSERT_TRUE(ChromeTrace::write(path, &err)) << err;
+  const TraceCheckResult r = check_chrome_trace(slurp(path));
+  EXPECT_TRUE(r.ok) << (r.errors.empty() ? "" : r.errors.front());
+  EXPECT_EQ(r.span_pairs, 4u);  // outer, inner, worker-span, and the X slice
+  EXPECT_EQ(r.instants, 1u);
+  EXPECT_EQ(r.counter_samples, 1u);
+  EXPECT_GE(r.thread_tracks, 2u);
+  std::remove(path.c_str());
+}
+
+TEST_F(ChromeTraceTest, ArmedOutputFlushesOnce) {
+  ChromeTrace::enable();
+  if (ChromeTrace::begin("span")) ChromeTrace::end();
+  const std::string path = temp_path("armed.json");
+  ChromeTrace::arm_output(path);
+  ChromeTrace::flush_armed();
+  EXPECT_TRUE(check_chrome_trace(slurp(path)).ok);
+  // Disarmed after the flush: removing the file and flushing again must not
+  // recreate it.
+  std::remove(path.c_str());
+  ChromeTrace::flush_armed();
+  EXPECT_TRUE(slurp(path).empty());
+}
+
+// ------------------------------------------------------------- histograms --
+
+class HistogramTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Histogram::reset();
+    telemetry_set_extended(true);
+  }
+  void TearDown() override {
+    telemetry_set_extended(false);
+    Histogram::reset();
+    telemetry_reset();
+    obs_set_enabled(false);
+  }
+};
+
+TEST_F(HistogramTest, BucketLayoutIsFixed) {
+  EXPECT_EQ(Histogram::bucket_for(0), 0u);
+  EXPECT_EQ(Histogram::bucket_for(1), 0u);
+  EXPECT_EQ(Histogram::bucket_for(2), 1u);
+  EXPECT_EQ(Histogram::bucket_for(3), 1u);
+  EXPECT_EQ(Histogram::bucket_for(4), 2u);
+  EXPECT_EQ(Histogram::bucket_for(1023), 9u);
+  EXPECT_EQ(Histogram::bucket_for(1024), 10u);
+  EXPECT_EQ(Histogram::bucket_for(std::uint64_t{1} << 39), 39u);
+  EXPECT_EQ(Histogram::bucket_for(~std::uint64_t{0}), kHistBuckets - 1);
+  // Upper bounds mirror the mapping.
+  EXPECT_EQ(Histogram::bucket_upper_ns(0), 1u);
+  EXPECT_EQ(Histogram::bucket_upper_ns(9), 1023u);
+}
+
+TEST_F(HistogramTest, ObservesOnlyWhenExtended) {
+  telemetry_set_extended(false);
+  Histogram::observe_ns("h", 10);
+  EXPECT_TRUE(Histogram::snapshot().empty());
+  telemetry_set_extended(true);
+  Histogram::observe_ns("h", 10);
+  Histogram::observe_ns("h", 1000);
+  const auto snap = Histogram::snapshot();
+  ASSERT_EQ(snap.size(), 1u);
+  EXPECT_EQ(snap[0].name, "h");
+  EXPECT_EQ(snap[0].count, 2u);
+  EXPECT_EQ(snap[0].sum_ns, 1010u);
+  ASSERT_EQ(snap[0].buckets.size(), kHistBuckets);
+  EXPECT_EQ(snap[0].buckets[Histogram::bucket_for(10)], 1u);
+  EXPECT_EQ(snap[0].buckets[Histogram::bucket_for(1000)], 1u);
+}
+
+TEST_F(HistogramTest, SnapshotIsNameSorted) {
+  Histogram::observe_ns("zz", 1);
+  Histogram::observe_ns("aa", 1);
+  Histogram::observe_ns("mm", 1);
+  const auto snap = Histogram::snapshot();
+  ASSERT_EQ(snap.size(), 3u);
+  EXPECT_EQ(snap[0].name, "aa");
+  EXPECT_EQ(snap[1].name, "mm");
+  EXPECT_EQ(snap[2].name, "zz");
+}
+
+/// Runs one resynthesis with extended telemetry and returns (name, count)
+/// per histogram. Counts are a pure function of the work performed, so they
+/// must not depend on the thread count.
+std::vector<std::pair<std::string, std::uint64_t>> resynth_hist_counts(
+    unsigned jobs) {
+  Histogram::reset();
+  telemetry_reset();
+  set_jobs(jobs);
+  Netlist nl = make_benchmark("alu4");
+  (void)procedure2(nl, 5);
+  set_jobs(1);
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  for (const HistStat& h : Histogram::snapshot()) {
+    out.emplace_back(h.name, h.count);
+  }
+  return out;
+}
+
+TEST_F(HistogramTest, SampleCountsAreJobsInvariant) {
+  const auto serial = resynth_hist_counts(1);
+  const auto parallel = resynth_hist_counts(8);
+  EXPECT_FALSE(serial.empty());
+  EXPECT_EQ(serial, parallel);
+}
+
+// ----------------------------------------------------------------- phases --
+
+TEST(PhaseScopeTest, AttributesWallTimeWhenExtended) {
+  telemetry_reset();
+  telemetry_set_extended(true);
+  {
+    PhaseScope p("phase_a");
+    volatile unsigned sink = 0;
+    for (unsigned i = 0; i < 1000; ++i) sink += i;
+  }
+  { PhaseScope p("phase_b"); }
+  const auto phases = telemetry_phases();
+  telemetry_set_extended(false);
+  telemetry_reset();
+  obs_set_enabled(false);
+  ASSERT_EQ(phases.size(), 2u);
+  EXPECT_EQ(phases[0].name, "phase_a");
+  EXPECT_EQ(phases[1].name, "phase_b");
+  EXPECT_GT(phases[0].peak_rss_bytes, 0u);
+}
+
+TEST(PhaseScopeTest, InertWithoutExtended) {
+  telemetry_reset();
+  { PhaseScope p("ignored"); }
+  EXPECT_TRUE(telemetry_phases().empty());
+}
+
+// -------------------------------------------------------------- hot cones --
+
+TEST(HotConesTest, RanksByTotalTime) {
+  telemetry_reset();
+  telemetry_set_extended(true);
+  telemetry_note_cone("g1", 100, 2);
+  telemetry_note_cone("g2", 900, 3);
+  telemetry_note_cone("g1", 50, 1);
+  const auto hot = telemetry_hot_cones(10);
+  telemetry_set_extended(false);
+  telemetry_reset();
+  obs_set_enabled(false);
+  ASSERT_EQ(hot.size(), 2u);
+  EXPECT_EQ(hot[0].root, "g2");
+  EXPECT_EQ(hot[0].total_ns, 900u);
+  EXPECT_EQ(hot[1].root, "g1");
+  EXPECT_EQ(hot[1].total_ns, 150u);
+  EXPECT_EQ(hot[1].cones, 3u);
+}
+
+#endif  // COMPSYN_TRACE
+
+// ----------------------------------------------------------- bench schema --
+
+TEST(BenchSchema, TagsLegacyReport) {
+  Json legacy = Json::object();
+  legacy.set("name", "table2_proc2");
+  legacy.set("spans", Json::array());
+  legacy.set("counters", Json::object());
+  Json v2;
+  std::string err;
+  ASSERT_TRUE(bench_normalize_v2(std::move(legacy), &v2, &err)) << err;
+  ASSERT_NE(v2.find("schema"), nullptr);
+  EXPECT_EQ(v2.find("schema")->as_string(), kBenchSchemaV2);
+  // The tag leads the document.
+  EXPECT_EQ(v2.items().front().first, "schema");
+}
+
+TEST(BenchSchema, PassesV2Through) {
+  Json doc = Json::object();
+  doc.set("schema", std::string(kBenchSchemaV2));
+  doc.set("name", "x");
+  doc.set("spans", Json::array());
+  doc.set("counters", Json::object());
+  Json v2;
+  ASSERT_TRUE(bench_normalize_v2(doc, &v2));
+  EXPECT_EQ(v2.dump(), doc.dump());
+}
+
+TEST(BenchSchema, LiftsSummaryShape) {
+  Json doc = Json::object();
+  doc.set("bench", "table2_proc2");
+  doc.set("date", "2026-08-06");
+  doc.set("runs", Json::array());
+  Json v2;
+  std::string err;
+  ASSERT_TRUE(bench_normalize_v2(std::move(doc), &v2, &err)) << err;
+  EXPECT_EQ(v2.find("name")->as_string(), "table2_proc2");
+  ASSERT_NE(v2.find("meta"), nullptr);
+  EXPECT_NE(v2.find("meta")->find("date"), nullptr);
+  EXPECT_NE(v2.find("runs"), nullptr);
+}
+
+TEST(BenchSchema, RejectsUnknownSchemaAndGarbage) {
+  Json doc = Json::object();
+  doc.set("schema", "compsyn-bench-v9");
+  doc.set("name", "x");
+  doc.set("spans", Json::array());
+  doc.set("counters", Json::object());
+  Json v2;
+  std::string err;
+  EXPECT_FALSE(bench_normalize_v2(std::move(doc), &v2, &err));
+  EXPECT_FALSE(bench_normalize_v2(Json(7), &v2, &err));
+  EXPECT_FALSE(bench_normalize_v2(Json::object(), &v2, &err));
+}
+
+// ------------------------------------------------- Json double round-trip --
+
+// The bench/report schemas carry doubles (wall_seconds, tolerances); the
+// writer emits shortest-round-trip forms (std::to_chars), which this test
+// locks in: parse(dump(x)) must equal x bit-for-bit, and dump must be stable
+// under a second round-trip.
+TEST(JsonDoubles, ParseDumpParseRoundTrips) {
+  const double cases[] = {0.0,
+                          1.0,
+                          -1.0,
+                          0.1,
+                          1.0 / 3.0,
+                          56.167627174,
+                          1e-7,
+                          6.852,
+                          1e300,
+                          -2.2250738585072014e-308,  // smallest normal
+                          5e-324,                    // smallest denormal
+                          1.7976931348623157e308,    // largest finite
+                          3.141592653589793};
+  for (const double x : cases) {
+    const std::string once = Json(x).dump();
+    std::string err;
+    const auto parsed = Json::parse(once, &err);
+    ASSERT_TRUE(parsed.has_value()) << once << ": " << err;
+    EXPECT_EQ(parsed->as_double(), x) << once;
+    EXPECT_EQ(parsed->dump(), once);
+  }
+}
+
+TEST(JsonDoubles, RoundTripsThroughDocuments) {
+  Json doc = Json::object();
+  doc.set("wall_seconds", 56.167627174);
+  doc.set("tolerance", 0.1);
+  Json arr = Json::array();
+  arr.push(1e-7);
+  arr.push(0.3333333333333333);
+  doc.set("xs", std::move(arr));
+  const std::string once = doc.dump(2);
+  const auto parsed = Json::parse(once);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->dump(2), once);
+}
+
+}  // namespace
+}  // namespace compsyn
