@@ -295,12 +295,16 @@ Netlist read_bench_string(const std::string& text, std::string circuit_name) {
 Netlist read_bench_file(const std::string& path) {
   std::ifstream is(path);
   if (!is) throw std::runtime_error("cannot open bench file: " + path);
+  return read_bench(is, bench_name_from_path(path));
+}
+
+std::string bench_name_from_path(const std::string& path) {
   std::string name = path;
   const std::size_t slash = name.find_last_of('/');
   if (slash != std::string::npos) name = name.substr(slash + 1);
   const std::size_t dot = name.find_last_of('.');
   if (dot != std::string::npos) name = name.substr(0, dot);
-  return read_bench(is, std::move(name));
+  return name;
 }
 
 void write_bench(const Netlist& nl, std::ostream& os) {

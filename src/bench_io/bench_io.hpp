@@ -32,6 +32,12 @@ Netlist read_bench(std::istream& is, std::string circuit_name = {});
 Netlist read_bench_string(const std::string& text, std::string circuit_name = {});
 Netlist read_bench_file(const std::string& path);
 
+/// The circuit name read_bench_file derives from a path: the basename with
+/// its extension stripped ("dir/c432.bench" -> "c432"). Exposed so other
+/// loaders (the serve daemon takes .bench text plus the original path
+/// string) name their netlists identically to a file read.
+std::string bench_name_from_path(const std::string& path);
+
 /// Writes the live part of the netlist in .bench form. Unnamed nodes get
 /// synthetic names (n123). Buf nodes are emitted as BUFF.
 void write_bench(const Netlist& nl, std::ostream& os);

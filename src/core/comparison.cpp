@@ -390,6 +390,14 @@ std::vector<ComparisonSpec> identify_comparison(const TruthTable& f,
   return out;
 }
 
+void clear_exact_identification_memo() {
+  ExactMemo& memo = exact_memo();
+  memo.buckets.clear();
+  memo.entries = 0;
+  memo.queries = 0;
+  memo.hits = 0;
+}
+
 bool is_comparison_function(const TruthTable& f) {
   IdentifyOptions opt;
   opt.max_results = 1;

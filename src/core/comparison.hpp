@@ -57,6 +57,13 @@ std::vector<ComparisonSpec> identify_comparison(const TruthTable& f,
 /// Convenience: true if the exact engine finds a spec.
 bool is_comparison_function(const TruthTable& f);
 
+/// Drops the calling thread's exact-identification memo (buckets and
+/// hit/miss tallies). The serve daemon calls this between jobs so every
+/// job's identify.memo.* counter stream matches a fresh process run;
+/// results never depend on memo state (every hit is exact-confirmed), only
+/// the hit/miss split does.
+void clear_exact_identification_memo();
+
 /// Checks that a (perm, L, U) triple really describes f (used by tests and
 /// by the sampled engine).
 bool spec_matches(const ComparisonSpec& spec, const TruthTable& f);

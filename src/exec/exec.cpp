@@ -95,7 +95,22 @@ class Pool {
       excs_.assign(num_chunks, nullptr);
       ++region_seq_;
     }
-    cv_.notify_all();
+    // Wake only as many workers as could possibly claim a chunk (the caller
+    // takes one share as worker 0). Small regions on wide pools otherwise
+    // pay a full pool wake/re-park cycle per region -- each unneeded worker
+    // costs two mutex acquisitions and a done_cv_ notify just to discover
+    // the cursor is spent. Workers left parked keep idle_workers_ intact,
+    // so the done-wait below is unaffected; a worker that misses a region
+    // entirely catches up via the seq check on its next wake. Lost
+    // notifies are benign: any not-yet-parked worker re-checks the seq
+    // predicate before blocking.
+    const std::size_t wake =
+        num_chunks - 1 < threads_.size() ? num_chunks - 1 : threads_.size();
+    if (wake == threads_.size()) {
+      cv_.notify_all();
+    } else {
+      for (std::size_t i = 0; i < wake; ++i) cv_.notify_one();
+    }
 
     // The caller participates as worker 0.
     {

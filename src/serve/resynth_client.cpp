@@ -1,0 +1,426 @@
+// Client for the resynth_serve daemon (compsyn-serve-v1).
+//
+// Single job -- flags mirror the one-shot resynth_flow binary, artifacts
+// land in the same places, and the exit code maps the job status the same
+// way (0 ok, 1 error, 20 degraded, 21 interrupted):
+//
+//   $ ./resynth_client --socket=S --proc=2 --k=5 \
+//       --out=r.bench --report=r.json add8
+//
+// A .bench positional is read locally and shipped inline (the daemon never
+// touches the client's filesystem); suite names are built daemon-side.
+//
+// Manifest replay -- a JSON array of job objects (or {"jobs":[...]}), each
+// with the same field names as the wire JobSpec; ids default to job-<index>:
+//
+//   $ ./resynth_client --socket=S --manifest=jobs.json --concurrency=4 \
+//       --rounds=2 --out-dir=results/
+//
+// Replay opens one connection per worker thread, reports client-observed
+// latency (p50/p95) and throughput, and exits with the worst job status.
+//
+// Control messages: --ping, --stats, --shutdown (graceful drain; prints the
+// daemon's jobs_served count from the "bye" reply).
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <mutex>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "robust/guard.hpp"
+#include "serve/protocol.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+using namespace compsyn;
+using namespace compsyn::serve;
+
+int connect_unix(const std::string& path, std::string* error) {
+  sockaddr_un addr{};
+  if (path.size() >= sizeof(addr.sun_path)) {
+    *error = "socket path too long";
+    return -1;
+  }
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    *error = std::string("socket: ") + std::strerror(errno);
+    return -1;
+  }
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    *error = "connect " + path + ": " + std::strerror(errno);
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+/// Sends one message and reads one reply frame. Returns nullopt on any
+/// transport failure.
+std::optional<Json> round_trip(int fd, const Json& message,
+                               std::string* error) {
+  if (!write_message(fd, message, error)) return std::nullopt;
+  std::string payload;
+  const FrameStatus st = read_frame(fd, &payload, error);
+  if (st != FrameStatus::Ok) {
+    if (error->empty()) *error = "connection closed by daemon";
+    return std::nullopt;
+  }
+  std::optional<Json> reply = Json::parse(payload, error);
+  if (!reply) return std::nullopt;
+  return reply;
+}
+
+bool slurp(const std::string& path, std::string* out, std::string* error) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) {
+    *error = "cannot read " + path;
+    return false;
+  }
+  std::ostringstream ss;
+  ss << is.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+/// Fills the job-defining fields from the command line (same flag names as
+/// resynth_flow). Inlines the .bench file when the source is a path.
+bool spec_from_cli(const Cli& cli, const std::string& source, JobSpec* spec,
+                   std::string* error) {
+  spec->circuit = source;
+  if (source.size() > 6 && source.substr(source.size() - 6) == ".bench") {
+    if (!slurp(source, &spec->bench, error)) return false;
+  }
+  spec->proc = cli.get("proc", "2");
+  spec->k = static_cast<unsigned>(cli.get_u64("k", 6));
+  spec->weight_gates = cli.get_double("weight-gates", 1.0);
+  spec->weight_paths = cli.get_double("weight-paths", 1.0);
+  spec->verify = cli.get("verify", "sim");
+  spec->sat = cli.get("sat", "session");
+  spec->budget = cli.get_u64("budget", 0);
+  spec->deadline = cli.get_double("deadline", 0.0);
+  return true;
+}
+
+int exit_code_for_status(const std::string& status) {
+  if (status == "ok") return robust::kExitOk;
+  if (status == "degraded") return robust::kExitDegraded;
+  if (status == "interrupted") return robust::kExitDeadline;
+  return robust::kExitVerifyFailed;
+}
+
+bool write_file(const std::string& path, const std::string& text,
+                std::string* error) {
+  std::ofstream os(path, std::ios::binary);
+  os << text;
+  os.flush();
+  if (!os) {
+    *error = "write to " + path + " failed";
+    return false;
+  }
+  return true;
+}
+
+/// Report files replicate RunReport::write's byte format exactly (pretty
+/// JSON, two-space indent, trailing newline) so a daemon-produced report
+/// file diffs clean against a one-shot --report file.
+bool write_report_file(const std::string& path, const Json& report,
+                       std::string* error) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) {
+    *error = "cannot open " + path + " for writing";
+    return false;
+  }
+  report.write(os, 2);
+  os << '\n';
+  os.flush();
+  if (!os) {
+    *error = "write to " + path + " failed";
+    return false;
+  }
+  return true;
+}
+
+struct ReplayOutcome {
+  JobResult result;
+  double latency_ms = 0.0;
+  bool transport_ok = false;
+  std::string transport_error;
+};
+
+/// Loads a manifest: a JSON array of job objects or {"jobs":[...]}. Inline
+/// "bench" text wins; otherwise a .bench circuit path is slurped relative
+/// to the client's cwd.
+bool load_manifest(const std::string& path, std::vector<JobSpec>* jobs,
+                   std::string* error) {
+  std::string text;
+  if (!slurp(path, &text, error)) return false;
+  const std::optional<Json> doc = Json::parse(text, error);
+  if (!doc) {
+    *error = path + ": " + *error;
+    return false;
+  }
+  const Json* list = doc->is_object() ? doc->find("jobs") : &*doc;
+  if (list == nullptr || !list->is_array()) {
+    *error = path + ": expected a JSON array of jobs (or {\"jobs\":[...]})";
+    return false;
+  }
+  for (std::size_t i = 0; i < list->size(); ++i) {
+    Json entry = list->at(i);
+    if (!entry.is_object()) {
+      *error = path + ": job " + std::to_string(i) + " is not an object";
+      return false;
+    }
+    if (entry.find("id") == nullptr) {
+      entry.set("id", "job-" + std::to_string(i));
+    }
+    std::string jerr;
+    std::optional<JobSpec> spec = JobSpec::from_json(entry, &jerr);
+    if (!spec) {
+      *error = path + ": job " + std::to_string(i) + ": " + jerr;
+      return false;
+    }
+    if (spec->bench.empty() && spec->circuit.size() > 6 &&
+        spec->circuit.substr(spec->circuit.size() - 6) == ".bench") {
+      if (!slurp(spec->circuit, &spec->bench, error)) return false;
+    }
+    jobs->push_back(std::move(*spec));
+  }
+  return true;
+}
+
+double percentile(std::vector<double> sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const double idx = p * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(std::floor(idx));
+  const std::size_t hi = static_cast<std::size_t>(std::ceil(idx));
+  const double frac = idx - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+int run_replay(const Cli& cli, const std::string& socket_path) {
+  std::string err;
+  std::vector<JobSpec> manifest;
+  if (!load_manifest(cli.get("manifest"), &manifest, &err)) {
+    std::cerr << "error: " << err << "\n";
+    return robust::kExitInputError;
+  }
+  const int rounds = std::max(1, cli.get_int("rounds", 1));
+  const int concurrency = std::max(1, cli.get_int("concurrency", 1));
+  const std::string out_dir = cli.get("out-dir", "");
+
+  // The work list: rounds x manifest, in manifest order within each round.
+  std::vector<JobSpec> work;
+  for (int r = 0; r < rounds; ++r) {
+    for (const JobSpec& spec : manifest) {
+      JobSpec j = spec;
+      if (rounds > 1) j.id = j.id + ".r" + std::to_string(r);
+      work.push_back(std::move(j));
+    }
+  }
+
+  std::vector<ReplayOutcome> outcomes(work.size());
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> connect_failed{false};
+  std::mutex io_mu;
+  const auto t0 = std::chrono::steady_clock::now();
+
+  auto worker = [&] {
+    std::string werr;
+    const int fd = connect_unix(socket_path, &werr);
+    if (fd < 0) {
+      std::lock_guard<std::mutex> lock(io_mu);
+      std::cerr << "error: " << werr << "\n";
+      connect_failed.store(true);
+      return;
+    }
+    for (;;) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= work.size()) break;
+      ReplayOutcome& out = outcomes[i];
+      const auto js0 = std::chrono::steady_clock::now();
+      std::optional<Json> reply = round_trip(fd, work[i].to_json(), &werr);
+      out.latency_ms = std::chrono::duration<double, std::milli>(
+                           std::chrono::steady_clock::now() - js0)
+                           .count();
+      if (!reply) {
+        out.transport_error = werr;
+        continue;
+      }
+      std::optional<JobResult> r = JobResult::from_json(*reply, &werr);
+      if (!r) {
+        out.transport_error = werr;
+        continue;
+      }
+      out.result = std::move(*r);
+      out.transport_ok = true;
+    }
+    ::close(fd);
+  };
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < concurrency; ++t) threads.emplace_back(worker);
+  for (std::thread& t : threads) t.join();
+  const double wall_s = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+  if (connect_failed.load()) return robust::kExitInputError;
+
+  std::vector<double> latencies;
+  std::size_t ok = 0, degraded = 0, interrupted = 0, errors = 0, hits = 0;
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    const ReplayOutcome& out = outcomes[i];
+    if (!out.transport_ok) {
+      ++errors;
+      std::cerr << "job " << work[i].id << ": transport error: "
+                << out.transport_error << "\n";
+      continue;
+    }
+    latencies.push_back(out.latency_ms);
+    const std::string& st = out.result.status;
+    if (st == "ok") ++ok;
+    else if (st == "degraded") ++degraded;
+    else if (st == "interrupted") ++interrupted;
+    else ++errors;
+    if (out.result.cache_hit) ++hits;
+    if (!out_dir.empty() && !out.result.bench.empty()) {
+      std::string werr2;
+      const std::string base = out_dir + "/" + out.result.id;
+      if (!write_file(base + ".bench", out.result.bench, &werr2) ||
+          !write_report_file(base + ".report.json", out.result.report,
+                             &werr2) ||
+          !write_file(base + ".stdout.txt", out.result.stdout_text, &werr2)) {
+        std::cerr << "error: " << werr2 << "\n";
+        ++errors;
+      }
+    }
+  }
+  std::sort(latencies.begin(), latencies.end());
+  std::cout << "replayed " << work.size() << " job(s) (" << manifest.size()
+            << " x " << rounds << " round(s)) at concurrency " << concurrency
+            << " in " << wall_s << " s\n"
+            << "  status: " << ok << " ok, " << degraded << " degraded, "
+            << interrupted << " interrupted, " << errors << " error\n"
+            << "  cache: " << hits << "/" << work.size() << " hits\n";
+  if (!latencies.empty()) {
+    std::cout << "  throughput: "
+              << static_cast<double>(latencies.size()) / wall_s
+              << " jobs/s; latency p50 " << percentile(latencies, 0.50)
+              << " ms, p95 " << percentile(latencies, 0.95) << " ms\n";
+  }
+  if (errors != 0) return robust::kExitVerifyFailed;
+  if (interrupted != 0) return robust::kExitDeadline;
+  if (degraded != 0) return robust::kExitDegraded;
+  return robust::kExitOk;
+}
+
+int client_main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const std::string socket_path = cli.get("socket", "");
+  if (socket_path.empty()) {
+    std::cerr << "usage: resynth_client --socket=PATH [--ping | --stats | "
+                 "--shutdown |\n"
+                 "    --manifest=jobs.json [--concurrency=N] [--rounds=R] "
+                 "[--out-dir=DIR] |\n"
+                 "    [resynth_flow job flags] [--out=f.bench] "
+                 "[--report=f.json] <circuit|file.bench>]\n";
+    return robust::kExitUsage;
+  }
+
+  if (cli.has("manifest")) {
+    const int rc = run_replay(cli, socket_path);
+    cli.warn_unrecognized(std::cerr);
+    return rc;
+  }
+
+  std::string err;
+  const int fd = connect_unix(socket_path, &err);
+  if (fd < 0) {
+    std::cerr << "error: " << err << "\n";
+    return robust::kExitInputError;
+  }
+  struct FdCloser {
+    int fd;
+    ~FdCloser() { ::close(fd); }
+  } closer{fd};
+
+  if (cli.has("ping") || cli.has("stats") || cli.has("shutdown")) {
+    Json msg = Json::object();
+    msg.set("type", cli.has("ping")       ? "ping"
+                    : cli.has("stats")    ? "stats"
+                                          : "shutdown");
+    std::optional<Json> reply = round_trip(fd, msg, &err);
+    if (!reply) {
+      std::cerr << "error: " << err << "\n";
+      return robust::kExitInputError;
+    }
+    std::cout << reply->dump(2) << "\n";
+    cli.warn_unrecognized(std::cerr);
+    return robust::kExitOk;
+  }
+
+  if (cli.positional().empty()) {
+    std::cerr << "error: no circuit given (suite name or file.bench)\n";
+    return robust::kExitUsage;
+  }
+  JobSpec spec;
+  spec.id = cli.get("id", "cli");
+  if (!spec_from_cli(cli, cli.positional()[0], &spec, &err)) {
+    std::cerr << "error: " << err << "\n";
+    return robust::kExitInputError;
+  }
+  std::optional<Json> reply = round_trip(fd, spec.to_json(), &err);
+  if (!reply) {
+    std::cerr << "error: " << err << "\n";
+    return robust::kExitInputError;
+  }
+  std::optional<JobResult> result = JobResult::from_json(*reply, &err);
+  if (!result) {
+    const Json* remote = reply->find("error");
+    std::cerr << "error: "
+              << (remote != nullptr ? remote->as_string() : err) << "\n";
+    return robust::kExitInputError;
+  }
+  // The daemon's captured stdout IS this run's stdout, so a piped one-shot
+  // invocation and a client invocation read identically.
+  std::cout << result->stdout_text;
+  if (!result->error.empty()) {
+    std::cerr << "error: " << result->error << "\n";
+  }
+  if (cli.has("out") && !result->bench.empty()) {
+    if (!write_file(cli.get("out"), result->bench, &err)) {
+      std::cerr << "error: " << err << "\n";
+      return robust::kExitVerifyFailed;
+    }
+    std::cout << "wrote " << cli.get("out") << "\n";
+  }
+  if (cli.has("report")) {
+    if (!write_report_file(cli.get("report"), result->report, &err)) {
+      std::cerr << "error: " << err << "\n";
+      return robust::kExitVerifyFailed;
+    }
+  }
+  cli.warn_unrecognized(std::cerr);
+  return exit_code_for_status(result->status);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return compsyn::robust::guard_main("resynth_client", argc, argv,
+                                     [&] { return client_main(argc, argv); });
+}

@@ -1,0 +1,58 @@
+// The resynthesis daemon: accepts compsyn-serve-v1 jobs (whole .bench text
+// in, resynthesized .bench + resynth_flow-shaped report out) over a
+// Unix-domain socket or a stdio pipe, executing them one at a time with
+// per-job isolation so every result is byte-identical to a one-shot
+// `resynth_flow` run with the same flags (DESIGN.md §13).
+//
+//   $ ./resynth_serve --socket=/tmp/compsyn.sock --cache-mb=64 &
+//   $ ./resynth_client --socket=/tmp/compsyn.sock --proc=2 --k=5 add8
+//
+// Exit codes follow the one-shot binaries: 0 after a graceful drain
+// ({"type":"shutdown"} or stdin EOF in --stdio mode), 130/143 after
+// SIGINT/SIGTERM (queued jobs are answered "interrupted", the socket file
+// is unlinked), 2 on usage errors, 3 when the socket cannot be bound.
+#include <iostream>
+#include <string>
+
+#include "exec/exec.hpp"
+#include "robust/guard.hpp"
+#include "serve/server.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+int serve_main(int argc, char** argv) {
+  using namespace compsyn;
+  Cli cli(argc, argv);
+  serve::ServerConfig config;
+  config.socket_path = cli.get("socket", "");
+  config.use_stdio = cli.has("stdio");
+  config.cache_bytes = cli.get_u64("cache-mb", 64) * 1024 * 1024;
+  config.events_path = cli.get("events", "");
+  if (config.use_stdio ? !config.socket_path.empty()
+                       : config.socket_path.empty()) {
+    std::cerr << "usage: resynth_serve --socket=PATH | --stdio "
+                 "[--jobs=N] [--cache-mb=MB] [--events=log.jsonl]\n"
+                 "  exactly one of --socket / --stdio\n";
+    return robust::kExitUsage;
+  }
+  if (cli.has("jobs")) {
+    const int j = cli.get_int("jobs", 1);
+    if (j < 1) {
+      std::cerr << "error: --jobs=" << cli.get("jobs")
+                << " (expected a positive integer)\n";
+      return robust::kExitUsage;
+    }
+    set_jobs(static_cast<unsigned>(j));
+  }
+  cli.warn_unrecognized(std::cerr);
+  serve::Server server(std::move(config));
+  return server.run();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return compsyn::robust::guard_main("resynth_serve", argc, argv,
+                                     [&] { return serve_main(argc, argv); });
+}

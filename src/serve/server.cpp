@@ -1,0 +1,473 @@
+#include "serve/server.hpp"
+
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstring>
+#include <iostream>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "bench_io/bench_io.hpp"
+#include "gen/circuits.hpp"
+#include "obs/events.hpp"
+#include "obs/memstats.hpp"
+#include "obs/obs.hpp"
+#include "robust/guard.hpp"
+#include "robust/robust.hpp"
+#include "serve/job.hpp"
+
+namespace compsyn::serve {
+namespace {
+
+/// Canonicalises a job's input netlist the way checkpoint resume does: parse,
+/// then write_bench_string. Two textually different .bench files describing
+/// the same structure map to one cache key. nullopt when the input does not
+/// parse (the job itself will produce the diagnostic).
+std::optional<std::string> canonical_input(const JobSpec& spec) {
+  try {
+    Netlist nl = spec.bench.empty()
+                     ? make_benchmark(spec.circuit)
+                     : read_bench_string(spec.bench,
+                                         bench_name_from_path(spec.circuit));
+    return write_bench_string(nl);
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+double ms_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+Json ServeStats::to_json() const {
+  Json j = Json::object();
+  j.set("type", "stats");
+  j.set("schema", kServeSchema);
+  j.set("connections", connections);
+  j.set("jobs_received", jobs_received);
+  j.set("jobs_served", jobs_served);
+  j.set("jobs_executed", jobs_executed);
+  j.set("cache_hits", cache_hits);
+  j.set("cache_misses", cache_misses);
+  j.set("cache_collisions", cache_collisions);
+  j.set("cache_evictions", cache_evictions);
+  j.set("cache_entries", cache_entries);
+  j.set("cache_bytes", cache_bytes);
+  j.set("status_ok", status_ok);
+  j.set("status_degraded", status_degraded);
+  j.set("status_interrupted", status_interrupted);
+  j.set("status_error", status_error);
+  j.set("protocol_errors", protocol_errors);
+  j.set("disconnects", disconnects);
+  return j;
+}
+
+Server::Connection::~Connection() {
+  if (own_fds && rfd >= 0) ::close(rfd);
+}
+
+Server::Server(ServerConfig config)
+    : config_(std::move(config)), cache_(config_.cache_bytes) {}
+
+Server::~Server() {
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+}
+
+int Server::setup_socket(std::string* error) {
+  sockaddr_un addr{};
+  if (config_.socket_path.size() >= sizeof(addr.sun_path)) {
+    *error = "socket path too long (limit " +
+             std::to_string(sizeof(addr.sun_path) - 1) + " bytes)";
+    return -1;
+  }
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    *error = std::string("socket: ") + std::strerror(errno);
+    return -1;
+  }
+  // A stale socket file from a killed daemon would make bind fail; remove
+  // it. Two live daemons on one path is a deployment error this cannot
+  // detect -- the second steals the path, as with every Unix-socket server.
+  ::unlink(config_.socket_path.c_str());
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, config_.socket_path.c_str(),
+               sizeof(addr.sun_path) - 1);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    *error = "bind " + config_.socket_path + ": " + std::strerror(errno);
+    return -1;
+  }
+  if (::listen(listen_fd_, 64) < 0) {
+    *error = std::string("listen: ") + std::strerror(errno);
+    return -1;
+  }
+  return 0;
+}
+
+void Server::listener_loop() {
+  while (!stopping()) {
+    pollfd pfd = {listen_fd_, POLLIN, 0};
+    const int pr = ::poll(&pfd, 1, kPollIntervalMs);
+    if (pr <= 0) continue;
+    const int cfd = ::accept(listen_fd_, nullptr, nullptr);
+    if (cfd < 0) continue;
+    auto conn = std::make_shared<Connection>();
+    conn->rfd = conn->wfd = cfd;
+    conn->own_fds = true;
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.connections;
+    }
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    readers_.emplace_back(&Server::reader_loop, this, std::move(conn));
+  }
+}
+
+void Server::reader_loop(ConnPtr conn) {
+  std::string payload;
+  std::string err;
+  for (;;) {
+    const FrameStatus st = read_frame(conn->rfd, &payload, &err,
+                                      [this] { return stopping(); });
+    switch (st) {
+      case FrameStatus::Ok:
+        handle_message(conn, payload);
+        continue;
+      case FrameStatus::Eof:
+        // In stdio mode the client closing its end IS the shutdown request.
+        if (config_.use_stdio) begin_drain(Drain::Graceful, nullptr);
+        return;
+      case FrameStatus::Stopped:
+        return;
+      case FrameStatus::Truncated:
+      case FrameStatus::TooLarge:
+      case FrameStatus::Error: {
+        // The stream position is unrecoverable: answer (best effort) and
+        // drop this connection. The daemon keeps serving everyone else.
+        {
+          std::lock_guard<std::mutex> lock(stats_mu_);
+          ++stats_.protocol_errors;
+        }
+        Json msg = Json::object();
+        msg.set("type", "error");
+        msg.set("error", err.empty() ? "framing error" : err);
+        respond(conn, msg);
+        return;
+      }
+    }
+  }
+}
+
+void Server::handle_message(const ConnPtr& conn, const std::string& payload) {
+  std::string err;
+  const std::optional<Json> parsed = Json::parse(payload, &err);
+  if (!parsed || !parsed->is_object()) {
+    // Framing is intact, so this is recoverable: answer and keep reading.
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.protocol_errors;
+    }
+    Json msg = Json::object();
+    msg.set("type", "error");
+    msg.set("error", !parsed ? "malformed JSON payload: " + err
+                             : "message must be a JSON object");
+    respond(conn, msg);
+    return;
+  }
+  const Json* type = parsed->find("type");
+  const std::string kind =
+      type != nullptr && type->type() == Json::Type::String ? type->as_string()
+                                                            : "";
+  if (kind == "ping") {
+    Json msg = Json::object();
+    msg.set("type", "pong");
+    msg.set("schema", kServeSchema);
+    respond(conn, msg);
+    return;
+  }
+  if (kind == "stats") {
+    Json msg;
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      msg = stats_.to_json();
+    }
+    respond(conn, msg);
+    return;
+  }
+  if (kind == "shutdown") {
+    begin_drain(Drain::Graceful, conn);
+    return;
+  }
+  if (kind == "job") {
+    const Json* idf = parsed->find("id");
+    const std::string id =
+        idf != nullptr && idf->type() == Json::Type::String ? idf->as_string()
+                                                            : "";
+    auto reject = [&](const std::string& why) {
+      JobResult r;
+      r.id = id;
+      r.status = "error";
+      r.error = why;
+      r.report = job_error_report("error", why);
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.jobs_received;
+        ++stats_.jobs_served;
+        ++stats_.status_error;
+      }
+      respond(conn, r.to_json());
+    };
+    if (stopping()) {
+      reject("daemon is draining; job not accepted");
+      return;
+    }
+    std::optional<JobSpec> spec = JobSpec::from_json(*parsed, &err);
+    if (!spec) {
+      reject(err);
+      return;
+    }
+    std::uint64_t depth = 0;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      queue_.push_back(Pending{std::move(*spec), conn, next_seq_++});
+      depth = queue_.size();
+    }
+    cv_.notify_all();
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.jobs_received;
+    }
+    Json ev = Json::object();
+    ev.set("event", "queued");
+    ev.set("id", id);
+    ev.set("queue_depth", depth);
+    EventLog::emit("job", std::move(ev));
+    return;
+  }
+  Json msg = Json::object();
+  msg.set("type", "error");
+  msg.set("error", kind.empty() ? "message missing string 'type'"
+                                : "unknown message type: " + kind);
+  respond(conn, msg);
+}
+
+void Server::respond(const ConnPtr& conn, const Json& message) {
+  std::string err;
+  std::lock_guard<std::mutex> lock(conn->write_mu);
+  if (!write_message(conn->wfd, message, &err)) {
+    // Client gone mid-job (or mid-drain). Per-job failure only.
+    std::lock_guard<std::mutex> slock(stats_mu_);
+    ++stats_.disconnects;
+  }
+}
+
+void Server::begin_drain(Drain mode, const ConnPtr& bye_conn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    Drain cur = drain_.load();
+    // Only escalate: None -> Graceful -> Abort. Never de-escalate.
+    if (mode == Drain::Abort || cur == Drain::None) drain_.store(mode);
+    if (bye_conn != nullptr && bye_conn_ == nullptr) bye_conn_ = bye_conn;
+  }
+  cv_.notify_all();
+}
+
+void Server::refresh_cache_stats_locked() {
+  stats_.cache_hits = cache_.hits();
+  stats_.cache_misses = cache_.misses();
+  stats_.cache_collisions = cache_.collisions();
+  stats_.cache_evictions = cache_.evictions();
+  stats_.cache_entries = cache_.entries();
+  stats_.cache_bytes = cache_.bytes();
+}
+
+void Server::execute(Pending job) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const JobSpec& spec = job.spec;
+  {
+    Json ev = Json::object();
+    ev.set("event", "started");
+    ev.set("id", spec.id);
+    ev.set("circuit", spec.circuit);
+    ev.set("proc", spec.proc);
+    ev.set("k", static_cast<std::uint64_t>(spec.k));
+    EventLog::emit("job", std::move(ev));
+  }
+
+  JobResult r;
+  r.id = spec.id;
+  const std::optional<std::string> canonical = canonical_input(spec);
+  CachedResult cached;
+  if (canonical && spec.deadline <= 0.0 &&
+      cache_.lookup(*canonical, spec.option_key(), &cached)) {
+    r.status = cached.status;
+    r.cache_hit = true;
+    r.bench = cached.bench;
+    r.report = cached.report;
+    r.stdout_text = cached.stdout_text;
+  } else {
+    begin_job_isolation();
+    JobExecution exec = run_resynth_job(spec);
+    r.status = exec.status;
+    r.error = exec.error;
+    r.bench = exec.bench;
+    r.report = exec.report;
+    r.stdout_text = exec.stdout_text;
+    if (exec.cacheable && canonical) {
+      cache_.insert(*canonical, spec.option_key(),
+                    CachedResult{exec.status, exec.bench, exec.report,
+                                 exec.stdout_text});
+    }
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.jobs_executed;
+  }
+  r.wall_ms = ms_since(t0);
+  respond(job.conn, r.to_json());
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.jobs_served;
+    if (r.status == "ok") ++stats_.status_ok;
+    else if (r.status == "degraded") ++stats_.status_degraded;
+    else if (r.status == "interrupted") ++stats_.status_interrupted;
+    else ++stats_.status_error;
+    refresh_cache_stats_locked();
+  }
+  Json ev = Json::object();
+  ev.set("event", "finished");
+  ev.set("id", spec.id);
+  ev.set("circuit", spec.circuit);
+  ev.set("status", r.status);
+  ev.set("cache", r.cache_hit ? "hit" : "miss");
+  ev.set("wall_ms", r.wall_ms);
+  ev.set("peak_rss_bytes", peak_rss_bytes());
+  EventLog::emit("job", std::move(ev));
+}
+
+int Server::run() {
+  // Results written to a client that vanished must be a per-job statistic,
+  // not a process-killing SIGPIPE.
+  ::signal(SIGPIPE, SIG_IGN);
+  // Job reports embed counters/spans exactly like a one-shot run with
+  // --report, which turns obs recording on; match it.
+  obs_set_enabled(true);
+  if (!config_.events_path.empty()) {
+    std::string err;
+    if (!EventLog::open(config_.events_path, "resynth_serve", &err)) {
+      std::cerr << "error: " << err << "\n";
+      return robust::kExitUsage;
+    }
+  }
+  if (config_.use_stdio) {
+    auto conn = std::make_shared<Connection>();
+    conn->rfd = 0;
+    conn->wfd = 1;
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.connections;
+    }
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    readers_.emplace_back(&Server::reader_loop, this, std::move(conn));
+  } else {
+    std::string err;
+    if (setup_socket(&err) != 0) {
+      std::cerr << "error: " << err << "\n";
+      return robust::kExitInputError;
+    }
+    listener_ = std::thread(&Server::listener_loop, this);
+  }
+
+  // ---- executor loop: one job at a time, FIFO ----
+  for (;;) {
+    Pending job;
+    bool have = false;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_.wait_for(lk, std::chrono::milliseconds(kPollIntervalMs), [&] {
+        return !queue_.empty() || drain_.load() != Drain::None;
+      });
+      if (robust::cancel_requested() &&
+          robust::cancel_reason() == robust::StopReason::Signal) {
+        drain_.store(Drain::Abort);
+      }
+      if (drain_.load() == Drain::Abort) break;
+      if (!queue_.empty()) {
+        job = std::move(queue_.front());
+        queue_.pop_front();
+        have = true;
+      } else if (drain_.load() == Drain::Graceful) {
+        break;
+      }
+    }
+    if (!have) continue;
+    // A previous job's deadline/budget cancel must not leak into this one.
+    if (robust::cancel_requested() &&
+        robust::cancel_reason() != robust::StopReason::Signal) {
+      robust::clear_cancel();
+    }
+    execute(std::move(job));
+    if (robust::cancel_requested()) {
+      if (robust::cancel_reason() == robust::StopReason::Signal) {
+        begin_drain(Drain::Abort, nullptr);
+      } else {
+        robust::clear_cancel();
+      }
+    }
+  }
+
+  // ---- teardown ----
+  if (drain_.load() == Drain::None) drain_.store(Drain::Graceful);
+  if (listener_.joinable()) listener_.join();
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (std::thread& t : readers_) {
+      if (t.joinable()) t.join();
+    }
+  }
+  // Jobs still queued (abort drain, or a race with a graceful one) are
+  // answered, not dropped on the floor.
+  std::deque<Pending> leftovers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    leftovers.swap(queue_);
+  }
+  for (Pending& p : leftovers) {
+    JobResult r;
+    r.id = p.spec.id;
+    r.status = "interrupted";
+    r.error = "daemon shutting down before this job ran";
+    r.report = job_error_report("interrupted", r.error);
+    respond(p.conn, r.to_json());
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.jobs_served;
+    ++stats_.status_interrupted;
+  }
+  if (!config_.use_stdio) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    ::unlink(config_.socket_path.c_str());
+  }
+  const bool aborted = drain_.load() == Drain::Abort;
+  if (!aborted && bye_conn_ != nullptr) {
+    std::uint64_t served = 0;
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      served = stats_.jobs_served;
+    }
+    Json bye = Json::object();
+    bye.set("type", "bye");
+    bye.set("jobs_served", served);
+    respond(bye_conn_, bye);
+  }
+  EventLog::finish(aborted ? "interrupted" : "ok");
+  return aborted ? robust::exit_code_for_cancel() : robust::kExitOk;
+}
+
+}  // namespace compsyn::serve

@@ -1,0 +1,131 @@
+// The resynth_serve daemon core (DESIGN.md §13).
+//
+// Concurrency model: accept and parse concurrently, execute serially. A
+// listener thread accepts connections (Unix-domain socket) and one reader
+// thread per connection decodes frames and enqueues jobs; the thread that
+// called run() is the *executor*, draining the FIFO queue one job at a
+// time. Jobs still use the exec pool internally (the daemon's --jobs
+// applies to every job), but no two jobs overlap — which is what makes the
+// determinism contract trivial: each job sees exactly the global state a
+// fresh one-shot process would (begin_job_isolation), in an order
+// independent of client concurrency for the per-job artifacts (the
+// *artifacts* depend only on the spec; only envelope fields like wall_ms
+// and the event log's interleaving reflect arrival order).
+//
+// Lifecycle:
+//   - {"type":"shutdown"} or stdin EOF (stdio mode): graceful drain --
+//     queued jobs run to completion, results flow out, the shutdown
+//     connection gets {"type":"bye"}, exit 0.
+//   - SIGINT/SIGTERM: abort drain -- the in-flight job winds down at a poll
+//     point and answers status "interrupted"; queued jobs answer
+//     "interrupted" without running; the socket file is unlinked; exit
+//     128+sig (130/143), matching the one-shot binaries.
+// Per-job failures (malformed .bench, budget trips, client gone mid-job)
+// never end the daemon.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/cache.hpp"
+#include "serve/protocol.hpp"
+
+namespace compsyn::serve {
+
+struct ServerConfig {
+  std::string socket_path;  // Unix-domain socket ("" with use_stdio)
+  bool use_stdio = false;   // serve one client over fds 0/1 instead
+  std::uint64_t cache_bytes = 64ull * 1024 * 1024;
+  std::string events_path;  // compsyn-events-v1 JSONL ("" = off)
+};
+
+/// Daemon counters, exposed by the {"type":"stats"} message and mirrored
+/// into serve.* keys of the bench_serve report.
+struct ServeStats {
+  std::uint64_t connections = 0;
+  std::uint64_t jobs_received = 0;
+  std::uint64_t jobs_served = 0;    // responses sent (any status)
+  std::uint64_t jobs_executed = 0;  // actually ran the pipeline
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_collisions = 0;
+  std::uint64_t cache_evictions = 0;
+  std::uint64_t cache_entries = 0;
+  std::uint64_t cache_bytes = 0;
+  std::uint64_t status_ok = 0;
+  std::uint64_t status_degraded = 0;
+  std::uint64_t status_interrupted = 0;
+  std::uint64_t status_error = 0;
+  std::uint64_t protocol_errors = 0;  // truncated/oversized/bad-JSON frames
+  std::uint64_t disconnects = 0;      // responses that found the client gone
+
+  Json to_json() const;
+};
+
+class Server {
+ public:
+  explicit Server(ServerConfig config);
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, serves until shutdown/EOF/signal, and returns the process exit
+  /// code (0 graceful, 128+sig on signal, kExitInputError on bind failure).
+  /// The calling thread becomes the job executor.
+  int run();
+
+ private:
+  struct Connection {
+    int rfd = -1;
+    int wfd = -1;
+    bool own_fds = false;  // close on destruction (socket conns only)
+    std::mutex write_mu;   // reader (pong/stats) vs executor (results)
+    ~Connection();
+  };
+  using ConnPtr = std::shared_ptr<Connection>;
+
+  struct Pending {
+    JobSpec spec;
+    ConnPtr conn;
+    std::uint64_t seq = 0;
+  };
+
+  enum class Drain { None, Graceful, Abort };
+
+  int setup_socket(std::string* error);
+  void listener_loop();
+  void reader_loop(ConnPtr conn);
+  void handle_message(const ConnPtr& conn, const std::string& payload);
+  void execute(Pending job);
+  void respond(const ConnPtr& conn, const Json& message);
+  void begin_drain(Drain mode, const ConnPtr& bye_conn);
+  bool stopping() const { return drain_.load() != Drain::None; }
+  void refresh_cache_stats_locked();
+
+  ServerConfig config_;
+  ResultCache cache_;
+  int listen_fd_ = -1;
+
+  std::mutex mu_;  // queue_, bye_conn_, next_seq_
+  std::condition_variable cv_;
+  std::deque<Pending> queue_;
+  ConnPtr bye_conn_;
+  std::uint64_t next_seq_ = 0;
+  std::atomic<Drain> drain_{Drain::None};
+
+  std::mutex stats_mu_;
+  ServeStats stats_;
+
+  std::mutex conns_mu_;
+  std::vector<std::thread> readers_;
+  std::thread listener_;
+};
+
+}  // namespace compsyn::serve

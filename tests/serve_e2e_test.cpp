@@ -1,0 +1,603 @@
+// End-to-end tests of the resynth_serve daemon and resynth_client, driven
+// as subprocesses (binary paths injected by CMake).
+//
+// The load-bearing property is the determinism contract (DESIGN.md §13.2):
+// every artifact a job returns -- resynthesized .bench, run report, stdout
+// -- is byte-identical to a fresh one-shot `resynth_flow` run with the same
+// flags (reports compared after masking only the wall-clock fields), at
+// client concurrency 1 and 4, cache cold and hot. On top of that: protocol
+// robustness (truncated frames, oversized prefixes, malformed payloads,
+// mid-job disconnects never kill the daemon), the SIGTERM drain (exit 143,
+// queued jobs answered, socket unlinked), and the stdio transport.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/un.h>
+#include <sys/wait.h>
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "obs/json.hpp"
+#include "report_mask.hpp"
+#include "serve/protocol.hpp"
+
+namespace compsyn::serve {
+namespace {
+
+#ifndef RESYNTH_SERVE_PATH
+#error "RESYNTH_SERVE_PATH must be defined by the build"
+#endif
+#ifndef RESYNTH_CLIENT_PATH
+#error "RESYNTH_CLIENT_PATH must be defined by the build"
+#endif
+#ifndef RESYNTH_FLOW_PATH
+#error "RESYNTH_FLOW_PATH must be defined by the build"
+#endif
+
+std::string temp_path(const std::string& leaf) {
+  return testing::TempDir() + "compsyn_serve_" + leaf;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  std::ostringstream os;
+  os << is.rdbuf();
+  return os.str();
+}
+
+void spit(const std::string& path, const std::string& text) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  os << text;
+  ASSERT_TRUE(os.good()) << path;
+}
+
+bool path_exists(const std::string& path) {
+  struct stat st{};
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+bool wait_for(const std::function<bool()>& pred, int timeout_ms) {
+  for (int waited = 0; waited < timeout_ms; waited += 20) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  return pred();
+}
+
+/// Runs a foreground command, returning its exit code with stdout/stderr
+/// captured to strings.
+struct RunResult {
+  int exit_code = -1;
+  std::string out;
+  std::string err;
+};
+
+RunResult run_cmd(const std::string& cmd_line) {
+  static int serial = 0;
+  const std::string out_path = temp_path("cmd_out" + std::to_string(serial));
+  const std::string err_path = temp_path("cmd_err" + std::to_string(serial));
+  ++serial;
+  const std::string cmd = cmd_line + " >" + out_path + " 2>" + err_path;
+  const int raw = std::system(cmd.c_str());
+  RunResult r;
+  r.exit_code = WIFEXITED(raw) ? WEXITSTATUS(raw) : -1;
+  r.out = slurp(out_path);
+  r.err = slurp(err_path);
+  std::remove(out_path.c_str());
+  std::remove(err_path.c_str());
+  return r;
+}
+
+/// A resynth_serve daemon as a background subprocess. The shell wrapper
+/// records the daemon's pid and, after it exits, its real exit code.
+struct Daemon {
+  std::string tag;
+  std::string socket_path;
+  std::string events_path;
+  std::string pid_path;
+  std::string rc_path;
+  std::string err_path;
+  pid_t pid = -1;
+
+  explicit Daemon(const std::string& t) : tag(t) {
+    socket_path = temp_path(tag + ".sock");
+    events_path = temp_path(tag + ".events.jsonl");
+    pid_path = temp_path(tag + ".pid");
+    rc_path = temp_path(tag + ".rc");
+    err_path = temp_path(tag + ".err");
+    std::remove(socket_path.c_str());
+    std::remove(pid_path.c_str());
+    std::remove(rc_path.c_str());
+  }
+
+  void start(const std::string& extra_flags = "") {
+    const std::string cmd = "( " + std::string(RESYNTH_SERVE_PATH) +
+                            " --socket=" + socket_path +
+                            " --events=" + events_path + " " + extra_flags +
+                            " 2>" + err_path + " & echo $! > " + pid_path +
+                            "; wait $!; echo $? > " + rc_path + " ) &";
+    ASSERT_EQ(std::system(cmd.c_str()), 0);
+    ASSERT_TRUE(wait_for([&] { return path_exists(socket_path); }, 10000))
+        << "daemon did not come up; stderr: " << slurp(err_path);
+    ASSERT_TRUE(wait_for([&] { return !slurp(pid_path).empty(); }, 5000));
+    pid = static_cast<pid_t>(std::stol(slurp(pid_path)));
+  }
+
+  /// Blocks until the shell wrapper records the daemon's exit code.
+  int wait_exit(int timeout_ms = 60000) {
+    if (!wait_for([&] { return !slurp(rc_path).empty(); }, timeout_ms)) {
+      return -1;
+    }
+    return std::stoi(slurp(rc_path));
+  }
+};
+
+/// A raw protocol connection to a daemon socket.
+struct Conn {
+  int fd = -1;
+  ~Conn() { close(); }
+  void close() {
+    if (fd >= 0) ::close(fd);
+    fd = -1;
+  }
+  bool connect(const std::string& path) {
+    sockaddr_un addr{};
+    fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) return false;
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+    return ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) ==
+           0;
+  }
+  bool send(const Json& msg) {
+    std::string err;
+    return write_message(fd, msg, &err);
+  }
+  /// Reads one frame and parses it; nullopt on EOF/error.
+  std::optional<Json> recv(std::string* status_text = nullptr) {
+    std::string payload, err;
+    const FrameStatus st = read_frame(fd, &payload, &err);
+    if (st != FrameStatus::Ok) {
+      if (status_text != nullptr) {
+        *status_text = "frame status " + std::to_string(static_cast<int>(st)) +
+                       ": " + err;
+      }
+      return std::nullopt;
+    }
+    return Json::parse(payload, status_text);
+  }
+};
+
+Json job_message(const std::string& id, const std::string& circuit,
+                 unsigned k = 5, const std::string& proc = "2") {
+  JobSpec spec;
+  spec.id = id;
+  spec.circuit = circuit;
+  spec.proc = proc;
+  spec.k = k;
+  return spec.to_json();
+}
+
+std::string field(const Json& j, const char* key) {
+  const Json* f = j.find(key);
+  return f != nullptr && f->type() == Json::Type::String ? f->as_string() : "";
+}
+
+/// One-shot resynth_flow artifacts for a (circuit, proc, k) triple: bench
+/// bytes, report JSON, and stdout with the nondeterministic-path "wrote "
+/// line removed (the daemon has no --out flag, so its captured stdout ends
+/// at the verification verdict).
+struct OneShot {
+  std::string bench;
+  Json report;
+  std::string stdout_text;
+};
+
+OneShot one_shot(const std::string& circuit, unsigned k,
+                 const std::string& proc = "2") {
+  static int serial = 0;
+  const std::string bench_path = temp_path("os" + std::to_string(serial) +
+                                           ".bench");
+  const std::string report_path = temp_path("os" + std::to_string(serial) +
+                                            ".json");
+  ++serial;
+  const RunResult r = run_cmd(std::string(RESYNTH_FLOW_PATH) + " --proc=" +
+                              proc + " --k=" + std::to_string(k) + " --out=" +
+                              bench_path + " --report=" + report_path + " " +
+                              circuit);
+  EXPECT_EQ(r.exit_code, 0) << r.err;
+  OneShot os;
+  os.bench = slurp(bench_path);
+  std::string err;
+  const std::optional<Json> rep = Json::parse(slurp(report_path), &err);
+  EXPECT_TRUE(rep.has_value()) << err;
+  if (rep.has_value()) os.report = *rep;
+  // Drop the "wrote <path>" line --out appends.
+  std::istringstream is(r.out);
+  std::ostringstream kept;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.rfind("wrote ", 0) != 0) kept << line << "\n";
+  }
+  os.stdout_text = kept.str();
+  std::remove(bench_path.c_str());
+  std::remove(report_path.c_str());
+  return os;
+}
+
+/// Asserts a daemon-produced (bench, report, stdout) triple is
+/// byte-identical to the one-shot run (report masked for wall-clock only).
+void expect_matches_one_shot(const OneShot& expect, const std::string& bench,
+                             const Json& report, const std::string& stdout_text,
+                             const std::string& what) {
+  EXPECT_EQ(bench, expect.bench) << what << ": .bench differs";
+  EXPECT_EQ(stdout_text, expect.stdout_text) << what << ": stdout differs";
+  EXPECT_EQ(masked_report_dump(report), masked_report_dump(expect.report))
+      << what << ": masked report differs";
+}
+
+TEST(ServeE2e, PingStatsShutdownLifecycle) {
+  Daemon d("lifecycle");
+  d.start();
+  Conn c;
+  ASSERT_TRUE(c.connect(d.socket_path));
+  Json ping = Json::object();
+  ping.set("type", "ping");
+  ASSERT_TRUE(c.send(ping));
+  std::optional<Json> reply = c.recv();
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(field(*reply, "type"), "pong");
+  EXPECT_EQ(field(*reply, "schema"), kServeSchema);
+
+  Json stats = Json::object();
+  stats.set("type", "stats");
+  ASSERT_TRUE(c.send(stats));
+  reply = c.recv();
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(field(*reply, "type"), "stats");
+  ASSERT_NE(reply->find("jobs_received"), nullptr);
+  EXPECT_EQ(reply->find("jobs_received")->as_u64(), 0u);
+
+  Json bye = Json::object();
+  bye.set("type", "shutdown");
+  ASSERT_TRUE(c.send(bye));
+  reply = c.recv();
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(field(*reply, "type"), "bye");
+  EXPECT_EQ(d.wait_exit(), 0);
+  EXPECT_FALSE(path_exists(d.socket_path)) << "socket file not unlinked";
+  // Event log closed with a clean finish record.
+  const std::string events = slurp(d.events_path);
+  EXPECT_NE(events.find("\"type\":\"finish\""), std::string::npos);
+  EXPECT_NE(events.find("\"status\":\"ok\""), std::string::npos);
+}
+
+TEST(ServeE2e, DeterminismAcrossConcurrencyAndCacheState) {
+  const std::vector<std::string> circuits = {"c17", "s27", "add8"};
+  const unsigned k = 5;
+
+  Daemon d("determinism");
+  d.start();
+
+  // Manifest: the three circuits; replayed twice so round 0 is cache-cold
+  // and round 1 is cache-hot, at client concurrency 4.
+  Json jobs = Json::array();
+  for (const std::string& c : circuits) {
+    Json j = Json::object();
+    j.set("id", c);
+    j.set("circuit", c);
+    j.set("proc", "2");
+    j.set("k", std::uint64_t{k});
+    jobs.push(std::move(j));
+  }
+  Json manifest = Json::object();
+  manifest.set("jobs", std::move(jobs));
+  const std::string manifest_path = temp_path("det_manifest.json");
+  spit(manifest_path, manifest.dump(2));
+
+  const std::string dir4 = temp_path("det_out4");
+  const std::string dir1 = temp_path("det_out1");
+  ASSERT_EQ(std::system(("mkdir -p " + dir4 + " " + dir1).c_str()), 0);
+
+  RunResult replay = run_cmd(std::string(RESYNTH_CLIENT_PATH) + " --socket=" +
+                             d.socket_path + " --manifest=" + manifest_path +
+                             " --concurrency=4 --rounds=2 --out-dir=" + dir4);
+  EXPECT_EQ(replay.exit_code, 0) << replay.err;
+  EXPECT_NE(replay.out.find("replayed 6 job(s)"), std::string::npos)
+      << replay.out;
+
+  // Concurrency 1 against the now-hot cache.
+  replay = run_cmd(std::string(RESYNTH_CLIENT_PATH) + " --socket=" +
+                   d.socket_path + " --manifest=" + manifest_path +
+                   " --concurrency=1 --out-dir=" + dir1);
+  EXPECT_EQ(replay.exit_code, 0) << replay.err;
+
+  for (const std::string& c : circuits) {
+    const OneShot expect = one_shot(c, k);
+    for (const std::string& base :
+         {dir4 + "/" + c + ".r0", dir4 + "/" + c + ".r1", dir1 + "/" + c}) {
+      std::string err;
+      const std::optional<Json> rep =
+          Json::parse(slurp(base + ".report.json"), &err);
+      ASSERT_TRUE(rep.has_value()) << base << ": " << err;
+      expect_matches_one_shot(expect, slurp(base + ".bench"), *rep,
+                              slurp(base + ".stdout.txt"), base);
+    }
+  }
+
+  // Round 1 and the concurrency-1 replay must all have been cache hits.
+  Conn c;
+  ASSERT_TRUE(c.connect(d.socket_path));
+  Json stats = Json::object();
+  stats.set("type", "stats");
+  ASSERT_TRUE(c.send(stats));
+  const std::optional<Json> reply = c.recv();
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->find("jobs_executed")->as_u64(), circuits.size());
+  EXPECT_EQ(reply->find("cache_hits")->as_u64(), 2 * circuits.size());
+
+  Json bye = Json::object();
+  bye.set("type", "shutdown");
+  ASSERT_TRUE(c.send(bye));
+  c.recv();
+  EXPECT_EQ(d.wait_exit(), 0);
+}
+
+TEST(ServeE2e, SingleJobClientMatchesOneShot) {
+  Daemon d("single");
+  d.start();
+  const std::string bench_path = temp_path("single.bench");
+  const std::string report_path = temp_path("single.json");
+  const RunResult r = run_cmd(std::string(RESYNTH_CLIENT_PATH) + " --socket=" +
+                              d.socket_path + " --proc=2 --k=5 --out=" +
+                              bench_path + " --report=" + report_path +
+                              " mux4");
+  EXPECT_EQ(r.exit_code, 0) << r.err;
+  const OneShot expect = one_shot("mux4", 5);
+  EXPECT_EQ(slurp(bench_path), expect.bench);
+  // The client's stdout = daemon stdout + its own "wrote" line; strip it
+  // the same way one_shot strips the flow's.
+  std::istringstream is(r.out);
+  std::ostringstream kept;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.rfind("wrote ", 0) != 0) kept << line << "\n";
+  }
+  EXPECT_EQ(kept.str(), expect.stdout_text);
+  // Report files must be byte-identical after masking -- the client
+  // replicates RunReport::write's formatting exactly.
+  std::string err;
+  const std::optional<Json> rep = Json::parse(slurp(report_path), &err);
+  ASSERT_TRUE(rep.has_value()) << err;
+  EXPECT_EQ(masked_report_dump(*rep), masked_report_dump(expect.report));
+
+  run_cmd(std::string(RESYNTH_CLIENT_PATH) + " --socket=" + d.socket_path +
+          " --shutdown");
+  EXPECT_EQ(d.wait_exit(), 0);
+}
+
+TEST(ServeE2e, MalformedBenchYieldsPerJobErrorAndDaemonSurvives) {
+  Daemon d("malformed");
+  d.start();
+  Conn c;
+  ASSERT_TRUE(c.connect(d.socket_path));
+
+  JobSpec bad;
+  bad.id = "bad1";
+  bad.circuit = "garbage.bench";
+  bad.bench = "INPUT(a)\nOUTPUT(y)\ny = FROB(a)\n";
+  ASSERT_TRUE(c.send(bad.to_json()));
+  std::optional<Json> reply = c.recv();
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(field(*reply, "type"), "result");
+  EXPECT_EQ(field(*reply, "id"), "bad1");
+  EXPECT_EQ(field(*reply, "status"), "error");
+  EXPECT_FALSE(field(*reply, "error").empty());
+  // The error report carries the guard-shaped status/error meta.
+  const Json* rep = reply->find("report");
+  ASSERT_NE(rep, nullptr);
+  ASSERT_NE(rep->find("meta"), nullptr);
+  EXPECT_EQ(field(*rep->find("meta"), "status"), "error");
+
+  // Unknown circuit name: also a per-job error.
+  ASSERT_TRUE(c.send(job_message("bad2", "no_such_circuit")));
+  reply = c.recv();
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(field(*reply, "status"), "error");
+
+  // The same connection still serves valid work.
+  ASSERT_TRUE(c.send(job_message("good", "c17")));
+  reply = c.recv();
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(field(*reply, "status"), "ok");
+  EXPECT_FALSE(field(*reply, "bench").empty());
+
+  Json bye = Json::object();
+  bye.set("type", "shutdown");
+  ASSERT_TRUE(c.send(bye));
+  c.recv();
+  EXPECT_EQ(d.wait_exit(), 0);
+}
+
+TEST(ServeE2e, ProtocolErrorsDropTheConnectionNotTheDaemon) {
+  Daemon d("protocol");
+  d.start();
+
+  {
+    // Oversized length prefix: error reply, then the connection is dropped.
+    Conn c;
+    ASSERT_TRUE(c.connect(d.socket_path));
+    const char huge[4] = {'\x7f', '\xff', '\xff', '\xff'};
+    ASSERT_EQ(::write(c.fd, huge, 4), 4);
+    std::optional<Json> reply = c.recv();
+    ASSERT_TRUE(reply.has_value());
+    EXPECT_EQ(field(*reply, "type"), "error");
+    EXPECT_NE(field(*reply, "error").find("exceeds"), std::string::npos);
+    EXPECT_FALSE(c.recv().has_value()) << "connection should be closed";
+  }
+  {
+    // Truncated frame: announce 64 bytes, send 8, half-close.
+    Conn c;
+    ASSERT_TRUE(c.connect(d.socket_path));
+    const char head[4] = {0, 0, 0, 64};
+    ASSERT_EQ(::write(c.fd, head, 4), 4);
+    ASSERT_EQ(::write(c.fd, "partial!", 8), 8);
+    ASSERT_EQ(::shutdown(c.fd, SHUT_WR), 0);
+    std::optional<Json> reply = c.recv();
+    ASSERT_TRUE(reply.has_value());
+    EXPECT_EQ(field(*reply, "type"), "error");
+    EXPECT_NE(field(*reply, "error").find("ended inside"), std::string::npos);
+  }
+  {
+    // Malformed JSON payload: recoverable -- same connection keeps working.
+    Conn c;
+    ASSERT_TRUE(c.connect(d.socket_path));
+    std::string err;
+    ASSERT_TRUE(write_frame(c.fd, "this is not json", &err));
+    std::optional<Json> reply = c.recv();
+    ASSERT_TRUE(reply.has_value());
+    EXPECT_EQ(field(*reply, "type"), "error");
+    Json ping = Json::object();
+    ping.set("type", "ping");
+    ASSERT_TRUE(c.send(ping));
+    reply = c.recv();
+    ASSERT_TRUE(reply.has_value());
+    EXPECT_EQ(field(*reply, "type"), "pong");
+  }
+  // After all that abuse the daemon still executes jobs.
+  Conn c;
+  ASSERT_TRUE(c.connect(d.socket_path));
+  ASSERT_TRUE(c.send(job_message("after", "c17")));
+  const std::optional<Json> reply = c.recv();
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(field(*reply, "status"), "ok");
+
+  Json bye = Json::object();
+  bye.set("type", "shutdown");
+  ASSERT_TRUE(c.send(bye));
+  c.recv();
+  EXPECT_EQ(d.wait_exit(), 0);
+}
+
+TEST(ServeE2e, MidJobClientDisconnectIsAPerJobFailure) {
+  Daemon d("disconnect");
+  d.start();
+  {
+    Conn doomed;
+    ASSERT_TRUE(doomed.connect(d.socket_path));
+    ASSERT_TRUE(doomed.send(job_message("gone", "add8")));
+    doomed.close();  // vanish before the result can be written
+  }
+  Conn c;
+  ASSERT_TRUE(c.connect(d.socket_path));
+  ASSERT_TRUE(c.send(job_message("alive", "add8")));
+  const std::optional<Json> reply = c.recv();
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(field(*reply, "status"), "ok");
+
+  Json bye = Json::object();
+  bye.set("type", "shutdown");
+  ASSERT_TRUE(c.send(bye));
+  c.recv();
+  EXPECT_EQ(d.wait_exit(), 0);
+}
+
+TEST(ServeE2e, SigtermDrainsWithExit143AndUnlinkedSocket) {
+  Daemon d("sigterm");
+  d.start();
+  Conn c;
+  ASSERT_TRUE(c.connect(d.socket_path));
+  // One long job in flight plus queued work behind it.
+  ASSERT_TRUE(c.send(job_message("long", "syn150", /*k=*/6)));
+  ASSERT_TRUE(c.send(job_message("q1", "add8")));
+  ASSERT_TRUE(c.send(job_message("q2", "mux4")));
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  ASSERT_EQ(::kill(d.pid, SIGTERM), 0);
+
+  // Every submitted job is answered -- the in-flight one after winding down
+  // at a poll point, the queued ones without running.
+  std::vector<Json> results;
+  for (int i = 0; i < 3; ++i) {
+    std::optional<Json> reply = c.recv();
+    if (!reply.has_value()) break;
+    results.push_back(*reply);
+  }
+  ASSERT_EQ(results.size(), 3u) << "jobs went unanswered during the drain";
+  int interrupted = 0;
+  for (const Json& r : results) {
+    EXPECT_EQ(field(r, "type"), "result");
+    if (field(r, "status") == "interrupted") ++interrupted;
+  }
+  // The queued jobs (at least) must be interrupted; the in-flight one may
+  // have finished before the signal landed on a fast machine.
+  EXPECT_GE(interrupted, 2) << "queued jobs were not drained as interrupted";
+  EXPECT_EQ(d.wait_exit(), 143);
+  EXPECT_FALSE(path_exists(d.socket_path)) << "socket file not unlinked";
+  const std::string events = slurp(d.events_path);
+  EXPECT_NE(events.find("\"status\":\"interrupted\""), std::string::npos);
+}
+
+TEST(ServeE2e, StdioTransportServesOneClient) {
+  int to_daemon[2], from_daemon[2];
+  ASSERT_EQ(::pipe(to_daemon), 0);
+  ASSERT_EQ(::pipe(from_daemon), 0);
+  const pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    ::dup2(to_daemon[0], 0);
+    ::dup2(from_daemon[1], 1);
+    ::close(to_daemon[0]);
+    ::close(to_daemon[1]);
+    ::close(from_daemon[0]);
+    ::close(from_daemon[1]);
+    ::execl(RESYNTH_SERVE_PATH, "resynth_serve", "--stdio",
+            static_cast<char*>(nullptr));
+    ::_exit(127);
+  }
+  ::close(to_daemon[0]);
+  ::close(from_daemon[1]);
+  const int wfd = to_daemon[1];
+  const int rfd = from_daemon[0];
+
+  std::string err;
+  Json ping = Json::object();
+  ping.set("type", "ping");
+  ASSERT_TRUE(write_message(wfd, ping, &err)) << err;
+  std::string payload;
+  ASSERT_EQ(read_frame(rfd, &payload, &err), FrameStatus::Ok) << err;
+  std::optional<Json> reply = Json::parse(payload, &err);
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(field(*reply, "type"), "pong");
+
+  ASSERT_TRUE(write_message(wfd, job_message("stdio1", "c17"), &err));
+  ASSERT_EQ(read_frame(rfd, &payload, &err), FrameStatus::Ok) << err;
+  reply = Json::parse(payload, &err);
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(field(*reply, "status"), "ok");
+  EXPECT_FALSE(field(*reply, "bench").empty());
+
+  // EOF on stdin is the stdio-mode shutdown request: graceful drain, exit 0.
+  ::close(wfd);
+  int wstatus = 0;
+  ASSERT_EQ(::waitpid(pid, &wstatus, 0), pid);
+  ASSERT_TRUE(WIFEXITED(wstatus));
+  EXPECT_EQ(WEXITSTATUS(wstatus), 0);
+  ::close(rfd);
+}
+
+}  // namespace
+}  // namespace compsyn::serve
