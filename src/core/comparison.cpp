@@ -1,6 +1,7 @@
 #include "core/comparison.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <cstdint>
 #include <numeric>
@@ -37,28 +38,13 @@ namespace {
 
 /// Derives L and U for a known-valid ordering and verifies contiguity.
 /// Returns false if the ON-set values under `perm` are not contiguous.
+///
+/// The decimal value of a minterm under `perm` is exactly its index in the
+/// permuted table, so this is the word-level interval kernel applied to
+/// f.permuted(perm) -- no per-minterm gather loop.
 bool bounds_for_order(const TruthTable& f, const std::vector<unsigned>& perm,
                       std::uint32_t& lower, std::uint32_t& upper) {
-  const unsigned n = f.num_vars();
-  std::vector<unsigned> pos(n);
-  for (unsigned j = 0; j < n; ++j) pos[perm[j]] = j;
-  std::uint32_t lo = ~0u, hi = 0, count = 0;
-  for (std::uint32_t m = 0; m < f.num_minterms(); ++m) {
-    if (!f.get(m)) continue;
-    std::uint32_t value = 0;
-    for (unsigned v = 0; v < n; ++v) {
-      const std::uint32_t bit = (m >> (n - 1 - v)) & 1u;
-      value |= bit << (n - 1 - pos[v]);
-    }
-    lo = std::min(lo, value);
-    hi = std::max(hi, value);
-    ++count;
-  }
-  if (count == 0) return false;
-  if (hi - lo + 1 != count) return false;
-  lower = lo;
-  upper = hi;
-  return true;
+  return f.permuted(perm).interval_bounds(&lower, &upper);
 }
 
 /// Exact search. Maintains the chosen prefix of the order (original variable
@@ -73,9 +59,22 @@ class ExactSearch {
     std::iota(vars.begin(), vars.end(), 0u);
     prefix_.clear();
     results_.clear();
+    prefix_lens_.clear();
     interval(original_, vars);
+    truncated_ = results_.size() >= max_results_;
     return std::move(results_);
   }
+
+  /// Per emitted order: how many leading entries the DFS chose explicitly.
+  /// The tail past that boundary is a don't-care completion, emitted in
+  /// ascending variable order -- the orbit memo's permutation mapping
+  /// (derive_orbit_specs) needs the boundary to re-sort the tail for a
+  /// relabeled query. Parallel to run()'s result; read after run().
+  const std::vector<unsigned>& prefix_lens() const { return prefix_lens_; }
+
+  /// True when the search stopped at the result cap, i.e. the emitted set
+  /// may be a strict lex-prefix of all valid orders. Valid after run().
+  bool truncated() const { return truncated_; }
 
  private:
   bool full() const { return results_.size() >= max_results_; }
@@ -84,6 +83,7 @@ class ExactSearch {
     if (full()) return;
     std::vector<unsigned> order = prefix_;
     order.insert(order.end(), rest.begin(), rest.end());
+    prefix_lens_.push_back(static_cast<unsigned>(prefix_.size()));
     results_.push_back(std::move(order));
   }
 
@@ -204,16 +204,29 @@ class ExactSearch {
   unsigned max_results_;
   std::vector<unsigned> prefix_;
   std::vector<std::vector<unsigned>> results_;
+  std::vector<unsigned> prefix_lens_;
+  bool truncated_ = false;
 };
 
+/// prefix_lens / truncated are optional side channels for the orbit memo
+/// (exact engine only): the DFS boundary of each emitted order and whether
+/// the result cap cut the emission short.
 void collect_specs(const TruthTable& f, bool complemented, const IdentifyOptions& opt,
-                   std::vector<ComparisonSpec>& out) {
+                   std::vector<ComparisonSpec>& out,
+                   std::vector<unsigned>* prefix_lens = nullptr,
+                   bool* truncated = nullptr) {
   const unsigned n = f.num_vars();
   if (f.is_const_zero()) return;  // handled by the caller via the complement
 
   std::vector<std::vector<unsigned>> orders;
   if (opt.exact) {
-    orders = ExactSearch(f, opt.max_results).run();
+    ExactSearch search(f, opt.max_results);
+    orders = search.run();
+    if (prefix_lens) {
+      prefix_lens->insert(prefix_lens->end(), search.prefix_lens().begin(),
+                          search.prefix_lens().end());
+    }
+    if (truncated) *truncated = search.truncated();
   } else {
     assert(opt.rng != nullptr && "sampled identification needs an Rng");
     // Identity and reversal first, then random permutations, as in Sec. 5.
@@ -312,6 +325,199 @@ bool memo_entry_matches(const ExactMemoEntry& e, const TruthTable& f,
          e.max_results == opt.max_results && e.table == f;
 }
 
+// --- NPN-orbit memo tier ----------------------------------------------------
+//
+// Tier 1 above memoises per exact table; this tier collapses whole orbits
+// under input permutations x output polarity x whole-input reflection onto
+// one entry, keyed by the signature of the orbit's canonical table
+// (core/signature.hpp, NpnGroup::kPermOutputReflect). Reuse only happens
+// where the returned spec vector is provably byte-identical to a fresh
+// search:
+//
+//  * Negative results (f's orbit is not a comparison orbit) are shared
+//    across the whole orbit. Sound because the comparison-function class is
+//    closed under input permutations, output complement, and negating ALL
+//    inputs at once (the reflection v -> 2^n-1-v maps intervals to
+//    intervals) -- but NOT under arbitrary input negations, which is why
+//    the orbit group is kPermOutputReflect and not full NPN (3-variable
+//    counterexample in DESIGN.md sect. 14).
+//  * Positive results are derived through the group element relating the
+//    query to the stored representative (derive_orbit_specs below). Output
+//    complement swaps the two polarity halves of the search verbatim;
+//    the reflection preserves the emitted order sequence (the DFS mirrors
+//    suffix <-> prefix_interval node for node); an input permutation maps
+//    the DFS tree isomorphically, so the fresh emission set is the mapped
+//    set re-sorted lexicographically (emissions are always in lex order) --
+//    but only when the stored search was NOT truncated by the result cap,
+//    since truncation keeps a lex-prefix whose image need not be the
+//    mapped query's lex-prefix. Non-derivable cases fall back to a fresh
+//    search (counted as positive_fallbacks).
+//
+// Every hit is confirmed by an exact canonical-table compare, the relating
+// transform is verified by applying it to the representative, and every
+// derived spec's bounds are recomputed against the query, so a collision or
+// a derivation gap costs one fresh search but can never return a wrong or
+// differently-ordered cached answer.
+struct NpnOrbitEntry {
+  TruthTable canonical;       // exact-confirm key for the orbit
+  TruthTable representative;  // first member queried (tier-1-missed)
+  NpnTransform to_canonical;  // representative -> canonical
+  unsigned max_results = 0;   // flags rep_specs were computed under
+  bool has_specs = false;     // orbit-level: is this a comparison orbit?
+  bool plain_truncated = false;  // ExactSearch(rep) hit the result cap
+  bool comp_truncated = false;   // ExactSearch(~rep) hit the result cap
+  std::vector<ComparisonSpec> rep_specs;
+  std::vector<unsigned> prefix_lens;  // parallel to rep_specs (DFS boundary)
+};
+
+struct NpnMemo {
+  std::unordered_map<std::uint64_t, std::vector<NpnOrbitEntry>> buckets;
+  std::size_t entries = 0;
+};
+
+NpnMemo& npn_memo() {
+  thread_local NpnMemo memo;
+  return memo;
+}
+
+/// Largest cone arity the orbit tier canonicalizes: 2*n! sift steps per
+/// tier-1 miss stays well under one exact search at n <= 7 (K <= 8 cones).
+constexpr unsigned kNpnMemoMaxVars = 7;
+constexpr std::size_t kNpnMemoCap = 1u << 14;
+
+/// Process-global relaxed tallies (comparison.hpp: npn_identify_stats).
+struct NpnStatsAtomics {
+  std::atomic<std::uint64_t> canonicalizations{0};
+  std::atomic<std::uint64_t> orbit_hits{0};
+  std::atomic<std::uint64_t> negative_reuses{0};
+  std::atomic<std::uint64_t> transform_reuses{0};
+  std::atomic<std::uint64_t> positive_fallbacks{0};
+  std::atomic<std::uint64_t> confirm_rejects{0};
+  std::atomic<std::uint64_t> exact_searches{0};
+};
+
+NpnStatsAtomics& npn_atomics() {
+  static NpnStatsAtomics stats;
+  return stats;
+}
+
+void npn_count(std::atomic<std::uint64_t>& counter, const char* name,
+               bool tally) {
+  counter.fetch_add(1, std::memory_order_relaxed);
+  // Registry counters land in reports, so they follow the PR 3 contract:
+  // only tallied outside exec regions, keeping reports jobs-invariant.
+  if (tally) Counters::incr(name);
+}
+
+/// One polarity half of a stored search, in emission order.
+struct SpecHalf {
+  std::vector<const ComparisonSpec*> specs;
+  std::vector<unsigned> lens;  // parallel DFS boundaries
+  bool truncated = false;
+};
+
+/// Reconstructs the query f's fresh-search spec vector from the stored
+/// representative search, given the group element relating them:
+///   f == (relate applied to rep)  with  relate = f_to_canonical^-1 o
+///   e.to_canonical  (verified by the caller).
+/// Returns false (leaving *out unspecified) when the derivation is not
+/// provably byte-exact: a non-identity permutation over a truncated half,
+/// or a recomputed bound that fails to confirm.
+///
+/// Why each group generator is byte-exact (DESIGN.md sect. 14):
+///  * output complement swaps the polarity halves verbatim (ExactSearch(~g)
+///    IS the DFS the complement half of g's query ran);
+///  * whole-input reflection leaves the emitted order sequence unchanged
+///    (cofactor branches swap 0<->1, turning every suffix node into the
+///    mirror prefix_interval node and vice versa, over the same variable
+///    choice loop -- same prefixes, same emission points);
+///  * an input relabeling maps the DFS tree isomorphically: the fresh
+///    emission set is { mapped prefix + ascending mapped tail } and the
+///    fresh emission sequence is that set in lex order (children are
+///    visited in ascending-label order, so emission order is always lex).
+///    Needs the stored half complete -- a truncated half is a lex-prefix
+///    whose image need not be the lex-prefix of the mapped set.
+bool derive_orbit_specs(const NpnOrbitEntry& e, const TruthTable& f,
+                        const NpnTransform& f_to_canonical,
+                        std::vector<ComparisonSpec>* out) {
+  const unsigned n = f.num_vars();
+  // Relating element, rep -> f: compose e.to_canonical with the inverse of
+  // f's transform. Both are kPermOutputReflect elements, so the composition
+  // is (perm, whole-input reflection, output complement) -- the reflection
+  // commutes with permutations and the output bit with everything.
+  const bool rel_out = f_to_canonical.output_neg != e.to_canonical.output_neg;
+  const bool rel_reflect =
+      (f_to_canonical.input_neg != 0) != (e.to_canonical.input_neg != 0);
+  // Variable map, rep labels -> f labels: canonical position j holds rep
+  // var e.to_canonical.perm[j] and f var f_to_canonical.perm[j], so
+  // matching positions gives the label bijection.
+  std::vector<unsigned> map(n);
+  for (unsigned j = 0; j < n; ++j) {
+    map[e.to_canonical.perm[j]] = f_to_canonical.perm[j];
+  }
+  bool identity = true;
+  for (unsigned v = 0; v < n; ++v) identity = identity && map[v] == v;
+
+  // Confirm the composed relation really maps the representative onto the
+  // query before trusting any of it (a handful of kernel calls; collisions
+  // or composition gaps then cost a fresh search, never a wrong answer).
+  {
+    NpnTransform relate;
+    relate.perm.resize(n);
+    for (unsigned v = 0; v < n; ++v) relate.perm[map[v]] = v;
+    relate.input_neg = rel_reflect && n != 0 ? ((1u << n) - 1u) : 0u;
+    relate.output_neg = rel_out;
+    if (!(relate.apply(e.representative) == f)) return false;
+  }
+
+  // Split the stored vector into its polarity halves (emission order kept),
+  // then pick which stored half feeds which half of the derived query:
+  // rel_out swaps them.
+  SpecHalf halves[2];  // [0] plain, [1] complemented
+  halves[0].truncated = e.plain_truncated;
+  halves[1].truncated = e.comp_truncated;
+  for (std::size_t i = 0; i < e.rep_specs.size(); ++i) {
+    SpecHalf& h = halves[e.rep_specs[i].complemented ? 1 : 0];
+    h.specs.push_back(&e.rep_specs[i]);
+    h.lens.push_back(e.prefix_lens[i]);
+  }
+
+  out->clear();
+  for (int target = 0; target < 2; ++target) {
+    const SpecHalf& src = halves[rel_out ? 1 - target : target];
+    if (src.specs.empty()) continue;
+    if (!identity && src.truncated) return false;
+    const TruthTable target_table = target ? f.complemented() : f;
+    std::vector<std::vector<unsigned>> orders;
+    orders.reserve(src.specs.size());
+    for (std::size_t i = 0; i < src.specs.size(); ++i) {
+      const std::vector<unsigned>& o = src.specs[i]->perm;
+      std::vector<unsigned> m(n);
+      for (unsigned k = 0; k < n; ++k) m[k] = map[o[k]];
+      // The DFS tail is a don't-care completion emitted in ascending
+      // order; re-sort the mapped tail the way the fresh search would.
+      std::sort(m.begin() + src.lens[i], m.end());
+      orders.push_back(std::move(m));
+    }
+    // Fresh emissions arrive in lex order of the full order vectors.
+    if (!identity) std::sort(orders.begin(), orders.end());
+    for (auto& order : orders) {
+      ComparisonSpec spec;
+      spec.n = n;
+      spec.complemented = target != 0;
+      spec.perm = std::move(order);
+      // Recompute (confirming) the interval bounds against the query; a
+      // failure here means the derivation reasoning did not hold for this
+      // member, so reject the whole reuse and let the caller search.
+      if (!bounds_for_order(target_table, spec.perm, spec.lower, spec.upper)) {
+        return false;
+      }
+      out->push_back(std::move(spec));
+    }
+  }
+  return true;
+}
+
 }  // namespace
 
 std::vector<ComparisonSpec> identify_comparison(const TruthTable& f,
@@ -366,9 +572,74 @@ std::vector<ComparisonSpec> identify_comparison(const TruthTable& f,
     }
     if (tally) Counters::incr("identify.memo.misses");
     note_memo_query(memo, /*hit=*/false);
-    collect_specs(f, /*complemented=*/false, opt, out);
-    if (opt.try_complement) {
-      collect_specs(f.complemented(), /*complemented=*/true, opt, out);
+
+    // Tier 2: the NPN-orbit memo. Only for the flag shape the resynthesis
+    // hot path uses (try_complement, bounded results) and small arities;
+    // everything else takes the plain search below.
+    const bool use_npn = opt.npn_memo && opt.try_complement &&
+                         opt.max_results > 0 && n <= kNpnMemoMaxVars;
+    NpnMemo& nmemo = npn_memo();
+    NpnStatsAtomics& stats = npn_atomics();
+    std::uint64_t nsig = 0;
+    NpnCanonical canon;
+    NpnOrbitEntry* orbit = nullptr;
+    bool reused = false;
+    if (use_npn) {
+      canon = npn_canonicalize(f, NpnGroup::kPermOutputReflect);
+      npn_count(stats.canonicalizations, "identify.npn.canonicalizations", tally);
+      nsig = signature_mix(table_signature(canon.table), opt.max_results);
+      auto nit = nmemo.buckets.find(nsig);
+      if (nit != nmemo.buckets.end()) {
+        for (NpnOrbitEntry& e : nit->second) {
+          if (e.max_results == opt.max_results && e.canonical == canon.table) {
+            orbit = &e;
+            break;
+          }
+        }
+        if (!orbit) {
+          npn_count(stats.confirm_rejects, "identify.npn.confirm_rejects", tally);
+        }
+      }
+      if (orbit) {
+        npn_count(stats.orbit_hits, "identify.npn.orbit_hits", tally);
+        if (!orbit->has_specs) {
+          // The orbit has no comparison member under any permutation,
+          // output polarity, or reflection: empty result, no search.
+          npn_count(stats.negative_reuses, "identify.npn.negative_reuses", tally);
+          reused = true;
+        } else if (derive_orbit_specs(*orbit, f, canon.transform, &out)) {
+          npn_count(stats.transform_reuses, "identify.npn.transform_reuses", tally);
+          reused = true;
+        } else {
+          // Not derivable byte-exactly (truncated stored search under a
+          // real relabeling, or a confirm failed): fresh search below.
+          out.clear();
+          npn_count(stats.positive_fallbacks, "identify.npn.positive_fallbacks", tally);
+        }
+      }
+    }
+    if (!reused) {
+      npn_count(stats.exact_searches, "identify.npn.exact_searches", tally);
+      std::vector<unsigned> lens;
+      bool plain_trunc = false;
+      bool comp_trunc = false;
+      collect_specs(f, /*complemented=*/false, opt, out,
+                    use_npn ? &lens : nullptr, use_npn ? &plain_trunc : nullptr);
+      if (opt.try_complement) {
+        collect_specs(f.complemented(), /*complemented=*/true, opt, out,
+                      use_npn ? &lens : nullptr, use_npn ? &comp_trunc : nullptr);
+      }
+      if (use_npn && !orbit) {
+        if (nmemo.entries >= kNpnMemoCap) {
+          nmemo.buckets.clear();
+          nmemo.entries = 0;
+        }
+        nmemo.buckets[nsig].push_back(NpnOrbitEntry{
+            std::move(canon.table), f, std::move(canon.transform),
+            opt.max_results, !out.empty(), plain_trunc, comp_trunc, out,
+            std::move(lens)});
+        ++nmemo.entries;
+      }
     }
     if (memo.entries >= kMemoCap) {
       memo.buckets.clear();
@@ -396,6 +667,22 @@ void clear_exact_identification_memo() {
   memo.entries = 0;
   memo.queries = 0;
   memo.hits = 0;
+  NpnMemo& nmemo = npn_memo();
+  nmemo.buckets.clear();
+  nmemo.entries = 0;
+}
+
+NpnIdentifyStats npn_identify_stats() {
+  const NpnStatsAtomics& a = npn_atomics();
+  NpnIdentifyStats s;
+  s.canonicalizations = a.canonicalizations.load(std::memory_order_relaxed);
+  s.orbit_hits = a.orbit_hits.load(std::memory_order_relaxed);
+  s.negative_reuses = a.negative_reuses.load(std::memory_order_relaxed);
+  s.transform_reuses = a.transform_reuses.load(std::memory_order_relaxed);
+  s.positive_fallbacks = a.positive_fallbacks.load(std::memory_order_relaxed);
+  s.confirm_rejects = a.confirm_rejects.load(std::memory_order_relaxed);
+  s.exact_searches = a.exact_searches.load(std::memory_order_relaxed);
+  return s;
 }
 
 bool is_comparison_function(const TruthTable& f) {

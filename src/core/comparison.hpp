@@ -45,6 +45,14 @@ struct IdentifyOptions {
   bool try_complement = true;
   unsigned max_results = 16;    // specs to collect per polarity
   Rng* rng = nullptr;           // required when !exact
+  // Second memo tier for the exact engine: canonicalize the query under
+  // input permutations x output polarity x whole-input reflection
+  // (core/signature.hpp, kPermOutputReflect) and share one identification
+  // result per orbit. Behaviour-preserving -- reuse only happens where the
+  // returned spec vector is provably byte-identical to a fresh search (see
+  // DESIGN.md sect. 14) -- so the toggle exists for baselines and
+  // differential tests, not correctness.
+  bool npn_memo = true;
 };
 
 /// All discovered specs (up to 2*max_results), non-complemented first.
@@ -57,12 +65,33 @@ std::vector<ComparisonSpec> identify_comparison(const TruthTable& f,
 /// Convenience: true if the exact engine finds a spec.
 bool is_comparison_function(const TruthTable& f);
 
-/// Drops the calling thread's exact-identification memo (buckets and
-/// hit/miss tallies). The serve daemon calls this between jobs so every
-/// job's identify.memo.* counter stream matches a fresh process run;
-/// results never depend on memo state (every hit is exact-confirmed), only
-/// the hit/miss split does.
+/// Drops the calling thread's exact-identification memo (both the per-table
+/// tier and the NPN-orbit tier, buckets and hit/miss tallies). The serve
+/// daemon calls this between jobs so every job's identify.memo.* /
+/// identify.npn.* counter stream matches a fresh process run; results never
+/// depend on memo state (every hit is exact-confirmed), only the hit/miss
+/// split does.
 void clear_exact_identification_memo();
+
+/// Process-global tallies of the NPN-orbit memo tier, accumulated with
+/// relaxed atomics across all threads since process start (never reset, not
+/// part of any report). exact_searches counts full exact-engine searches
+/// regardless of the npn_memo toggle, so an off-vs-on delta of two
+/// snapshots measures exactly the searches the orbit tier removed.
+/// Deterministic at --jobs=1; bench binaries snapshot it there.
+struct NpnIdentifyStats {
+  std::uint64_t canonicalizations = 0;  // orbit keys computed (tier-1 misses)
+  std::uint64_t orbit_hits = 0;         // confirmed canonical-table matches
+  std::uint64_t negative_reuses = 0;    // "not a comparison orbit" reused
+  std::uint64_t transform_reuses = 0;   // positive specs mapped through the
+                                        // stored polarity transform
+  std::uint64_t positive_fallbacks = 0; // orbit hit, but only a fresh search
+                                        // is byte-exact (perm-related member)
+  std::uint64_t confirm_rejects = 0;    // signature or derivation confirm
+                                        // failures (collisions; counted, safe)
+  std::uint64_t exact_searches = 0;     // full searches actually executed
+};
+NpnIdentifyStats npn_identify_stats();
 
 /// Checks that a (perm, L, U) triple really describes f (used by tests and
 /// by the sampled engine).

@@ -1,5 +1,10 @@
 #include "core/signature.hpp"
 
+#include <array>
+#include <bit>
+#include <cassert>
+#include <numeric>
+
 #include "util/rng.hpp"
 
 namespace compsyn {
@@ -25,6 +30,110 @@ std::vector<std::uint64_t> node_signatures(const Netlist& nl, std::uint64_t seed
   std::vector<std::uint64_t> sig;
   nl.simulate_into(pi, sig);
   return sig;
+}
+
+namespace {
+
+std::uint64_t factorial(unsigned n) {
+  std::uint64_t f = 1;
+  for (unsigned i = 2; i <= n; ++i) f *= i;
+  return f;
+}
+
+/// Plain-changes generator: weaves element n-1 through every permutation of
+/// the first n-1 elements, alternating sweep direction, with one sub-swap
+/// between sweeps (offset by 1 while the woven element sits at the front).
+std::vector<unsigned> gen_plain_changes(unsigned n) {
+  if (n < 2) return {};
+  const std::vector<unsigned> sub = gen_plain_changes(n - 1);
+  const std::uint64_t blocks = factorial(n - 1);
+  std::vector<unsigned> out;
+  out.reserve(static_cast<std::size_t>(factorial(n)) - 1);
+  bool down = true;
+  std::size_t si = 0;
+  for (std::uint64_t block = 0; block < blocks; ++block) {
+    if (down) {
+      for (unsigned p = n - 1; p-- > 0;) out.push_back(p);
+    } else {
+      for (unsigned p = 0; p < n - 1; ++p) out.push_back(p);
+    }
+    if (block + 1 < blocks) {
+      out.push_back(down ? sub[si] + 1 : sub[si]);
+      ++si;
+      down = !down;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+const std::vector<unsigned>& plain_changes_schedule(unsigned n) {
+  // 8! - 1 = 40319 swaps is the largest schedule we materialise; the memo
+  // canonicalizes n <= 7 cones and the property tests n <= 5.
+  assert(n <= 8 && "n! adjacent swaps: keep the schedule small");
+  static const std::array<std::vector<unsigned>, 9> schedules = [] {
+    std::array<std::vector<unsigned>, 9> s;
+    for (unsigned i = 0; i <= 8; ++i) s[i] = gen_plain_changes(i);
+    return s;
+  }();
+  return schedules[n];
+}
+
+TruthTable NpnTransform::apply(const TruthTable& f) const {
+  TruthTable h = output_neg ? f.complemented() : f;
+  for (unsigned v = 0; v < f.num_vars(); ++v) {
+    if ((input_neg >> v) & 1u) h.flip_input_inplace(v);
+  }
+  return h.permuted(perm);
+}
+
+NpnCanonical npn_canonicalize(const TruthTable& f, NpnGroup group) {
+  const unsigned n = f.num_vars();
+  const auto& swaps = plain_changes_schedule(n);
+  NpnCanonical best;
+  bool have = false;
+  std::vector<unsigned> perm(n);
+
+  const auto consider = [&](const TruthTable& t, std::uint32_t mask, bool out) {
+    if (have && t.compare_words(best.table) >= 0) return;
+    best.table = t;
+    best.transform.perm = perm;
+    best.transform.input_neg = mask;
+    best.transform.output_neg = out;
+    have = true;
+  };
+
+  const std::uint32_t all = n == 0 ? 0u : ((1u << n) - 1u);
+  const std::uint32_t nmasks = group == NpnGroup::kFull ? (1u << n)
+                               : group == NpnGroup::kPermOutputReflect ? 2u
+                                                                       : 1u;
+  for (int o = 0; o < 2; ++o) {
+    // Base for this output polarity; polarity masks walk so each step flips
+    // inputs incrementally (Gray order for kFull: one kernel call per step;
+    // the reflection group steps 0 -> all-ones, n calls once).
+    TruthTable mb = o ? f.complemented() : f;
+    std::uint32_t mask = 0;
+    for (std::uint32_t g = 0; g < nmasks; ++g) {
+      const std::uint32_t next =
+          group == NpnGroup::kFull ? (g ^ (g >> 1)) : (g == 0 ? 0u : all);
+      for (std::uint32_t diff = mask ^ next; diff != 0; diff &= diff - 1) {
+        mb.flip_input_inplace(static_cast<unsigned>(std::countr_zero(diff)));
+      }
+      mask = next;
+      TruthTable t = mb;
+      std::iota(perm.begin(), perm.end(), 0u);
+      consider(t, mask, o != 0);
+      for (unsigned p : swaps) {
+        t.swap_adjacent_inplace(p);
+        std::swap(perm[p], perm[p + 1]);
+        consider(t, mask, o != 0);
+      }
+    }
+  }
+  assert(have);
+  assert(best.transform.apply(f) == best.table);
+  return best;
 }
 
 }  // namespace compsyn

@@ -45,4 +45,62 @@ std::uint64_t table_signature(const TruthTable& f);
 std::vector<std::uint64_t> node_signatures(const Netlist& nl,
                                            std::uint64_t seed = kNodeSignatureSeed);
 
+// --- NPN canonicalization ---------------------------------------------------
+//
+// Two functions are NPN-equivalent when one becomes the other under some
+// input permutation, input polarity flips, and/or an output polarity flip.
+// npn_canonicalize picks one fixed representative per orbit (the minimum
+// table under TruthTable::compare_words) by sifting the table through the
+// whole group with the word-level swap/flip/complement kernels: a
+// plain-changes (Steinhaus-Johnson-Trotter) schedule of adjacent-variable
+// swaps crossed with a Gray-code walk over polarity masks, so every orbit
+// member is visited one O(words) kernel step from the previous one.
+//
+// The group is selectable because different consumers need different orbits:
+// the comparison-identification memo (core/comparison.cpp) shares results
+// across kPermOutputReflect -- the comparison-function class is provably NOT
+// closed under single input negations (see DESIGN.md sect. 14 for the
+// 3-variable counterexample), so collapsing full NPN orbits there would
+// corrupt results; but negating ALL inputs at once reflects the value order
+// (v -> 2^n-1-v), which maps intervals to intervals, so membership IS
+// closed under the reflection. kFull is exact canonical NPN for consumers
+// whose property is fully orbit-invariant (and for the property tests).
+
+enum class NpnGroup {
+  kPermOutput,         // input permutations x output polarity
+  kPermOutputReflect,  // ... plus negating ALL inputs at once (value reversal)
+  kFull,               // ... plus arbitrary input polarities (full NPN)
+};
+
+/// A transform from a function f to a member of its orbit. Application
+/// order: complement the output (if output_neg), flip the polarity of every
+/// input whose bit is set in input_neg (bit v = original variable v), then
+/// permute (result position j holds original variable perm[j]).
+struct NpnTransform {
+  std::vector<unsigned> perm;
+  std::uint32_t input_neg = 0;
+  bool output_neg = false;
+
+  TruthTable apply(const TruthTable& f) const;
+};
+
+struct NpnCanonical {
+  TruthTable table;        // the orbit's canonical representative
+  NpnTransform transform;  // transform.apply(f) == table, exactly
+};
+
+/// Canonical representative of f's orbit under `group`, plus a transform
+/// that maps f onto it. Deterministic; same table for every orbit member.
+/// Cost is O(group size) kernel steps: 2*n! for kPermOutput, 4*n! for
+/// kPermOutputReflect, 2^(n+1)*n! for kFull -- intended for the small cone
+/// arities (n <= 7) the procedures use.
+NpnCanonical npn_canonicalize(const TruthTable& f,
+                              NpnGroup group = NpnGroup::kFull);
+
+/// The adjacent-transposition schedule that visits all n! permutations
+/// (plain changes): applying swap (p, p+1) for each p in the returned list
+/// steps through every permutation exactly once. Exposed for tests and for
+/// callers that sift tables themselves. Materialised once per n, n <= 8.
+const std::vector<unsigned>& plain_changes_schedule(unsigned n);
+
 }  // namespace compsyn

@@ -1,10 +1,33 @@
 #include "core/truth_table.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <cassert>
+#include <numeric>
 #include <stdexcept>
 
 namespace compsyn {
+
+namespace {
+
+// kVarMask[s]: the bits of a 64-bit word whose bit index has bit s SET --
+// the half of every 2^(s+1)-aligned block where in-word minterm bit s is 1.
+// These are the classic masks behind delta-swap variable exchanges.
+constexpr std::uint64_t kVarMask[6] = {
+    0xaaaaaaaaaaaaaaaaull, 0xccccccccccccccccull, 0xf0f0f0f0f0f0f0f0ull,
+    0xff00ff00ff00ff00ull, 0xffff0000ffff0000ull, 0xffffffff00000000ull,
+};
+
+/// Delta-swap of in-word minterm bits b and b+1 (b <= 4): exchanges the
+/// (bit_b=1, bit_{b+1}=0) sub-blocks with their (0,1) partners 2^b above.
+inline std::uint64_t word_swap_adjacent_bits(std::uint64_t w, unsigned b) {
+  const std::uint64_t mask = kVarMask[b] & ~kVarMask[b + 1];
+  const unsigned d = 1u << b;
+  const std::uint64_t t = (w ^ (w >> d)) & mask;
+  return w ^ t ^ (t << d);
+}
+
+}  // namespace
 
 TruthTable::TruthTable(unsigned n) : n_(n) {
   if (n > 16) throw std::invalid_argument("TruthTable supports at most 16 variables");
@@ -56,26 +79,87 @@ bool TruthTable::is_const_zero() const { return count_ones() == 0; }
 bool TruthTable::is_const_one() const { return count_ones() == num_minterms(); }
 
 TruthTable TruthTable::complemented() const {
-  TruthTable t(n_);
+  TruthTable t = *this;
+  t.complement_inplace();
+  return t;
+}
+
+void TruthTable::complement_inplace() {
   const std::uint64_t last_mask =
       n_ >= 6 ? ~0ull : ((1ull << num_minterms()) - 1ull);
-  for (std::size_t i = 0; i < words_.size(); ++i) t.words_[i] = ~words_[i];
-  t.words_.back() &= last_mask;
+  for (auto& w : words_) w = ~w;
+  words_.back() &= last_mask;
+}
+
+void TruthTable::swap_adjacent_inplace(unsigned pos) {
+  assert(pos + 1 < n_);
+  const unsigned a = n_ - 1 - pos;  // minterm bit of the variable at `pos`
+  const unsigned b = a - 1;         // ... and at `pos + 1`
+  if (a < 6) {
+    // Both bits live inside each word: one delta swap per word.
+    for (auto& w : words_) w = word_swap_adjacent_bits(w, b);
+  } else if (b >= 6) {
+    // Both bits select the word index: swap word pairs.
+    const std::size_t db = std::size_t{1} << (b - 6);
+    const std::size_t da = std::size_t{1} << (a - 6);
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      if ((w & db) && !(w & da)) std::swap(words_[w], words_[w + db]);
+    }
+  } else {
+    // a == 6, b == 5: the straddle case -- exchange the high half of each
+    // even word with the low half of its odd neighbour.
+    for (std::size_t w = 0; w + 1 < words_.size(); w += 2) {
+      const std::uint64_t hi0 = words_[w] >> 32;
+      const std::uint64_t lo1 = words_[w + 1] & 0xffffffffull;
+      words_[w] = (words_[w] & 0xffffffffull) | (lo1 << 32);
+      words_[w + 1] = (words_[w + 1] & ~0xffffffffull) | hi0;
+    }
+  }
+}
+
+TruthTable TruthTable::swap_adjacent(unsigned pos) const {
+  TruthTable t = *this;
+  t.swap_adjacent_inplace(pos);
+  return t;
+}
+
+void TruthTable::flip_input_inplace(unsigned var) {
+  assert(var < n_);
+  const unsigned s = n_ - 1 - var;  // minterm bit of `var`
+  if (s < 6) {
+    const std::uint64_t m = kVarMask[s];
+    const unsigned d = 1u << s;
+    for (auto& w : words_) w = ((w & m) >> d) | ((w & ~m) << d);
+  } else {
+    const std::size_t ds = std::size_t{1} << (s - 6);
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      if (!(w & ds)) std::swap(words_[w], words_[w | ds]);
+    }
+  }
+}
+
+TruthTable TruthTable::flip_input(unsigned var) const {
+  TruthTable t = *this;
+  t.flip_input_inplace(var);
   return t;
 }
 
 TruthTable TruthTable::permuted(const std::vector<unsigned>& perm) const {
   assert(perm.size() == n_);
-  TruthTable t(n_);
-  for (std::uint32_t m = 0; m < num_minterms(); ++m) {
-    // Build the original minterm: new position j supplies original variable
-    // perm[j]. Positions are MSB-first.
-    std::uint32_t orig = 0;
-    for (unsigned j = 0; j < n_; ++j) {
-      const std::uint32_t bit = (m >> (n_ - 1 - j)) & 1u;
-      orig |= bit << (n_ - 1 - perm[j]);
+  // Selection sort by adjacent transpositions: bring perm[j]'s variable to
+  // position j with swap kernels. O(n^2) swaps of O(words) each -- far below
+  // the 2^n per-bit gathers this replaces.
+  TruthTable t = *this;
+  std::vector<unsigned> cur(n_);  // cur[j] = original variable at position j
+  std::iota(cur.begin(), cur.end(), 0u);
+  for (unsigned j = 0; j < n_; ++j) {
+    unsigned k = j;
+    while (k < n_ && cur[k] != perm[j]) ++k;
+    assert(k < n_ && "perm must be a permutation of 0..n-1");
+    for (; k > j; --k) {
+      t.swap_adjacent_inplace(k - 1);
+      std::swap(cur[k - 1], cur[k]);
     }
-    t.set(m, get(orig));
   }
   return t;
 }
@@ -83,18 +167,36 @@ TruthTable TruthTable::permuted(const std::vector<unsigned>& perm) const {
 TruthTable TruthTable::cofactor(unsigned var, bool value) const {
   assert(var < n_);
   TruthTable t(n_ - 1);
-  const unsigned shift = n_ - 1 - var;  // bit position of `var` in minterms
-  for (std::uint32_t m = 0; m < t.num_minterms(); ++m) {
-    const std::uint32_t low = m & ((1u << shift) - 1u);
-    const std::uint32_t high = (m >> shift) << (shift + 1);
-    const std::uint32_t full = high | (static_cast<std::uint32_t>(value) << shift) | low;
-    t.set(m, get(full));
+  if (n_ <= 6) {
+    // Single word: bubble `var` to the MSB position with in-word delta
+    // swaps, then the cofactor is one half of the word.
+    std::uint64_t w = words_[0];
+    for (unsigned p = var; p > 0; --p) {
+      const unsigned a = n_ - 1 - (p - 1);  // a <= 5 here
+      w = word_swap_adjacent_bits(w, a - 1);
+    }
+    const std::uint32_t half = 1u << (n_ - 1);
+    if (value) w >>= half;
+    if (half < 64) w &= (1ull << half) - 1ull;
+    t.words_[0] = w;
+  } else {
+    TruthTable tmp = *this;
+    for (unsigned p = var; p > 0; --p) tmp.swap_adjacent_inplace(p - 1);
+    // `var` is now the minterm MSB: the cofactor is one half of the words.
+    const std::size_t off = value ? t.words_.size() : 0;
+    std::copy(tmp.words_.begin() + static_cast<std::ptrdiff_t>(off),
+              tmp.words_.begin() + static_cast<std::ptrdiff_t>(off + t.words_.size()),
+              t.words_.begin());
   }
   return t;
 }
 
 bool TruthTable::is_vacuous(unsigned var) const {
-  return cofactor(var, false) == cofactor(var, true);
+  // f is independent of `var` iff flipping the variable's polarity leaves
+  // the table unchanged (the two cofactor halves are equal).
+  TruthTable t = *this;
+  t.flip_input_inplace(var);
+  return t == *this;
 }
 
 std::vector<unsigned> TruthTable::support() const {
@@ -107,17 +209,52 @@ std::vector<unsigned> TruthTable::support() const {
 
 TruthTable TruthTable::support_reduced(std::vector<unsigned>* kept) const {
   const std::vector<unsigned> s = support();
-  TruthTable t(static_cast<unsigned>(s.size()));
-  for (std::uint32_t m = 0; m < t.num_minterms(); ++m) {
-    std::uint32_t full = 0;
-    for (unsigned j = 0; j < s.size(); ++j) {
-      const std::uint32_t bit = (m >> (s.size() - 1 - j)) & 1u;
-      full |= bit << (n_ - 1 - s[j]);
+  // Cofactor out the vacuous variables highest-index first, so each
+  // remaining variable's position equals its original index when removed.
+  TruthTable t = *this;
+  unsigned si = static_cast<unsigned>(s.size());
+  for (unsigned v = n_; v-- > 0;) {
+    if (si > 0 && s[si - 1] == v) {
+      --si;
+      continue;
     }
-    t.set(m, get(full));
+    t = t.cofactor(v, false);
   }
   if (kept) *kept = s;
   return t;
+}
+
+bool TruthTable::interval_bounds(std::uint32_t* lo, std::uint32_t* hi) const {
+  std::size_t first = words_.size();
+  std::size_t last = 0;
+  std::uint32_t total = 0;
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    if (!words_[i]) continue;
+    if (first == words_.size()) first = i;
+    last = i;
+    total += static_cast<std::uint32_t>(std::popcount(words_[i]));
+  }
+  if (total == 0) return false;
+  const std::uint32_t l =
+      static_cast<std::uint32_t>(64 * first) +
+      static_cast<std::uint32_t>(std::countr_zero(words_[first]));
+  const std::uint32_t h =
+      static_cast<std::uint32_t>(64 * last + 63) -
+      static_cast<std::uint32_t>(std::countl_zero(words_[last]));
+  // ON(f) is inside [l, h] by construction; it fills the interval exactly
+  // when the popcount matches the span.
+  if (h - l + 1 != total) return false;
+  *lo = l;
+  *hi = h;
+  return true;
+}
+
+int TruthTable::compare_words(const TruthTable& o) const {
+  assert(n_ == o.n_);
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    if (words_[i] != o.words_[i]) return words_[i] < o.words_[i] ? -1 : 1;
+  }
+  return 0;
 }
 
 std::vector<std::uint32_t> TruthTable::on_set() const {

@@ -36,6 +36,32 @@ class TruthTable {
   bool is_const_one() const;
 
   TruthTable complemented() const;
+  void complement_inplace();
+
+  /// Exchanges the variables at positions pos and pos+1 (0 = MSB) in place:
+  /// one adjacent transposition, the primitive the NPN canonicalizer sifts
+  /// with. Word-level via the classic delta-swap masks, O(words).
+  void swap_adjacent_inplace(unsigned pos);
+  TruthTable swap_adjacent(unsigned pos) const;
+
+  /// Complements the polarity of variable `var` in place:
+  /// f'(.., x_var, ..) = f(.., ~x_var, ..). Word-level half-swap, O(words).
+  void flip_input_inplace(unsigned var);
+  TruthTable flip_input(unsigned var) const;
+
+  /// If the ON-set is one contiguous decimal interval [lo, hi], stores the
+  /// bounds and returns true; false for the constant-zero table and for any
+  /// non-contiguous ON-set. Word-level (count/first/last bit), no per-bit
+  /// loop: contiguity holds iff popcount equals the first..last bit span.
+  bool interval_bounds(std::uint32_t* lo, std::uint32_t* hi) const;
+
+  /// Word-wise total order used for canonical-form selection (an arbitrary
+  /// but fixed order, not the numeric order of function values). Returns
+  /// <0 / 0 / >0 like memcmp. Both tables must have the same arity.
+  int compare_words(const TruthTable& o) const;
+
+  std::size_t num_words() const { return words_.size(); }
+  std::uint64_t word(std::size_t i) const { return words_[i]; }
 
   /// Table of f with variables re-ordered: result position j holds original
   /// variable perm[j] (so perm maps new position -> old variable).

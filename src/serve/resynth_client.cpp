@@ -4,8 +4,8 @@
 // land in the same places, and the exit code maps the job status the same
 // way (0 ok, 1 error, 20 degraded, 21 interrupted):
 //
-//   $ ./resynth_client --socket=S --proc=2 --k=5 \
-//       --out=r.bench --report=r.json add8
+//   $ ./resynth_client --socket=S --proc=2 --k=5
+//   $     --out=r.bench --report=r.json add8      (one command, wrapped)
 //
 // A .bench positional is read locally and shipped inline (the daemon never
 // touches the client's filesystem); suite names are built daemon-side.
@@ -13,8 +13,8 @@
 // Manifest replay -- a JSON array of job objects (or {"jobs":[...]}), each
 // with the same field names as the wire JobSpec; ids default to job-<index>:
 //
-//   $ ./resynth_client --socket=S --manifest=jobs.json --concurrency=4 \
-//       --rounds=2 --out-dir=results/
+//   $ ./resynth_client --socket=S --manifest=jobs.json --concurrency=4
+//   $     --rounds=2 --out-dir=results/            (one command, wrapped)
 //
 // Replay opens one connection per worker thread, reports client-observed
 // latency (p50/p95) and throughput, and exits with the worst job status.

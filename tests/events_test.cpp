@@ -58,7 +58,9 @@ void check_envelope(const std::vector<Json>& records) {
     ASSERT_NE(r.find("seq"), nullptr);
     ASSERT_NE(r.find("t_ms"), nullptr);
     const std::uint64_t seq = r.find("seq")->as_u64();
-    if (i > 0) EXPECT_GT(seq, prev_seq) << "seq not increasing at " << i;
+    if (i > 0) {
+      EXPECT_GT(seq, prev_seq) << "seq not increasing at " << i;
+    }
     prev_seq = seq;
   }
   EXPECT_EQ(str_field(records.front(), "type"), "start");

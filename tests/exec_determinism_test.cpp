@@ -193,7 +193,7 @@ TEST(ExecDeterminism, RunReportCountersAndTables) {
     Rng rng(0xBEEF);
     random_saf_experiment(nl, rng, 1 << 10);
 
-    return masked_report_dump(report.to_json());
+    return label_ordered_spans(masked_report_dump(report.to_json()));
   });
 }
 

@@ -3,8 +3,10 @@
 // the wall-clock ones, which legitimately vary between runs.
 #pragma once
 
+#include <algorithm>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "obs/json.hpp"
 
@@ -35,6 +37,50 @@ inline std::string masked_report_dump(const Json& j) {
     return os.str();
   }
   return j.dump();
+}
+
+/// Rewrites the "spans" array of a masked report dump into label order.
+/// Trace::snapshot() emits spans sorted by measured total time, so two spans
+/// with near-equal totals can swap places between runs purely from machine
+/// load -- an ordering masking alone cannot hide. Comparisons that pin the
+/// span SET and its stats (golden files, cross-run diffs) apply this to both
+/// sides; everything inside each span object still compares byte-for-byte.
+inline std::string label_ordered_spans(const std::string& masked) {
+  const std::string key = "\"spans\":[";
+  const std::size_t start = masked.find(key);
+  if (start == std::string::npos) return masked;
+  std::size_t i = start + key.size();
+  std::vector<std::string> items;
+  while (i < masked.size() && masked[i] == '{') {
+    std::size_t j = i;
+    int depth = 0;
+    do {
+      if (masked[j] == '{') ++depth;
+      else if (masked[j] == '}') --depth;
+      ++j;
+    } while (depth > 0 && j < masked.size());
+    items.push_back(masked.substr(i, j - i));
+    i = j;
+    if (i < masked.size() && masked[i] == ',') ++i;
+  }
+  const auto label_of = [](const std::string& s) {
+    const std::string lk = "\"label\":\"";
+    const std::size_t p = s.find(lk);
+    if (p == std::string::npos) return s;
+    const std::size_t e = s.find('"', p + lk.size());
+    return s.substr(p + lk.size(), e - p - lk.size());
+  };
+  std::stable_sort(items.begin(), items.end(),
+                   [&](const std::string& a, const std::string& b) {
+                     return label_of(a) < label_of(b);
+                   });
+  std::string out = masked.substr(0, start + key.size());
+  for (const std::string& item : items) {
+    out += item;
+    out += ',';
+  }
+  out += masked.substr(i);
+  return out;
 }
 
 }  // namespace compsyn

@@ -246,7 +246,8 @@ void expect_matches_one_shot(const OneShot& expect, const std::string& bench,
                              const std::string& what) {
   EXPECT_EQ(bench, expect.bench) << what << ": .bench differs";
   EXPECT_EQ(stdout_text, expect.stdout_text) << what << ": stdout differs";
-  EXPECT_EQ(masked_report_dump(report), masked_report_dump(expect.report))
+  EXPECT_EQ(label_ordered_spans(masked_report_dump(report)),
+            label_ordered_spans(masked_report_dump(expect.report)))
       << what << ": masked report differs";
 }
 
@@ -383,7 +384,8 @@ TEST(ServeE2e, SingleJobClientMatchesOneShot) {
   std::string err;
   const std::optional<Json> rep = Json::parse(slurp(report_path), &err);
   ASSERT_TRUE(rep.has_value()) << err;
-  EXPECT_EQ(masked_report_dump(*rep), masked_report_dump(expect.report));
+  EXPECT_EQ(label_ordered_spans(masked_report_dump(*rep)),
+            label_ordered_spans(masked_report_dump(expect.report)));
 
   run_cmd(std::string(RESYNTH_CLIENT_PATH) + " --socket=" + d.socket_path +
           " --shutdown");

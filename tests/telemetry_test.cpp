@@ -268,7 +268,7 @@ TEST(PhaseScopeTest, AttributesWallTimeWhenExtended) {
   {
     PhaseScope p("phase_a");
     volatile unsigned sink = 0;
-    for (unsigned i = 0; i < 1000; ++i) sink += i;
+    for (unsigned i = 0; i < 1000; ++i) sink = sink + i;
   }
   { PhaseScope p("phase_b"); }
   const auto phases = telemetry_phases();

@@ -1,6 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
 #include "core/truth_table.hpp"
+#include "core/truth_table_ref.hpp"
 #include "util/rng.hpp"
 
 namespace compsyn {
@@ -147,6 +152,155 @@ TEST(TruthTable, OnSetSortedAscending) {
   TruthTable t = TruthTable::from_bits("10010110");
   const auto on = t.on_set();
   EXPECT_EQ(on, (std::vector<std::uint32_t>{0, 3, 5, 6}));
+}
+
+// --- Differentials: bit-parallel kernels vs the scalar references ----------
+//
+// truth_table.cpp implements the primitives with delta-swap masks, word
+// copies and popcount spans; core/truth_table_ref.hpp retains the per-bit
+// loops they replaced. Every kernel is byte-compared (to_bits) against its
+// reference over random tables at every arity 1..16.
+
+TruthTable random_table(Rng& rng, unsigned n) {
+  TruthTable t(n);
+  for (std::uint32_t m = 0; m < t.num_minterms(); m += 64) {
+    const std::uint64_t w = rng.next();
+    const std::uint32_t span = std::min<std::uint32_t>(64, t.num_minterms() - m);
+    for (std::uint32_t b = 0; b < span; ++b) t.set(m + b, (w >> b) & 1u);
+  }
+  return t;
+}
+
+TEST(TruthTableKernels, ComplementMatchesReference) {
+  Rng rng(0xC0FFEE01u);
+  for (unsigned n = 1; n <= 16; ++n) {
+    for (unsigned iter = 0; iter < (n <= 10 ? 16u : 4u); ++iter) {
+      const TruthTable f = random_table(rng, n);
+      EXPECT_EQ(f.complemented().to_bits(), ref::complemented(f).to_bits());
+    }
+  }
+}
+
+TEST(TruthTableKernels, SwapAdjacentMatchesReference) {
+  Rng rng(0xC0FFEE02u);
+  for (unsigned n = 2; n <= 16; ++n) {
+    for (unsigned iter = 0; iter < (n <= 10 ? 8u : 2u); ++iter) {
+      const TruthTable f = random_table(rng, n);
+      for (unsigned pos = 0; pos + 1 < n; ++pos) {
+        EXPECT_EQ(f.swap_adjacent(pos).to_bits(),
+                  ref::swap_adjacent(f, pos).to_bits())
+            << "n=" << n << " pos=" << pos;
+      }
+    }
+  }
+}
+
+TEST(TruthTableKernels, FlipInputMatchesReference) {
+  Rng rng(0xC0FFEE03u);
+  for (unsigned n = 1; n <= 16; ++n) {
+    for (unsigned iter = 0; iter < (n <= 10 ? 8u : 2u); ++iter) {
+      const TruthTable f = random_table(rng, n);
+      for (unsigned v = 0; v < n; ++v) {
+        EXPECT_EQ(f.flip_input(v).to_bits(), ref::flip_input(f, v).to_bits())
+            << "n=" << n << " var=" << v;
+        // Flipping twice is the identity.
+        EXPECT_EQ(f.flip_input(v).flip_input(v), f);
+      }
+    }
+  }
+}
+
+TEST(TruthTableKernels, CofactorMatchesReference) {
+  Rng rng(0xC0FFEE04u);
+  for (unsigned n = 1; n <= 16; ++n) {
+    for (unsigned iter = 0; iter < (n <= 10 ? 8u : 2u); ++iter) {
+      const TruthTable f = random_table(rng, n);
+      for (unsigned v = 0; v < n; ++v) {
+        for (bool value : {false, true}) {
+          EXPECT_EQ(f.cofactor(v, value).to_bits(),
+                    ref::cofactor(f, v, value).to_bits())
+              << "n=" << n << " var=" << v << " value=" << value;
+        }
+      }
+    }
+  }
+}
+
+TEST(TruthTableKernels, PermutedMatchesReference) {
+  Rng rng(0xC0FFEE05u);
+  for (unsigned n = 1; n <= 16; ++n) {
+    for (unsigned iter = 0; iter < (n <= 10 ? 8u : 2u); ++iter) {
+      const TruthTable f = random_table(rng, n);
+      const auto p32 = rng.permutation(n);
+      const std::vector<unsigned> perm(p32.begin(), p32.end());
+      EXPECT_EQ(f.permuted(perm).to_bits(), ref::permuted(f, perm).to_bits())
+          << "n=" << n;
+    }
+  }
+}
+
+TEST(TruthTableKernels, IntervalBoundsMatchesReference) {
+  Rng rng(0xC0FFEE06u);
+  for (unsigned n = 1; n <= 16; ++n) {
+    // Random tables (almost never intervals at larger n) ...
+    for (unsigned iter = 0; iter < 16; ++iter) {
+      const TruthTable f = random_table(rng, n);
+      std::uint32_t lo_k = 0, hi_k = 0, lo_r = 0, hi_r = 0;
+      const bool k = f.interval_bounds(&lo_k, &hi_k);
+      const bool r = ref::interval_bounds(f, &lo_r, &hi_r);
+      ASSERT_EQ(k, r) << "n=" << n << " " << f.to_bits();
+      if (k) {
+        EXPECT_EQ(lo_k, lo_r);
+        EXPECT_EQ(hi_k, hi_r);
+      }
+    }
+    // ... and constructed intervals, which must all be accepted exactly.
+    for (unsigned iter = 0; iter < 8; ++iter) {
+      const std::uint32_t nm = 1u << n;
+      std::uint32_t a = static_cast<std::uint32_t>(rng.next() % nm);
+      std::uint32_t b = static_cast<std::uint32_t>(rng.next() % nm);
+      if (a > b) std::swap(a, b);
+      TruthTable f(n);
+      for (std::uint32_t m = a; m <= b; ++m) f.set(m, true);
+      std::uint32_t lo = 0, hi = 0;
+      ASSERT_TRUE(f.interval_bounds(&lo, &hi)) << "n=" << n;
+      EXPECT_EQ(lo, a);
+      EXPECT_EQ(hi, b);
+    }
+  }
+  // The constant-zero table has no interval.
+  std::uint32_t lo = 0, hi = 0;
+  EXPECT_FALSE(TruthTable(4).interval_bounds(&lo, &hi));
+}
+
+TEST(TruthTableKernels, SupportReducedMatchesReference) {
+  Rng rng(0xC0FFEE07u);
+  for (unsigned n = 2; n <= 12; ++n) {
+    for (unsigned iter = 0; iter < 8; ++iter) {
+      // Build a table with planted vacuous variables: a random function of
+      // a subset of the inputs.
+      const TruthTable g = random_table(rng, n / 2);
+      std::vector<unsigned> used;
+      while (used.size() < n / 2) {
+        const unsigned v = static_cast<unsigned>(rng.next() % n);
+        if (std::find(used.begin(), used.end(), v) == used.end()) used.push_back(v);
+      }
+      std::sort(used.begin(), used.end());
+      const TruthTable f = TruthTable::from_function(n, [&](std::uint32_t m) {
+        std::uint32_t sub = 0;
+        for (unsigned j = 0; j < used.size(); ++j) {
+          const std::uint32_t bit = (m >> (n - 1 - used[j])) & 1u;
+          sub |= bit << (used.size() - 1 - j);
+        }
+        return g.get(sub);
+      });
+      std::vector<unsigned> kept_k, kept_r;
+      EXPECT_EQ(f.support_reduced(&kept_k).to_bits(),
+                ref::support_reduced(f, &kept_r).to_bits())
+          << "n=" << n;
+      EXPECT_EQ(kept_k, kept_r);
+    }
+  }
 }
 
 }  // namespace
