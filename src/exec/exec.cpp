@@ -9,6 +9,7 @@
 
 #include "obs/chrome_trace.hpp"
 #include "obs/counters.hpp"
+#include "obs/domain.hpp"
 #include "robust/robust.hpp"
 
 namespace compsyn {
@@ -27,18 +28,20 @@ struct RegionGuard {
   bool prev;
 };
 
-/// One fixed-size pool per process. Workers are parked on a condition
-/// variable between regions; a region is published under the mutex as a
-/// (sequence number, body, chunk count) triple and chunks are claimed with
-/// an atomic cursor. Completion is signalled back under the same mutex, so
-/// everything the chunks wrote happens-before the caller's merge.
-class Pool {
- public:
-  static Pool& instance() {
-    static Pool* p = new Pool();  // leaked: workers may outlive static dtors
-    return *p;
-  }
+// The calling thread's bound pool (nullptr = use the default).
+thread_local ExecPool* t_pool = nullptr;
 
+}  // namespace
+
+/// Workers are parked on a condition variable between regions; a region is
+/// published under the mutex as a (sequence number, body, chunk count)
+/// triple and chunks are claimed with an atomic cursor. Completion is
+/// signalled back under the same mutex, so everything the chunks wrote
+/// happens-before the caller's merge. The region also publishes the
+/// opening thread's robust slot and obs domain; workers bind both around
+/// their chunks so ticks, cancellation polls, counters and spans all
+/// resolve to the lane that owns the region.
+struct ExecPool::Impl {
   void set_jobs(unsigned jobs) {
     if (jobs < 1) jobs = 1;
     if (t_in_region) {
@@ -91,6 +94,8 @@ class Pool {
       // corrupt the count and deadlock the done-wait below.
       body_ = &body;
       num_chunks_ = num_chunks;
+      region_slot_ = &robust::current_slot();
+      region_domain_ = &obs_current_domain();
       next_chunk_.store(0, std::memory_order_relaxed);
       excs_.assign(num_chunks, nullptr);
       ++region_seq_;
@@ -112,7 +117,8 @@ class Pool {
       for (std::size_t i = 0; i < wake; ++i) cv_.notify_one();
     }
 
-    // The caller participates as worker 0.
+    // The caller participates as worker 0 (already bound to its own slot
+    // and domain -- no rebinding needed).
     {
       RegionGuard guard;
       run_chunks(body, /*worker=*/0);
@@ -129,9 +135,6 @@ class Pool {
     lock.unlock();
     if (first) std::rethrow_exception(first);
   }
-
- private:
-  Pool() = default;
 
   void run_inline(std::size_t num_chunks,
                   const std::function<void(std::size_t, unsigned)>& body) {
@@ -172,6 +175,8 @@ class Pool {
     std::uint64_t seen_seq = 0;
     for (;;) {
       const std::function<void(std::size_t, unsigned)>* body = nullptr;
+      robust::Slot* slot = nullptr;
+      ObsDomain* domain = nullptr;
       {
         std::unique_lock<std::mutex> lock(mu_);
         ++idle_workers_;
@@ -181,8 +186,14 @@ class Pool {
         seen_seq = region_seq_;
         --idle_workers_;
         body = body_;
+        slot = region_slot_;
+        domain = region_domain_;
       }
       if (body != nullptr) {
+        // Inherit the region opener's environment: charge()/poll points
+        // and Counters/Trace below resolve through these bindings.
+        robust::SlotBind slot_bind(*slot);
+        ObsDomainBind domain_bind(*domain);
         RegionGuard guard;
         run_chunks(*body, worker);
       }
@@ -213,17 +224,52 @@ class Pool {
   // Current region (valid while body_ != nullptr).
   const std::function<void(std::size_t, unsigned)>* body_ = nullptr;
   std::size_t num_chunks_ = 0;
+  robust::Slot* region_slot_ = nullptr;
+  ObsDomain* region_domain_ = nullptr;
   std::atomic<std::size_t> next_chunk_{0};
   std::vector<std::exception_ptr> excs_;
   std::size_t idle_workers_ = 0;  // workers parked between regions
   std::uint64_t region_seq_ = 0;
 };
 
-}  // namespace
+ExecPool::ExecPool(unsigned jobs) : impl_(new Impl()) {
+  if (jobs > 1) impl_->set_jobs(jobs);
+}
 
-void set_jobs(unsigned jobs) { Pool::instance().set_jobs(jobs); }
+ExecPool::~ExecPool() {
+  {
+    std::lock_guard<std::mutex> caller_lock(impl_->caller_mu_);
+    std::unique_lock<std::mutex> lock(impl_->mu_);
+    impl_->stop_workers(lock);
+  }
+  delete impl_;
+}
 
-unsigned jobs() { return Pool::instance().jobs(); }
+void ExecPool::set_jobs(unsigned jobs) { impl_->set_jobs(jobs); }
+
+unsigned ExecPool::jobs() const { return impl_->jobs(); }
+
+void ExecPool::run(std::size_t num_chunks,
+                   const std::function<void(std::size_t, unsigned)>& body) {
+  impl_->run(num_chunks, body);
+}
+
+ExecPool& default_exec_pool() {
+  static ExecPool* p = new ExecPool();  // leaked: workers may outlive dtors
+  return *p;
+}
+
+ExecPool& current_exec_pool() {
+  return t_pool != nullptr ? *t_pool : default_exec_pool();
+}
+
+ExecPoolBind::ExecPoolBind(ExecPool& p) : prev_(t_pool) { t_pool = &p; }
+
+ExecPoolBind::~ExecPoolBind() { t_pool = prev_; }
+
+void set_jobs(unsigned jobs) { current_exec_pool().set_jobs(jobs); }
+
+unsigned jobs() { return current_exec_pool().jobs(); }
 
 bool in_parallel_region() { return t_in_region; }
 
@@ -231,7 +277,7 @@ namespace exec_detail {
 
 void run_region(std::size_t num_chunks,
                 const std::function<void(std::size_t, unsigned)>& body) {
-  Pool::instance().run(num_chunks, body);
+  current_exec_pool().run(num_chunks, body);
 }
 
 }  // namespace exec_detail

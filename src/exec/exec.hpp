@@ -45,8 +45,64 @@
 
 namespace compsyn {
 
-/// Global job count. 1 (the default) means fully serial inline execution.
-/// Must not be called while a parallel region is running.
+/// A fixed-size worker pool that executes parallel regions. The process
+/// has a default pool that unbound threads share -- one-shot binaries
+/// never construct one and behave exactly as before -- while the serving
+/// daemon gives each job lane a private pool (ExecPoolBind) so lanes run
+/// truly concurrently without sharing a chunk cursor or worker set.
+///
+/// Workers inherit the robust slot and obs domain of the thread that
+/// opened the region: ticks charged and counters/spans recorded from
+/// worker threads land on the lane that owns the region, never on a
+/// neighbour. The chunk partition stays a pure function of (n, grain),
+/// so results are identical no matter which pool runs the region.
+class ExecPool {
+ public:
+  /// A pool with `jobs` workers (1 = serial inline, no threads spawned).
+  explicit ExecPool(unsigned jobs = 1);
+  ~ExecPool();
+  ExecPool(const ExecPool&) = delete;
+  ExecPool& operator=(const ExecPool&) = delete;
+
+  /// Resizes the pool. Must not be called from inside one of its regions.
+  void set_jobs(unsigned jobs);
+  unsigned jobs() const;
+
+  /// Runs body(chunk_index, worker_id) for every chunk. Low-level: call
+  /// sites use the parallel_* primitives, which route through the bound
+  /// pool via exec_detail::run_region.
+  void run(std::size_t num_chunks,
+           const std::function<void(std::size_t, unsigned)>& body);
+
+ private:
+  struct Impl;
+  Impl* impl_;
+};
+
+/// The pool unbound threads use (leaked: workers may outlive static dtors).
+ExecPool& default_exec_pool();
+
+/// The calling thread's pool: the bound one, else the default.
+ExecPool& current_exec_pool();
+
+/// Binds `p` as the calling thread's pool for a scope. Nests by
+/// restoration. Serving lanes bind their private pool around the job
+/// loop; everything below (resynthesis, fault sim, SAT) picks it up
+/// through the primitives without signature changes.
+class ExecPoolBind {
+ public:
+  explicit ExecPoolBind(ExecPool& p);
+  ~ExecPoolBind();
+  ExecPoolBind(const ExecPoolBind&) = delete;
+  ExecPoolBind& operator=(const ExecPoolBind&) = delete;
+
+ private:
+  ExecPool* prev_;
+};
+
+/// Job count of the calling thread's pool. 1 (the default) means fully
+/// serial inline execution. Must not be called while one of that pool's
+/// regions is running.
 void set_jobs(unsigned jobs);
 unsigned jobs();
 

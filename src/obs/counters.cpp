@@ -7,6 +7,7 @@
 #include <mutex>
 #include <ostream>
 
+#include "obs/domain.hpp"
 #include "util/table.hpp"
 
 namespace compsyn {
@@ -25,9 +26,12 @@ struct Registry {
   std::map<std::string, Dist, std::less<>> dists;
 };
 
+// The calling thread's registry: lives in the bound obs domain (default
+// domain for one-shot binaries, which is leaked -- usable during exit).
 Registry& registry() {
-  static Registry* r = new Registry();  // leaked: usable during exit
-  return *r;
+  return *static_cast<Registry*>(obs_current_domain().get_or_create(
+      kObsSlotCounters, [] { return static_cast<void*>(new Registry()); },
+      [](void* p) { delete static_cast<Registry*>(p); }));
 }
 
 }  // namespace

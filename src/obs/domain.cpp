@@ -1,0 +1,44 @@
+#include "obs/domain.hpp"
+
+namespace compsyn {
+namespace {
+
+thread_local ObsDomain* t_domain = nullptr;
+
+}  // namespace
+
+ObsDomain::~ObsDomain() {
+  for (int i = 0; i < kObsSlotCount; ++i) {
+    if (void* p = slots_[i].load(std::memory_order_acquire)) {
+      destroyers_[i](p);
+    }
+  }
+}
+
+void* ObsDomain::get_or_create(int slot, void* (*make)(),
+                               void (*destroy)(void*)) {
+  if (void* p = slots_[slot].load(std::memory_order_acquire)) return p;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (void* p = slots_[slot].load(std::memory_order_relaxed)) return p;
+  void* p = make();
+  destroyers_[slot] = destroy;
+  slots_[slot].store(p, std::memory_order_release);
+  return p;
+}
+
+ObsDomain& obs_default_domain() {
+  static ObsDomain* d = new ObsDomain();  // leaked: usable during exit
+  return *d;
+}
+
+ObsDomain& obs_current_domain() {
+  return t_domain != nullptr ? *t_domain : obs_default_domain();
+}
+
+ObsDomainBind::ObsDomainBind(ObsDomain& d) : prev_(t_domain) {
+  t_domain = &d;
+}
+
+ObsDomainBind::~ObsDomainBind() { t_domain = prev_; }
+
+}  // namespace compsyn

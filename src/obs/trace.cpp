@@ -10,6 +10,7 @@
 #include <ostream>
 
 #include "obs/chrome_trace.hpp"
+#include "obs/domain.hpp"
 #include "util/table.hpp"
 
 namespace compsyn {
@@ -64,17 +65,21 @@ struct Registry {
   }
 };
 
+// The calling thread's registry: lives in the bound obs domain (default
+// domain for one-shot binaries, which is leaked -- spans may end at exit
+// time).
 Registry& registry() {
-  static Registry* r = new Registry();  // leaked: spans may end at exit time
-  return *r;
+  return *static_cast<Registry*>(obs_current_domain().get_or_create(
+      kObsSlotTrace, [] { return static_cast<void*>(new Registry()); },
+      [](void* p) { delete static_cast<Registry*>(p); }));
 }
 
 thread_local Trace::Span* t_current = nullptr;
 
 }  // namespace
 
-Trace::Span::Span(std::uint32_t slot, bool chrome)
-    : slot_(slot), chrome_(chrome) {
+Trace::Span::Span(void* registry, std::uint32_t slot, bool chrome)
+    : registry_(registry), slot_(slot), chrome_(chrome) {
   if (slot_ == kInert) return;
   parent_ = t_current;
   t_current = this;
@@ -88,18 +93,22 @@ Trace::Span::~Span() {
   t_current = parent_;
   if (parent_ != nullptr) parent_->child_ns_ += total;
   const std::uint64_t self = total >= child_ns_ ? total - child_ns_ : 0;
-  registry().record(slot_, total, self);
+  // Record into the registry the span *started* in: the slot index is
+  // only meaningful there, and a domain rebind mid-span must not leak
+  // the measurement into a neighbouring domain.
+  static_cast<Registry*>(registry_)->record(slot_, total, self);
   if (chrome_) ChromeTrace::end();
 }
 
 Trace::Span Trace::span(std::string_view label) {
-  if (!obs_enabled()) return Span(Span::kInert);
+  if (!obs_enabled()) return Span(nullptr, Span::kInert);
   // Mirror the span into the Chrome trace here, where the label is at hand;
   // the matching E is emitted by the destructor. The flag is latched into the
   // span so an enable()/disable between entry and exit cannot unbalance the
   // B/E stack.
   const bool chrome = ChromeTrace::begin(label);
-  return Span(registry().slot_for(label), chrome);
+  Registry& r = registry();
+  return Span(&r, r.slot_for(label), chrome);
 }
 
 std::vector<SpanStats> Trace::snapshot() {

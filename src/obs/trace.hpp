@@ -47,9 +47,10 @@ class Trace {
 
    private:
     friend class Trace;
-    explicit Span(std::uint32_t slot, bool chrome = false);
+    explicit Span(void* registry, std::uint32_t slot, bool chrome = false);
 
     static constexpr std::uint32_t kInert = ~0u;
+    void* registry_ = nullptr;  // registry of the domain the span started in
     std::uint32_t slot_;
     bool chrome_ = false;  // emitted a ChromeTrace begin; end on destruction
     std::uint64_t start_ns_ = 0;

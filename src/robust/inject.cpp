@@ -15,6 +15,10 @@ std::atomic<std::uint64_t> g_sat_calls{0};
 std::atomic<std::uint64_t> g_oracle_calls{0};
 std::atomic<std::uint64_t> g_write_calls{0};
 std::atomic<std::uint64_t> g_checkpoint_writes{0};
+std::atomic<std::uint64_t> g_frames_sent{0};
+std::atomic<std::uint64_t> g_accepts{0};
+std::atomic<std::uint64_t> g_lane_starts{0};
+std::atomic<std::uint64_t> g_wal_appends{0};
 
 /// True when the 1-based ordinal of this event is scripted in `hits`.
 bool fires(std::atomic<std::uint64_t>& counter,
@@ -70,11 +74,16 @@ std::optional<FaultPlan> FaultPlan::parse(const std::string& spec,
     else if (kind == "oracle") plan.oracle_timeouts.push_back(n);
     else if (kind == "write") plan.write_failures.push_back(n);
     else if (kind == "halt") plan.halts.push_back(n);
+    else if (kind == "frame") plan.frame_corruptions.push_back(n);
+    else if (kind == "accept") plan.accept_failures.push_back(n);
+    else if (kind == "lane") plan.lane_crashes.push_back(n);
+    else if (kind == "wal") plan.wal_failures.push_back(n);
     else if (kind == "budget") plan.budget_trip = n;
     else {
       if (error) {
         *error = "unknown inject kind '" + kind +
-                 "' (expected sat|oracle|write|budget|halt)";
+                 "' (expected sat|oracle|write|budget|halt|frame|accept|"
+                 "lane|wal)";
       }
       return std::nullopt;
     }
@@ -88,6 +97,10 @@ InjectScope::InjectScope(const FaultPlan& plan) {
   g_oracle_calls.store(0);
   g_write_calls.store(0);
   g_checkpoint_writes.store(0);
+  g_frames_sent.store(0);
+  g_accepts.store(0);
+  g_lane_starts.store(0);
+  g_wal_appends.store(0);
   g_plan = &plan;
 }
 
@@ -117,6 +130,26 @@ void inject_halt_after_checkpoint() {
 
 std::uint64_t injected_budget_trip() {
   return g_plan ? g_plan->budget_trip : 0;
+}
+
+bool inject_frame_corruption() {
+  if (g_plan == nullptr) return false;
+  return fires(g_frames_sent, g_plan->frame_corruptions);
+}
+
+bool inject_accept_failure() {
+  if (g_plan == nullptr) return false;
+  return fires(g_accepts, g_plan->accept_failures);
+}
+
+bool inject_lane_crash() {
+  if (g_plan == nullptr) return false;
+  return fires(g_lane_starts, g_plan->lane_crashes);
+}
+
+bool inject_wal_failure() {
+  if (g_plan == nullptr) return false;
+  return fires(g_wal_appends, g_plan->wal_failures);
 }
 
 }  // namespace compsyn::robust

@@ -30,11 +30,26 @@ namespace compsyn::robust {
 ///               (equivalent to --budget=T with StopReason::Injected)
 ///   halt:N    — the process _Exit(137)s right after the Nth checkpoint
 ///               write, simulating a kill at a crash-consistent point
+/// Serve-layer kinds (drive the daemon's recovery paths deterministically):
+///   frame:N   — the Nth frame *sent* by the daemon is corrupted (a byte
+///               of the payload is flipped before the write), exercising
+///               the client's guard/parse rejection and retry
+///   accept:N  — the Nth accept(2) on the listening socket is treated as
+///               failed (the connection is closed unserved)
+///   lane:N    — the Nth job *started* on any lane throws a scripted
+///               internal error mid-execution (a lane crash the daemon
+///               must convert into a per-job "error" answer)
+///   wal:N     — the Nth WAL append fails, exercising degraded journal
+///               paths (the daemon keeps serving, marks the WAL dead)
 struct FaultPlan {
   std::vector<std::uint64_t> sat_failures;
   std::vector<std::uint64_t> oracle_timeouts;
   std::vector<std::uint64_t> write_failures;
   std::vector<std::uint64_t> halts;
+  std::vector<std::uint64_t> frame_corruptions;
+  std::vector<std::uint64_t> accept_failures;
+  std::vector<std::uint64_t> lane_crashes;
+  std::vector<std::uint64_t> wal_failures;
   std::uint64_t budget_trip = 0;  // 0 = disabled
 
   /// Parses a spec string; returns nullopt and sets *error on bad syntax.
@@ -73,5 +88,20 @@ void inject_halt_after_checkpoint();
 
 /// Tick at which the plan trips the budget (0 = no scripted trip).
 std::uint64_t injected_budget_trip();
+
+/// Called before every frame the daemon writes. True => corrupt the
+/// payload (flip one byte) before sending.
+bool inject_frame_corruption();
+
+/// Called after every accept(2) on the daemon's listening socket. True =>
+/// treat the accept as failed and close the connection unserved.
+bool inject_accept_failure();
+
+/// Called when a lane starts executing a job. True => the job throws a
+/// scripted internal error ("injected lane crash").
+bool inject_lane_crash();
+
+/// Called before every WAL append. True => the append must fail.
+bool inject_wal_failure();
 
 }  // namespace compsyn::robust

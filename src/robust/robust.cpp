@@ -15,15 +15,20 @@
 namespace compsyn::robust {
 namespace {
 
-// The installed budget. A raw atomic pointer (not unique_ptr) so charge()
-// stays wait-free and safe to call from exec workers.
-std::atomic<Budget*> g_budget{nullptr};
+// The process-default slot, shared by every thread that never binds one.
+// Leaked-static style is unnecessary: Slot is trivially destructible.
+Slot g_default_slot;
 
-// Pending cancellation, encoded so the signal handler can publish reason
-// and signal number with lock-free stores only. 0 = none; otherwise the
-// StopReason value. First-wins via compare_exchange.
-std::atomic<int> g_cancel_reason{0};
-std::atomic<int> g_cancel_signal{0};
+// The calling thread's bound slot (nullptr = use the default). Exec-pool
+// workers bind the region opener's slot around each chunk; serve lanes
+// bind their private slot around the job loop.
+thread_local Slot* t_slot = nullptr;
+
+// Signal cancellation is process-wide: SIGINT/SIGTERM must stop every
+// lane, so the handler publishes here and every slot observes it. 0 =
+// none; otherwise the StopReason value (always Signal in practice).
+std::atomic<int> g_signal_reason{0};
+std::atomic<int> g_signal_signal{0};
 
 extern "C" void robust_signal_handler(int sig) {
   request_cancel(StopReason::Signal, sig);
@@ -51,57 +56,98 @@ const char* to_string(StopReason r) {
   return "?";
 }
 
-BudgetScope::BudgetScope(Budget& b) {
+Slot& default_slot() { return g_default_slot; }
+
+Slot& current_slot() { return t_slot != nullptr ? *t_slot : g_default_slot; }
+
+SlotBind::SlotBind(Slot& s) : prev_(t_slot) { t_slot = &s; }
+
+SlotBind::~SlotBind() { t_slot = prev_; }
+
+BudgetScope::BudgetScope(Budget& b) : slot_(&current_slot()) {
   Budget* expected = nullptr;
-  const bool ok = g_budget.compare_exchange_strong(expected, &b);
+  const bool ok = slot_->budget.compare_exchange_strong(expected, &b);
   assert(ok && "nested BudgetScope is not supported");
   (void)ok;
 }
 
-BudgetScope::~BudgetScope() { g_budget.store(nullptr); }
+BudgetScope::~BudgetScope() { slot_->budget.store(nullptr); }
 
 void charge(std::uint64_t n) {
-  if (Budget* b = g_budget.load(std::memory_order_relaxed)) b->charge(n);
+  if (Budget* b = current_slot().budget.load(std::memory_order_relaxed)) {
+    b->charge(n);
+  }
 }
 
 std::uint64_t ticks_consumed() {
-  Budget* b = g_budget.load(std::memory_order_relaxed);
+  Budget* b = current_slot().budget.load(std::memory_order_relaxed);
   return b ? b->ticks() : 0;
 }
 
 bool budget_exhausted() {
-  Budget* b = g_budget.load(std::memory_order_relaxed);
+  Budget* b = current_slot().budget.load(std::memory_order_relaxed);
   return b != nullptr && b->exhausted();
 }
 
 bool budget_installed() {
-  return g_budget.load(std::memory_order_relaxed) != nullptr;
+  return current_slot().budget.load(std::memory_order_relaxed) != nullptr;
 }
 
-void request_cancel(StopReason reason, int signal) noexcept {
+void request_cancel_on(Slot& s, StopReason reason, int signal) noexcept {
+  if (reason == StopReason::Signal) {
+    int expected = 0;
+    if (g_signal_reason.compare_exchange_strong(expected,
+                                                static_cast<int>(reason))) {
+      g_signal_signal.store(signal, std::memory_order_relaxed);
+    }
+    return;
+  }
   int expected = 0;
-  if (g_cancel_reason.compare_exchange_strong(expected,
+  if (s.cancel_reason.compare_exchange_strong(expected,
                                               static_cast<int>(reason))) {
-    g_cancel_signal.store(signal, std::memory_order_relaxed);
+    s.cancel_signal.store(signal, std::memory_order_relaxed);
   }
 }
 
+void request_cancel(StopReason reason, int signal) noexcept {
+  request_cancel_on(current_slot(), reason, signal);
+}
+
 void clear_cancel() noexcept {
-  g_cancel_reason.store(0);
-  g_cancel_signal.store(0);
+  clear_slot_cancel(current_slot());
+  g_signal_reason.store(0);
+  g_signal_signal.store(0);
+}
+
+void clear_slot_cancel(Slot& s) noexcept {
+  s.cancel_reason.store(0);
+  s.cancel_signal.store(0);
 }
 
 bool cancel_requested() noexcept {
-  return g_cancel_reason.load(std::memory_order_relaxed) != 0;
+  return current_slot().cancel_reason.load(std::memory_order_relaxed) != 0 ||
+         g_signal_reason.load(std::memory_order_relaxed) != 0;
 }
 
 StopReason cancel_reason() noexcept {
+  // A slot-local reason (budget/deadline/watchdog) takes precedence: it
+  // was requested first from this slot's perspective, and the per-job
+  // answer should name the per-job cause. The daemon maps a concurrent
+  // signal at the process level regardless.
+  const int local =
+      current_slot().cancel_reason.load(std::memory_order_relaxed);
+  if (local != 0) return static_cast<StopReason>(local);
   return static_cast<StopReason>(
-      g_cancel_reason.load(std::memory_order_relaxed));
+      g_signal_reason.load(std::memory_order_relaxed));
 }
 
 int cancel_signal() noexcept {
-  return g_cancel_signal.load(std::memory_order_relaxed);
+  const int local =
+      current_slot().cancel_reason.load(std::memory_order_relaxed);
+  if (local != 0) {
+    return current_slot().cancel_signal.load(std::memory_order_relaxed);
+  }
+  return g_signal_signal.load(std::memory_order_relaxed);
 }
 
 StopReason stop_reason() {
@@ -132,12 +178,16 @@ struct DeadlineWatchdog::Impl {
   std::mutex mu;
   std::condition_variable cv;
   bool stop = false;
+  Slot* slot = nullptr;  // slot of the constructing thread
   std::thread thread;
 };
 
 DeadlineWatchdog::DeadlineWatchdog(double seconds) {
   if (seconds <= 0.0) return;
   impl_ = new Impl();
+  // The watchdog thread has no binding of its own; fire on the slot of
+  // whoever armed the deadline so only that lane's job is interrupted.
+  impl_->slot = &current_slot();
   impl_->thread = std::thread([impl = impl_, seconds] {
     std::unique_lock<std::mutex> lock(impl->mu);
     const auto deadline =
@@ -145,7 +195,7 @@ DeadlineWatchdog::DeadlineWatchdog(double seconds) {
         std::chrono::duration_cast<std::chrono::steady_clock::duration>(
             std::chrono::duration<double>(seconds));
     if (!impl->cv.wait_until(lock, deadline, [&] { return impl->stop; })) {
-      request_cancel(StopReason::Deadline);
+      request_cancel_on(*impl->slot, StopReason::Deadline);
     }
   });
 }

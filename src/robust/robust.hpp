@@ -23,10 +23,20 @@
 //   the run winds down at the next poll point, commits nothing unverified,
 //   and the flow reports `"status":"interrupted"`.
 //
-// Both mechanisms are process-global (installed via RAII scopes) so deep
-// engine code reaches them without threading a context object through every
-// signature. The globals are plain atomics: reads are wait-free and safe
-// from signal handlers and worker threads.
+// Both mechanisms live in a *slot* -- a small bundle of lock-free atomics
+// (installed budget, pending cancel reason/signal). Deep engine code still
+// reaches them through free functions without threading a context object
+// through every signature, but the functions route through the calling
+// thread's *bound* slot: one-shot binaries never bind one and use the
+// process-default slot (exactly the old process-global behaviour), while
+// the serving daemon binds a private slot per job lane (SlotBind) so one
+// lane's budget trip or per-job deadline can never stop a neighbour's job.
+// Exec-pool workers inherit the slot of the thread that opened the parallel
+// region, so ticks charged from workers land on the right lane.
+//
+// Signals are the exception: SIGINT/SIGTERM must stop the whole process,
+// not one lane, so a signal cancellation is recorded process-globally and
+// observed by every slot. The handler touches only lock-free atomics.
 #pragma once
 
 #include <atomic>
@@ -92,15 +102,48 @@ class Budget {
   std::uint64_t limit_;
 };
 
-/// Installs `b` as the process-global budget for a scope. Nesting is not
+/// One isolation unit of robustness state: the installed budget and any
+/// pending (non-signal) cancellation. The process has a default slot that
+/// unbound threads share; a serving lane owns a private one. All members
+/// are lock-free atomics -- reads are wait-free from workers and handlers.
+struct Slot {
+  std::atomic<Budget*> budget{nullptr};
+  std::atomic<int> cancel_reason{0};  // 0 = none, else StopReason value
+  std::atomic<int> cancel_signal{0};
+};
+
+/// The slot unbound threads use (one-shot binaries, tests, the listener).
+Slot& default_slot();
+
+/// The calling thread's slot: the bound one, else default_slot().
+Slot& current_slot();
+
+/// Binds `s` as the calling thread's slot for a scope. Used by serving
+/// lanes (around their job loop) and by exec-pool workers (around each
+/// region, inheriting the region opener's slot). Nests by restoration.
+class SlotBind {
+ public:
+  explicit SlotBind(Slot& s);
+  ~SlotBind();
+  SlotBind(const SlotBind&) = delete;
+  SlotBind& operator=(const SlotBind&) = delete;
+
+ private:
+  Slot* prev_;
+};
+
+/// Installs `b` as the current slot's budget for a scope. Nesting is not
 /// supported (the inner scope would silently shadow the outer charge
-/// stream); the constructor asserts none is installed.
+/// stream); the constructor asserts the slot has none installed.
 class BudgetScope {
  public:
   explicit BudgetScope(Budget& b);
   ~BudgetScope();
   BudgetScope(const BudgetScope&) = delete;
   BudgetScope& operator=(const BudgetScope&) = delete;
+
+ private:
+  Slot* slot_;  // the slot the budget was installed into
 };
 
 /// Charges `n` ticks to the installed budget; no-op when none is installed.
@@ -114,10 +157,20 @@ bool budget_installed();
 
 /// Requests cooperative cancellation. First caller wins; later requests
 /// (e.g. a second Ctrl-C while winding down) keep the original reason.
+/// Signal cancels are recorded process-globally (every slot observes
+/// them); all other reasons land on the calling thread's slot.
 /// Async-signal-safe: touches only lock-free atomics.
 void request_cancel(StopReason reason, int signal = 0) noexcept;
-/// Clears any pending cancellation (used between test scenarios).
+/// Targets a specific slot (daemon watchdog cancelling one lane's job).
+/// A Signal reason is still broadcast process-globally.
+void request_cancel_on(Slot& s, StopReason reason, int signal = 0) noexcept;
+/// Clears any pending cancellation on the current slot AND the global
+/// signal broadcast (used between test scenarios and one-shot retries).
 void clear_cancel() noexcept;
+/// Clears only `s`'s pending cancellation, leaving a process-wide signal
+/// broadcast intact. Lanes use this between jobs so a concurrent SIGTERM
+/// can never be raced away.
+void clear_slot_cancel(Slot& s) noexcept;
 /// True once request_cancel has been called.
 bool cancel_requested() noexcept;
 /// Reason of the pending cancellation (None if none).

@@ -15,7 +15,11 @@ namespace compsyn {
 
 namespace {
 
-std::atomic<SatBackend> g_sat_backend{SatBackend::Session};
+// Thread-local so concurrent serving lanes can run jobs with different
+// backends: every read site is on the orchestrating thread of its job
+// (flow setup, redundancy-removal defaults, bench drivers) -- exec-pool
+// workers never consult it.
+thread_local SatBackend t_sat_backend{SatBackend::Session};
 
 std::uint64_t query_clock_ns() {
   return static_cast<std::uint64_t>(
@@ -78,9 +82,9 @@ std::optional<SatBackend> parse_sat_backend(std::string_view s) {
   return std::nullopt;
 }
 
-void set_sat_backend(SatBackend b) { g_sat_backend.store(b, std::memory_order_relaxed); }
+void set_sat_backend(SatBackend b) { t_sat_backend = b; }
 
-SatBackend sat_backend() { return g_sat_backend.load(std::memory_order_relaxed); }
+SatBackend sat_backend() { return t_sat_backend; }
 
 SatSession::CircuitId SatSession::add_circuit(const Netlist& nl) {
   std::string key = structural_key(nl);

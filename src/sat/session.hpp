@@ -42,9 +42,11 @@
 
 namespace compsyn {
 
-/// Process-wide switch between the persistent-session SAT path and the
+/// Thread-local switch between the persistent-session SAT path and the
 /// historical per-query ("oneshot") path, surfaced as --sat=session|oneshot
-/// on the flow and bench binaries. Session is the default.
+/// on the flow and bench binaries. Session is the default. Thread-local
+/// (rather than process-wide) so concurrent serving lanes can honour
+/// per-job backends; one-shot binaries set it once on the main thread.
 enum class SatBackend { Session, Oneshot };
 
 const char* to_string(SatBackend b);

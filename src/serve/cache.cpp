@@ -72,6 +72,15 @@ void ResultCache::insert(const std::string& canonical_bench,
   evict_to_budget();
 }
 
+std::vector<ResultCache::SnapshotEntry> ResultCache::snapshot() const {
+  std::vector<SnapshotEntry> out;
+  out.reserve(lru_.size());
+  for (const auto& [key, e] : lru_) {
+    out.push_back(SnapshotEntry{e.canonical_bench, e.option_key, e.result});
+  }
+  return out;
+}
+
 void ResultCache::evict_to_budget() {
   while (bytes_ > max_bytes_ && !lru_.empty()) {
     auto victim = std::prev(lru_.end());

@@ -24,6 +24,7 @@
 #include <list>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "obs/json.hpp"
 
@@ -59,6 +60,17 @@ class ResultCache {
   /// budget is dropped immediately.
   void insert(const std::string& canonical_bench, const std::string& option_key,
               CachedResult result);
+
+  /// One live entry, as needed to rebuild the cache (WAL compaction).
+  struct SnapshotEntry {
+    std::string canonical_bench;
+    std::string option_key;
+    CachedResult result;
+  };
+
+  /// Every live entry, most-recently-touched first (deterministic order).
+  /// Used by the daemon to compact the job journal down to its cache.
+  std::vector<SnapshotEntry> snapshot() const;
 
   std::uint64_t hits() const { return hits_; }
   std::uint64_t misses() const { return misses_; }

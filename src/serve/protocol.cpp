@@ -208,6 +208,7 @@ Json JobResult::to_json() const {
   if (report.is_object()) j.set("report", report);
   if (!stdout_text.empty()) j.set("stdout", stdout_text);
   j.set("wall_ms", wall_ms);
+  if (retry_after_ms > 0) j.set("retry_after_ms", retry_after_ms);
   return j;
 }
 
@@ -231,6 +232,7 @@ std::optional<JobResult> JobResult::from_json(const Json& j,
   if ((f = j.find("report")) != nullptr) r.report = *f;
   if ((f = j.find("stdout")) != nullptr) r.stdout_text = f->as_string();
   if ((f = j.find("wall_ms")) != nullptr) r.wall_ms = f->as_double();
+  if ((f = j.find("retry_after_ms")) != nullptr) r.retry_after_ms = f->as_u64();
   return r;
 }
 

@@ -119,6 +119,11 @@ struct JobResult {
   Json report;          // the resynth_flow-shaped run report (object)
   std::string stdout_text;  // the one-shot flow's stdout, byte-identical
   double wall_ms = 0.0;     // queue-to-response wall time (envelope only)
+  // Set (non-zero) only on admission-control rejections (error
+  // "overloaded"): how long the client should back off before
+  // re-submitting. Deterministic -- computed from queue state, never from
+  // the wall clock.
+  std::uint64_t retry_after_ms = 0;
 
   Json to_json() const;
   static std::optional<JobResult> from_json(const Json& j, std::string* error);

@@ -21,6 +21,16 @@
 //
 // Control messages: --ping, --stats, --shutdown (graceful drain; prints the
 // daemon's jobs_served count from the "bye" reply).
+//
+// Resilience -- --retry=N re-submits a job after transport failures (daemon
+// crash/restart, dropped connection, per-attempt --timeout=SECS expiry) and
+// after deterministic "overloaded" sheds. Re-submission is idempotent: the
+// daemon's result cache is content-addressed, so a job that executed before
+// the connection died is answered from cache, byte-identical. Backoff is
+// exponential from --retry-base-ms with *deterministic* jitter (FNV-1a of
+// job id + attempt ordinal), honouring the daemon's retry_after_ms hint
+// when one is present; identical runs back off identically (DESIGN.md
+// §15.3).
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -39,6 +49,7 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include "robust/checkpoint.hpp"
 #include "robust/guard.hpp"
 #include "serve/protocol.hpp"
 #include "util/cli.hpp"
@@ -70,12 +81,27 @@ int connect_unix(const std::string& path, std::string* error) {
 }
 
 /// Sends one message and reads one reply frame. Returns nullopt on any
-/// transport failure.
-std::optional<Json> round_trip(int fd, const Json& message,
-                               std::string* error) {
+/// transport failure; with timeout_s > 0, also when no reply arrives in
+/// time (sets *timed_out so the caller can distinguish it from a dead
+/// stream -- both are retried the same way, but the diagnostics differ).
+std::optional<Json> round_trip(int fd, const Json& message, std::string* error,
+                               double timeout_s = 0.0,
+                               bool* timed_out = nullptr) {
   if (!write_message(fd, message, error)) return std::nullopt;
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(timeout_s));
+  auto expired = [&] {
+    return timeout_s > 0.0 && std::chrono::steady_clock::now() >= deadline;
+  };
   std::string payload;
-  const FrameStatus st = read_frame(fd, &payload, error);
+  const FrameStatus st = read_frame(fd, &payload, error, expired);
+  if (st == FrameStatus::Stopped) {
+    if (timed_out != nullptr) *timed_out = true;
+    *error = "no reply within " + Json(timeout_s).dump() + " s";
+    return std::nullopt;
+  }
   if (st != FrameStatus::Ok) {
     if (error->empty()) *error = "connection closed by daemon";
     return std::nullopt;
@@ -83,6 +109,119 @@ std::optional<Json> round_trip(int fd, const Json& message,
   std::optional<Json> reply = Json::parse(payload, error);
   if (!reply) return std::nullopt;
   return reply;
+}
+
+/// Re-submit policy shared by the single-job path and replay workers.
+struct RetryPolicy {
+  int retries = 0;           // extra attempts after the first
+  double timeout_s = 0.0;    // per-attempt reply timeout (0 = wait forever)
+  std::uint64_t base_ms = 100;  // exponential backoff base
+};
+
+/// Backoff before attempt `attempt` (1-based) of the job keyed `key`:
+/// exponential in the attempt ordinal, plus jitter derived from FNV-1a of
+/// (key, attempt) -- deterministic, so identical runs space identically --
+/// and never less than the daemon's own retry_after_ms hint.
+std::uint64_t backoff_ms(const RetryPolicy& policy, const std::string& key,
+                         int attempt, std::uint64_t server_hint_ms) {
+  const int shift = std::min(attempt - 1, 10);
+  std::uint64_t delay = policy.base_ms << shift;
+  const std::uint64_t h =
+      robust::fnv1a64(key + "#" + std::to_string(attempt));
+  delay += h % (policy.base_ms + 1);
+  return std::max(delay, server_hint_ms);
+}
+
+/// One connection to the daemon plus the retry loop around it. Transport
+/// failures (connect refused, dead stream, per-attempt timeout) drop and
+/// re-open the connection; "overloaded" sheds keep it and just wait.
+class JobSubmitter {
+ public:
+  JobSubmitter(std::string socket_path, RetryPolicy policy)
+      : socket_path_(std::move(socket_path)), policy_(policy) {}
+  ~JobSubmitter() { disconnect(); }
+  JobSubmitter(const JobSubmitter&) = delete;
+  JobSubmitter& operator=(const JobSubmitter&) = delete;
+
+  /// Runs the job to a final answer, retrying per policy. nullopt only
+  /// after every attempt failed; *error then holds the last failure.
+  std::optional<JobResult> submit(const JobSpec& spec, std::string* error) {
+    const Json wire = spec.to_json();
+    const int attempts = policy_.retries + 1;
+    for (int attempt = 1; attempt <= attempts; ++attempt) {
+      if (attempt > 1) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(
+            backoff_ms(policy_, spec.id, attempt, last_hint_ms_)));
+      }
+      last_hint_ms_ = 0;
+      if (fd_ < 0 && connect_unix_(error) < 0) continue;
+      bool timed_out = false;
+      std::optional<Json> reply =
+          round_trip(fd_, wire, error, policy_.timeout_s, &timed_out);
+      if (!reply) {
+        // Dead or wedged stream: whatever reply was in flight is lost, so
+        // start over on a fresh connection. The daemon side is idempotent.
+        disconnect();
+        continue;
+      }
+      std::optional<JobResult> result = JobResult::from_json(*reply, error);
+      if (!result) {
+        const Json* remote = reply->find("error");
+        if (remote != nullptr) *error = remote->as_string();
+        disconnect();
+        continue;
+      }
+      if (result->status == "error" && result->error == "overloaded" &&
+          attempt < attempts) {
+        last_hint_ms_ = result->retry_after_ms;
+        *error = "daemon overloaded";
+        continue;  // connection stays up; just wait and re-submit
+      }
+      return result;
+    }
+    return std::nullopt;
+  }
+
+ private:
+  int connect_unix_(std::string* error) {
+    sockaddr_un addr{};
+    if (socket_path_.size() >= sizeof(addr.sun_path)) {
+      *error = "socket path too long";
+      return -1;
+    }
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd_ < 0) {
+      *error = std::string("socket: ") + std::strerror(errno);
+      return -1;
+    }
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, socket_path_.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+      *error = "connect " + socket_path_ + ": " + std::strerror(errno);
+      disconnect();
+      return -1;
+    }
+    return fd_;
+  }
+
+  void disconnect() {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = -1;
+  }
+
+  std::string socket_path_;
+  RetryPolicy policy_;
+  int fd_ = -1;
+  std::uint64_t last_hint_ms_ = 0;  // daemon's retry_after_ms, if any
+};
+
+RetryPolicy policy_from_cli(const Cli& cli) {
+  RetryPolicy policy;
+  policy.retries = std::max(0, cli.get_int("retry", 0));
+  policy.timeout_s = std::max(0.0, cli.get_double("timeout", 0.0));
+  policy.base_ms = std::max<std::uint64_t>(1, cli.get_u64("retry-base-ms", 100));
+  return policy;
 }
 
 bool slurp(const std::string& path, std::string* out, std::string* error) {
@@ -235,33 +374,21 @@ int run_replay(const Cli& cli, const std::string& socket_path) {
 
   std::vector<ReplayOutcome> outcomes(work.size());
   std::atomic<std::size_t> next{0};
-  std::atomic<bool> connect_failed{false};
-  std::mutex io_mu;
+  const RetryPolicy policy = policy_from_cli(cli);
   const auto t0 = std::chrono::steady_clock::now();
 
   auto worker = [&] {
     std::string werr;
-    const int fd = connect_unix(socket_path, &werr);
-    if (fd < 0) {
-      std::lock_guard<std::mutex> lock(io_mu);
-      std::cerr << "error: " << werr << "\n";
-      connect_failed.store(true);
-      return;
-    }
+    JobSubmitter submitter(socket_path, policy);
     for (;;) {
       const std::size_t i = next.fetch_add(1);
       if (i >= work.size()) break;
       ReplayOutcome& out = outcomes[i];
       const auto js0 = std::chrono::steady_clock::now();
-      std::optional<Json> reply = round_trip(fd, work[i].to_json(), &werr);
+      std::optional<JobResult> r = submitter.submit(work[i], &werr);
       out.latency_ms = std::chrono::duration<double, std::milli>(
                            std::chrono::steady_clock::now() - js0)
                            .count();
-      if (!reply) {
-        out.transport_error = werr;
-        continue;
-      }
-      std::optional<JobResult> r = JobResult::from_json(*reply, &werr);
       if (!r) {
         out.transport_error = werr;
         continue;
@@ -269,7 +396,6 @@ int run_replay(const Cli& cli, const std::string& socket_path) {
       out.result = std::move(*r);
       out.transport_ok = true;
     }
-    ::close(fd);
   };
 
   std::vector<std::thread> threads;
@@ -278,7 +404,6 @@ int run_replay(const Cli& cli, const std::string& socket_path) {
   const double wall_s = std::chrono::duration<double>(
                             std::chrono::steady_clock::now() - t0)
                             .count();
-  if (connect_failed.load()) return robust::kExitInputError;
 
   std::vector<double> latencies;
   std::size_t ok = 0, degraded = 0, interrupted = 0, errors = 0, hits = 0;
@@ -337,7 +462,9 @@ int client_main(int argc, char** argv) {
                  "    --manifest=jobs.json [--concurrency=N] [--rounds=R] "
                  "[--out-dir=DIR] |\n"
                  "    [resynth_flow job flags] [--out=f.bench] "
-                 "[--report=f.json] <circuit|file.bench>]\n";
+                 "[--report=f.json] <circuit|file.bench>]\n"
+                 "  job resilience: [--retry=N] [--timeout=SECS] "
+                 "[--retry-base-ms=MS]\n";
     return robust::kExitUsage;
   }
 
@@ -348,17 +475,16 @@ int client_main(int argc, char** argv) {
   }
 
   std::string err;
-  const int fd = connect_unix(socket_path, &err);
-  if (fd < 0) {
-    std::cerr << "error: " << err << "\n";
-    return robust::kExitInputError;
-  }
-  struct FdCloser {
-    int fd;
-    ~FdCloser() { ::close(fd); }
-  } closer{fd};
-
   if (cli.has("ping") || cli.has("stats") || cli.has("shutdown")) {
+    const int fd = connect_unix(socket_path, &err);
+    if (fd < 0) {
+      std::cerr << "error: " << err << "\n";
+      return robust::kExitInputError;
+    }
+    struct FdCloser {
+      int fd;
+      ~FdCloser() { ::close(fd); }
+    } closer{fd};
     Json msg = Json::object();
     msg.set("type", cli.has("ping")       ? "ping"
                     : cli.has("stats")    ? "stats"
@@ -383,16 +509,10 @@ int client_main(int argc, char** argv) {
     std::cerr << "error: " << err << "\n";
     return robust::kExitInputError;
   }
-  std::optional<Json> reply = round_trip(fd, spec.to_json(), &err);
-  if (!reply) {
-    std::cerr << "error: " << err << "\n";
-    return robust::kExitInputError;
-  }
-  std::optional<JobResult> result = JobResult::from_json(*reply, &err);
+  JobSubmitter submitter(socket_path, policy_from_cli(cli));
+  std::optional<JobResult> result = submitter.submit(spec, &err);
   if (!result) {
-    const Json* remote = reply->find("error");
-    std::cerr << "error: "
-              << (remote != nullptr ? remote->as_string() : err) << "\n";
+    std::cerr << "error: " << err << "\n";
     return robust::kExitInputError;
   }
   // The daemon's captured stdout IS this run's stdout, so a piped one-shot

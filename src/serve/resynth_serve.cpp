@@ -1,21 +1,27 @@
 // The resynthesis daemon: accepts compsyn-serve-v1 jobs (whole .bench text
 // in, resynthesized .bench + resynth_flow-shaped report out) over a
-// Unix-domain socket or a stdio pipe, executing them one at a time with
-// per-job isolation so every result is byte-identical to a one-shot
-// `resynth_flow` run with the same flags (DESIGN.md §13).
+// Unix-domain socket or a stdio pipe, executing them on --lanes=N isolated
+// job lanes so every result is byte-identical to a one-shot `resynth_flow`
+// run with the same flags, at any lane count (DESIGN.md §13, §15).
 //
-//   $ ./resynth_serve --socket=/tmp/compsyn.sock --cache-mb=64 &
+//   $ ./resynth_serve --socket=/tmp/compsyn.sock --lanes=4 \
+//         --wal=/tmp/compsyn.wal --cache-mb=64 &
 //   $ ./resynth_client --socket=/tmp/compsyn.sock --proc=2 --k=5 add8
+//
+// With --wal=PATH the daemon journals every deadline-free job and, after a
+// crash, replays the journal on restart: finished answers are served from
+// the recovered cache, in-flight jobs re-execute deterministically.
 //
 // Exit codes follow the one-shot binaries: 0 after a graceful drain
 // ({"type":"shutdown"} or stdin EOF in --stdio mode), 130/143 after
 // SIGINT/SIGTERM (queued jobs are answered "interrupted", the socket file
 // is unlinked), 2 on usage errors, 3 when the socket cannot be bound.
 #include <iostream>
+#include <optional>
 #include <string>
 
-#include "exec/exec.hpp"
 #include "robust/guard.hpp"
+#include "robust/inject.hpp"
 #include "serve/server.hpp"
 #include "util/cli.hpp"
 
@@ -29,21 +35,61 @@ int serve_main(int argc, char** argv) {
   config.use_stdio = cli.has("stdio");
   config.cache_bytes = cli.get_u64("cache-mb", 64) * 1024 * 1024;
   config.events_path = cli.get("events", "");
+  config.wal_path = cli.get("wal", "");
   if (config.use_stdio ? !config.socket_path.empty()
                        : config.socket_path.empty()) {
-    std::cerr << "usage: resynth_serve --socket=PATH | --stdio "
-                 "[--jobs=N] [--cache-mb=MB] [--events=log.jsonl]\n"
+    std::cerr << "usage: resynth_serve --socket=PATH | --stdio\n"
+                 "  [--lanes=N]        concurrent job lanes (default 1)\n"
+                 "  [--jobs=N]         exec workers per lane (default 1)\n"
+                 "  [--cache-mb=MB]    result cache budget (default 64)\n"
+                 "  [--wal=PATH]       crash-safe job journal (default off)\n"
+                 "  [--queue-max=N]    admission bound, 0=unbounded "
+                 "(default 256)\n"
+                 "  [--client-max=N]   per-client in-flight cap, 0=none "
+                 "(default 0)\n"
+                 "  [--watchdog=SECS]  hung-lane watchdog, 0=off (default 0)\n"
+                 "  [--events=PATH]    compsyn-events-v1 log (default off)\n"
+                 "  [--inject=SPEC]    scripted chaos (frame:N accept:N "
+                 "lane:N wal:N ...)\n"
                  "  exactly one of --socket / --stdio\n";
     return robust::kExitUsage;
   }
-  if (cli.has("jobs")) {
-    const int j = cli.get_int("jobs", 1);
-    if (j < 1) {
-      std::cerr << "error: --jobs=" << cli.get("jobs")
-                << " (expected a positive integer)\n";
+  const int lanes = cli.get_int("lanes", 1);
+  if (lanes < 1) {
+    std::cerr << "error: --lanes=" << cli.get("lanes")
+              << " (expected a positive integer)\n";
+    return robust::kExitUsage;
+  }
+  config.lanes = static_cast<unsigned>(lanes);
+  const int jobs = cli.get_int("jobs", 1);
+  if (jobs < 1) {
+    std::cerr << "error: --jobs=" << cli.get("jobs")
+              << " (expected a positive integer)\n";
+    return robust::kExitUsage;
+  }
+  config.jobs_per_lane = static_cast<unsigned>(jobs);
+  config.queue_max = cli.get_u64("queue-max", 256);
+  config.client_max = static_cast<unsigned>(cli.get_u64("client-max", 0));
+  config.watchdog_seconds = cli.get_double("watchdog", 0.0);
+  if (config.watchdog_seconds < 0.0) {
+    std::cerr << "error: --watchdog=" << cli.get("watchdog")
+              << " (expected a non-negative number of seconds)\n";
+    return robust::kExitUsage;
+  }
+  // The plan must outlive the InjectScope (which keeps a pointer to it),
+  // i.e. the whole serve loop.
+  robust::FaultPlan plan;
+  std::optional<robust::InjectScope> inject_scope;
+  if (cli.has("inject")) {
+    std::string err;
+    const auto parsed = robust::FaultPlan::parse(cli.get("inject"), &err);
+    if (!parsed) {
+      std::cerr << "error: --inject=" << cli.get("inject") << ": " << err
+                << "\n";
       return robust::kExitUsage;
     }
-    set_jobs(static_cast<unsigned>(j));
+    plan = *parsed;
+    inject_scope.emplace(plan);
   }
   cli.warn_unrecognized(std::cerr);
   serve::Server server(std::move(config));

@@ -17,11 +17,15 @@
 #include "obs/memstats.hpp"
 #include "obs/obs.hpp"
 #include "robust/guard.hpp"
-#include "robust/robust.hpp"
+#include "robust/inject.hpp"
 #include "serve/job.hpp"
 
 namespace compsyn::serve {
 namespace {
+
+/// Compact the journal after this many appends: bounds the file to the
+/// working set (cache snapshot + live jobs) instead of the full history.
+constexpr std::size_t kWalCompactEvery = 256;
 
 /// Canonicalises a job's input netlist the way checkpoint resume does: parse,
 /// then write_bench_string. Two textually different .bench files describing
@@ -45,6 +49,13 @@ double ms_since(std::chrono::steady_clock::time_point t0) {
       .count();
 }
 
+std::uint64_t steady_ms() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
 }  // namespace
 
 Json ServeStats::to_json() const {
@@ -55,6 +66,7 @@ Json ServeStats::to_json() const {
   j.set("jobs_received", jobs_received);
   j.set("jobs_served", jobs_served);
   j.set("jobs_executed", jobs_executed);
+  j.set("jobs_shed", jobs_shed);
   j.set("cache_hits", cache_hits);
   j.set("cache_misses", cache_misses);
   j.set("cache_collisions", cache_collisions);
@@ -67,6 +79,15 @@ Json ServeStats::to_json() const {
   j.set("status_error", status_error);
   j.set("protocol_errors", protocol_errors);
   j.set("disconnects", disconnects);
+  j.set("lanes", lanes);
+  j.set("lanes_busy", lanes_busy);
+  j.set("queue_depth", queue_depth);
+  j.set("queue_max", queue_max);
+  j.set("wal_replayed", wal_replayed);
+  j.set("wal_recovered", wal_recovered);
+  j.set("wal_appends", wal_appends);
+  j.set("wal_errors", wal_errors);
+  j.set("watchdog_fires", watchdog_fires);
   return j;
 }
 
@@ -75,7 +96,10 @@ Server::Connection::~Connection() {
 }
 
 Server::Server(ServerConfig config)
-    : config_(std::move(config)), cache_(config_.cache_bytes) {}
+    : config_(std::move(config)), cache_(config_.cache_bytes) {
+  if (config_.lanes < 1) config_.lanes = 1;
+  if (config_.jobs_per_lane < 1) config_.jobs_per_lane = 1;
+}
 
 Server::~Server() {
   if (listen_fd_ >= 0) ::close(listen_fd_);
@@ -119,6 +143,12 @@ void Server::listener_loop() {
     if (pr <= 0) continue;
     const int cfd = ::accept(listen_fd_, nullptr, nullptr);
     if (cfd < 0) continue;
+    if (robust::inject_accept_failure()) {
+      // Scripted accept failure: the kernel gave us the connection, the
+      // chaos plan says the daemon never saw it.
+      ::close(cfd);
+      continue;
+    }
     auto conn = std::make_shared<Connection>();
     conn->rfd = conn->wfd = cfd;
     conn->own_fds = true;
@@ -166,6 +196,29 @@ void Server::reader_loop(ConnPtr conn) {
   }
 }
 
+void Server::shed(const ConnPtr& conn, const std::string& id, const char* why,
+                  std::uint64_t retry_after_ms) {
+  JobResult r;
+  r.id = id;
+  r.status = "error";
+  r.error = why;
+  r.retry_after_ms = retry_after_ms;
+  r.report = job_error_report("error", r.error);
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.jobs_served;
+    ++stats_.jobs_shed;
+    ++stats_.status_error;
+  }
+  Json ev = Json::object();
+  ev.set("event", "shed");
+  ev.set("id", id);
+  ev.set("reason", why);
+  ev.set("retry_after_ms", retry_after_ms);
+  EventLog::emit("job", std::move(ev));
+  respond(conn, r.to_json());
+}
+
 void Server::handle_message(const ConnPtr& conn, const std::string& payload) {
   std::string err;
   const std::optional<Json> parsed = Json::parse(payload, &err);
@@ -194,9 +247,23 @@ void Server::handle_message(const ConnPtr& conn, const std::string& payload) {
     return;
   }
   if (kind == "stats") {
+    refresh_cache_stats();
+    std::size_t depth = 0;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      depth = queue_.size();
+    }
+    std::uint64_t busy = 0;
+    for (const auto& lane : lanes_) {
+      if (lane->busy_since_ms.load(std::memory_order_relaxed) != 0) ++busy;
+    }
     Json msg;
     {
       std::lock_guard<std::mutex> lock(stats_mu_);
+      stats_.lanes = config_.lanes;
+      stats_.lanes_busy = busy;
+      stats_.queue_depth = depth;
+      stats_.queue_max = config_.queue_max;
       msg = stats_.to_json();
     }
     respond(conn, msg);
@@ -211,6 +278,12 @@ void Server::handle_message(const ConnPtr& conn, const std::string& payload) {
     const std::string id =
         idf != nullptr && idf->type() == Json::Type::String ? idf->as_string()
                                                             : "";
+    // Tally the receipt before anything can answer it: counters must be
+    // deterministic for a client that queries stats after its last reply.
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.jobs_received;
+    }
     auto reject = [&](const std::string& why) {
       JobResult r;
       r.id = id;
@@ -219,7 +292,6 @@ void Server::handle_message(const ConnPtr& conn, const std::string& payload) {
       r.report = job_error_report("error", why);
       {
         std::lock_guard<std::mutex> lock(stats_mu_);
-        ++stats_.jobs_received;
         ++stats_.jobs_served;
         ++stats_.status_error;
       }
@@ -234,17 +306,46 @@ void Server::handle_message(const ConnPtr& conn, const std::string& payload) {
       reject(err);
       return;
     }
-    std::uint64_t depth = 0;
+    // ---- admission control ----
+    // Both rejections carry a deterministic retry_after_ms computed from
+    // queue/in-flight state, so an identical load pattern sheds the same
+    // jobs with the same hints on every run.
+    if (config_.client_max > 0 &&
+        conn->inflight.load(std::memory_order_relaxed) >= config_.client_max) {
+      shed(conn, id, "overloaded",
+           50ull * (conn->inflight.load(std::memory_order_relaxed) + 1));
+      return;
+    }
+    std::uint64_t seq = 0;
+    std::size_t depth = 0;
+    bool full = false;
     {
       std::lock_guard<std::mutex> lock(mu_);
-      queue_.push_back(Pending{std::move(*spec), conn, next_seq_++});
+      depth = queue_.size();
+      full = config_.queue_max > 0 && depth >= config_.queue_max;
+      if (!full) seq = next_seq_++;
+    }
+    if (full) {
+      shed(conn, id, "overloaded", 50ull * (depth - config_.queue_max + 2));
+      return;
+    }
+    // Journal before enqueue: a job that entered the queue without an
+    // accepted record would vanish in a crash.
+    Pending p;
+    p.spec = std::move(*spec);
+    p.conn = conn;
+    p.seq = seq;
+    if (p.spec.deadline <= 0.0) {
+      wal_append_accepted(seq, p.spec);
+      p.journaled = true;  // best effort; a dead WAL just skips later marks
+    }
+    conn->inflight.fetch_add(1, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      queue_.push_back(std::move(p));
       depth = queue_.size();
     }
     cv_.notify_all();
-    {
-      std::lock_guard<std::mutex> lock(stats_mu_);
-      ++stats_.jobs_received;
-    }
     Json ev = Json::object();
     ev.set("event", "queued");
     ev.set("id", id);
@@ -260,9 +361,16 @@ void Server::handle_message(const ConnPtr& conn, const std::string& payload) {
 }
 
 void Server::respond(const ConnPtr& conn, const Json& message) {
+  if (conn == nullptr) return;  // internal WAL-replay job: no client
   std::string err;
+  std::string payload = message.dump();
+  if (robust::inject_frame_corruption() && !payload.empty()) {
+    // Scripted wire corruption: flip one payload byte. The framing stays
+    // intact, so the client sees a guard/parse failure, not a dead stream.
+    payload[payload.size() / 2] ^= 0x20;
+  }
   std::lock_guard<std::mutex> lock(conn->write_mu);
-  if (!write_message(conn->wfd, message, &err)) {
+  if (!write_frame(conn->wfd, payload, &err)) {
     // Client gone mid-job (or mid-drain). Per-job failure only.
     std::lock_guard<std::mutex> slock(stats_mu_);
     ++stats_.disconnects;
@@ -280,18 +388,325 @@ void Server::begin_drain(Drain mode, const ConnPtr& bye_conn) {
   cv_.notify_all();
 }
 
-void Server::refresh_cache_stats_locked() {
-  stats_.cache_hits = cache_.hits();
-  stats_.cache_misses = cache_.misses();
-  stats_.cache_collisions = cache_.collisions();
-  stats_.cache_evictions = cache_.evictions();
-  stats_.cache_entries = cache_.entries();
-  stats_.cache_bytes = cache_.bytes();
+void Server::refresh_cache_stats() {
+  std::uint64_t hits, misses, collisions, evictions, entries, bytes;
+  {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    hits = cache_.hits();
+    misses = cache_.misses();
+    collisions = cache_.collisions();
+    evictions = cache_.evictions();
+    entries = cache_.entries();
+    bytes = cache_.bytes();
+  }
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  stats_.cache_hits = hits;
+  stats_.cache_misses = misses;
+  stats_.cache_collisions = collisions;
+  stats_.cache_evictions = evictions;
+  stats_.cache_entries = entries;
+  stats_.cache_bytes = bytes;
 }
 
-void Server::execute(Pending job) {
+// ---------------------------------------------------------------------------
+// WAL plumbing
+// ---------------------------------------------------------------------------
+
+void Server::wal_note_failure(const std::string& err) {
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.wal_errors;
+  }
+  Json ev = Json::object();
+  ev.set("event", "wal_error");
+  ev.set("error", err);
+  EventLog::emit("wal", std::move(ev));
+}
+
+void Server::wal_append_accepted(std::uint64_t seq, const JobSpec& spec) {
+  bool compact = false;
+  {
+    std::lock_guard<std::mutex> lock(wal_mu_);
+    if (!wal_.is_open()) return;
+    WalRecord rec;
+    rec.type = "accepted";
+    rec.seq = seq;
+    rec.fields.set("job", spec.to_json());
+    std::string err;
+    if (!wal_.append(rec, &err)) {
+      wal_note_failure(err);
+      return;
+    }
+    wal_live_[seq] = spec.to_json();
+    compact = ++wal_appends_since_compact_ >= kWalCompactEvery;
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.wal_appends;
+  }
+  if (compact) compact_wal();
+}
+
+void Server::wal_append_mark(const char* type, std::uint64_t seq) {
+  bool compact = false;
+  {
+    std::lock_guard<std::mutex> lock(wal_mu_);
+    if (!wal_.is_open()) return;
+    WalRecord rec;
+    rec.type = type;
+    rec.seq = seq;
+    std::string err;
+    if (!wal_.append(rec, &err)) {
+      wal_note_failure(err);
+      return;
+    }
+    if (std::string_view(type) == "cached") wal_live_.erase(seq);
+    compact = ++wal_appends_since_compact_ >= kWalCompactEvery;
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.wal_appends;
+  }
+  if (compact) compact_wal();
+}
+
+void Server::wal_append_finished(std::uint64_t seq,
+                                 const std::string& canonical,
+                                 const std::string& option_key,
+                                 const JobExecutionArtifacts& artifacts) {
+  bool compact = false;
+  {
+    std::lock_guard<std::mutex> lock(wal_mu_);
+    if (!wal_.is_open()) return;
+    WalRecord rec;
+    rec.type = "finished";
+    rec.seq = seq;
+    rec.fields.set("status", artifacts.status);
+    rec.fields.set("cacheable", artifacts.cacheable);
+    if (artifacts.cacheable) {
+      rec.fields.set("canonical", canonical);
+      rec.fields.set("option_key", option_key);
+      rec.fields.set("bench", artifacts.bench);
+      rec.fields.set("report", artifacts.report);
+      rec.fields.set("stdout", artifacts.stdout_text);
+    }
+    std::string err;
+    if (!wal_.append(rec, &err)) {
+      wal_note_failure(err);
+      return;
+    }
+    wal_live_.erase(seq);
+    compact = ++wal_appends_since_compact_ >= kWalCompactEvery;
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.wal_appends;
+  }
+  if (compact) compact_wal();
+}
+
+void Server::compact_wal() {
+  // Lock order: cache snapshot first, journal second (cache_mu_ > wal_mu_
+  // everywhere). The snapshot may be momentarily stale against a racing
+  // insert -- that job's own finished record lands after the compaction,
+  // so nothing is lost.
+  std::vector<ResultCache::SnapshotEntry> snap;
+  {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    snap = cache_.snapshot();
+  }
+  std::lock_guard<std::mutex> lock(wal_mu_);
+  if (!wal_.is_open()) return;
+  std::vector<WalRecord> records;
+  records.reserve(snap.size() + wal_live_.size());
+  for (const auto& e : snap) {
+    WalRecord rec;
+    rec.type = "finished";
+    rec.seq = 0;  // compacted entries carry no job identity, only artifacts
+    rec.fields.set("status", e.result.status);
+    rec.fields.set("cacheable", true);
+    rec.fields.set("canonical", e.canonical_bench);
+    rec.fields.set("option_key", e.option_key);
+    rec.fields.set("bench", e.result.bench);
+    rec.fields.set("report", e.result.report);
+    rec.fields.set("stdout", e.result.stdout_text);
+    records.push_back(std::move(rec));
+  }
+  for (const auto& [seq, job] : wal_live_) {
+    WalRecord rec;
+    rec.type = "accepted";
+    rec.seq = seq;
+    rec.fields.set("job", job);
+    records.push_back(std::move(rec));
+  }
+  std::string err;
+  if (!wal_.compact(records, &err)) {
+    wal_note_failure(err);
+    return;
+  }
+  wal_appends_since_compact_ = 0;
+  Json ev = Json::object();
+  ev.set("event", "wal_compacted");
+  ev.set("finished", static_cast<std::uint64_t>(snap.size()));
+  ev.set("live", static_cast<std::uint64_t>(wal_live_.size()));
+  EventLog::emit("wal", std::move(ev));
+}
+
+void Server::recover_wal() {
+  JobWal::Replay replay;
+  std::string err;
+  if (!wal_.open(config_.wal_path, &replay, &err)) {
+    // Journal unusable (unwritable path, foreign format). Serve without
+    // it rather than refusing to start -- crash safety degrades, service
+    // does not.
+    std::cerr << "warning: wal: " << err << " (journaling disabled)\n";
+    wal_note_failure(err);
+    return;
+  }
+  if (replay.dropped > 0) {
+    Json ev = Json::object();
+    ev.set("event", "wal_tail_dropped");
+    ev.set("lines", static_cast<std::uint64_t>(replay.dropped));
+    EventLog::emit("wal", std::move(ev));
+  }
+
+  struct RecoveredJob {
+    Json spec;
+    bool done = false;
+  };
+  std::map<std::uint64_t, RecoveredJob> jobs;  // ordered: replay in seq order
+  std::uint64_t max_seq = 0;
+  std::uint64_t preloaded = 0;
+  for (const WalRecord& rec : replay.records) {
+    if (rec.seq > max_seq) max_seq = rec.seq;
+    if (rec.type == "accepted") {
+      const Json* job = rec.fields.find("job");
+      if (job != nullptr && job->is_object()) jobs[rec.seq].spec = *job;
+    } else if (rec.type == "cached" || rec.type == "finished") {
+      jobs[rec.seq].done = true;
+      if (rec.type == "finished") {
+        const Json* cacheable = rec.fields.find("cacheable");
+        const Json* canonical = rec.fields.find("canonical");
+        const Json* option_key = rec.fields.find("option_key");
+        if (cacheable != nullptr && cacheable->as_bool() &&
+            canonical != nullptr && option_key != nullptr) {
+          const Json* status = rec.fields.find("status");
+          const Json* bench = rec.fields.find("bench");
+          const Json* report = rec.fields.find("report");
+          const Json* stdout_text = rec.fields.find("stdout");
+          CachedResult result;
+          result.status = status != nullptr ? status->as_string() : "ok";
+          result.bench = bench != nullptr ? bench->as_string() : "";
+          result.report = report != nullptr ? *report : Json::object();
+          result.stdout_text =
+              stdout_text != nullptr ? stdout_text->as_string() : "";
+          std::lock_guard<std::mutex> lock(cache_mu_);
+          cache_.insert(canonical->as_string(), option_key->as_string(),
+                        std::move(result));
+          ++preloaded;
+        }
+      }
+    }
+    // "started" records carry no state beyond what accepted established;
+    // a started-but-unfinished job is re-executed exactly like a queued one
+    // (execution is deterministic, so the answer is the same).
+  }
+
+  // Re-enqueue every accepted-but-unfinished job as an internal Pending:
+  // no client connection to answer, but the execution (re-)populates the
+  // result cache, so a client re-submitting by job key gets the answer a
+  // crash stole from it.
+  std::uint64_t replayed = 0;
+  {
+    std::lock_guard<std::mutex> lock(wal_mu_);
+    for (const auto& [seq, job] : jobs) {
+      if (job.done || !job.spec.is_object()) continue;
+      std::string parse_err;
+      std::optional<JobSpec> spec = JobSpec::from_json(job.spec, &parse_err);
+      if (!spec) continue;  // journal predates a spec change; skip
+      Pending p;
+      p.spec = std::move(*spec);
+      p.conn = nullptr;
+      p.seq = seq;
+      p.journaled = true;
+      wal_live_[seq] = job.spec;
+      {
+        std::lock_guard<std::mutex> qlock(mu_);
+        queue_.push_back(std::move(p));
+      }
+      ++replayed;
+    }
+    next_seq_ = max_seq + 1;
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.wal_recovered = preloaded;
+    stats_.wal_replayed = replayed;
+  }
+  if (preloaded > 0 || replayed > 0 || replay.dropped > 0) {
+    Json ev = Json::object();
+    ev.set("event", "wal_replayed");
+    ev.set("recovered_results", preloaded);
+    ev.set("reexecuted_jobs", replayed);
+    EventLog::emit("wal", std::move(ev));
+  }
+  // Trim history down to the working set right away: replayed journals
+  // otherwise grow across every restart.
+  compact_wal();
+}
+
+// ---------------------------------------------------------------------------
+// Lanes
+// ---------------------------------------------------------------------------
+
+void Server::lane_loop(Lane& lane) {
+  // Everything below these binds -- job execution, exec regions, obs
+  // recording, budget/deadline/cancel checks -- resolves to this lane's
+  // private state (DESIGN.md §15.1).
+  robust::SlotBind slot_bind(lane.slot);
+  ObsDomainBind domain_bind(lane.domain);
+  ExecPoolBind pool_bind(lane.pool);
+  for (;;) {
+    Pending job;
+    bool have = false;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_.wait(lk, [&] {
+        return !queue_.empty() || drain_.load() != Drain::None;
+      });
+      if (drain_.load() == Drain::Abort) break;
+      if (!queue_.empty()) {
+        job = std::move(queue_.front());
+        queue_.pop_front();
+        have = true;
+      } else if (drain_.load() == Drain::Graceful) {
+        break;
+      }
+    }
+    if (!have) continue;
+    // A previous job's budget/deadline cancel must not leak into this
+    // one. Slot-only: a process-wide signal broadcast is never cleared
+    // here, so a concurrent SIGTERM cannot be raced away.
+    robust::clear_slot_cancel(lane.slot);
+    lane.current_seq.store(job.seq, std::memory_order_relaxed);
+    lane.busy_since_ms.store(steady_ms(), std::memory_order_relaxed);
+    execute(lane, std::move(job));
+    lane.busy_since_ms.store(0, std::memory_order_relaxed);
+    robust::clear_slot_cancel(lane.slot);
+    // Only the global signal broadcast can still be pending now.
+    if (robust::cancel_requested()) {
+      begin_drain(Drain::Abort, nullptr);
+      break;
+    }
+  }
+  lanes_running_.fetch_sub(1);
+  cv_.notify_all();
+}
+
+void Server::execute(Lane& lane, Pending job) {
   const auto t0 = std::chrono::steady_clock::now();
   const JobSpec& spec = job.spec;
+  const bool internal = job.conn == nullptr;
   {
     Json ev = Json::object();
     ev.set("event", "started");
@@ -299,56 +714,139 @@ void Server::execute(Pending job) {
     ev.set("circuit", spec.circuit);
     ev.set("proc", spec.proc);
     ev.set("k", static_cast<std::uint64_t>(spec.k));
+    ev.set("lane", static_cast<std::uint64_t>(lane.index));
+    if (internal) ev.set("recovered", true);
     EventLog::emit("job", std::move(ev));
   }
+  if (job.journaled) wal_append_mark("started", job.seq);
 
   JobResult r;
   r.id = spec.id;
-  const std::optional<std::string> canonical = canonical_input(spec);
-  CachedResult cached;
-  if (canonical && spec.deadline <= 0.0 &&
-      cache_.lookup(*canonical, spec.option_key(), &cached)) {
-    r.status = cached.status;
-    r.cache_hit = true;
-    r.bench = cached.bench;
-    r.report = cached.report;
-    r.stdout_text = cached.stdout_text;
-  } else {
-    begin_job_isolation();
-    JobExecution exec = run_resynth_job(spec);
-    r.status = exec.status;
-    r.error = exec.error;
-    r.bench = exec.bench;
-    r.report = exec.report;
-    r.stdout_text = exec.stdout_text;
-    if (exec.cacheable && canonical) {
-      cache_.insert(*canonical, spec.option_key(),
-                    CachedResult{exec.status, exec.bench, exec.report,
-                                 exec.stdout_text});
+  if (robust::inject_lane_crash()) {
+    // Scripted lane crash: the job dies mid-flight with an internal
+    // error; the lane (and the daemon) survive and keep serving.
+    r.status = "error";
+    r.error = "internal error: injected lane crash";
+    r.report = job_error_report("error", r.error);
+    if (job.journaled) {
+      JobExecutionArtifacts artifacts;
+      artifacts.status = r.status;
+      artifacts.cacheable = false;
+      wal_append_finished(job.seq, "", "", artifacts);
     }
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    ++stats_.jobs_executed;
+  } else {
+    const std::optional<std::string> canonical = canonical_input(spec);
+    CachedResult cached;
+    bool hit = false;
+    if (canonical && spec.deadline <= 0.0) {
+      std::lock_guard<std::mutex> lock(cache_mu_);
+      hit = cache_.lookup(*canonical, spec.option_key(), &cached);
+    }
+    if (hit) {
+      r.status = cached.status;
+      r.cache_hit = true;
+      r.bench = cached.bench;
+      r.report = cached.report;
+      r.stdout_text = cached.stdout_text;
+      if (job.journaled) wal_append_mark("cached", job.seq);
+    } else {
+      begin_job_isolation();
+      JobExecution exec = run_resynth_job(spec);
+      r.status = exec.status;
+      r.error = exec.error;
+      r.bench = exec.bench;
+      r.report = exec.report;
+      r.stdout_text = exec.stdout_text;
+      if (exec.cacheable && canonical) {
+        std::lock_guard<std::mutex> lock(cache_mu_);
+        cache_.insert(*canonical, spec.option_key(),
+                      CachedResult{exec.status, exec.bench, exec.report,
+                                   exec.stdout_text});
+      }
+      if (job.journaled) {
+        JobExecutionArtifacts artifacts;
+        artifacts.status = exec.status;
+        artifacts.bench = exec.bench;
+        artifacts.report = exec.report;
+        artifacts.stdout_text = exec.stdout_text;
+        artifacts.cacheable = exec.cacheable && canonical.has_value();
+        wal_append_finished(job.seq, canonical ? *canonical : "",
+                            spec.option_key(), artifacts);
+      }
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.jobs_executed;
+    }
   }
   r.wall_ms = ms_since(t0);
-  respond(job.conn, r.to_json());
-  {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    ++stats_.jobs_served;
-    if (r.status == "ok") ++stats_.status_ok;
-    else if (r.status == "degraded") ++stats_.status_degraded;
-    else if (r.status == "interrupted") ++stats_.status_interrupted;
-    else ++stats_.status_error;
-    refresh_cache_stats_locked();
+  if (!internal) {
+    // Tally before respond(): once the client holds the reply, a stats
+    // query from any connection must already see this job counted.
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.jobs_served;
+      if (r.status == "ok") ++stats_.status_ok;
+      else if (r.status == "degraded") ++stats_.status_degraded;
+      else if (r.status == "interrupted") ++stats_.status_interrupted;
+      else ++stats_.status_error;
+    }
+    job.conn->inflight.fetch_sub(1, std::memory_order_relaxed);
+    respond(job.conn, r.to_json());
   }
+  refresh_cache_stats();
   Json ev = Json::object();
   ev.set("event", "finished");
   ev.set("id", spec.id);
   ev.set("circuit", spec.circuit);
   ev.set("status", r.status);
   ev.set("cache", r.cache_hit ? "hit" : "miss");
+  ev.set("lane", static_cast<std::uint64_t>(lane.index));
   ev.set("wall_ms", r.wall_ms);
   ev.set("peak_rss_bytes", peak_rss_bytes());
+  if (internal) ev.set("recovered", true);
   EventLog::emit("job", std::move(ev));
+}
+
+// ---------------------------------------------------------------------------
+// Monitor
+// ---------------------------------------------------------------------------
+
+void Server::monitor_loop() {
+  const auto watchdog_ms =
+      static_cast<std::uint64_t>(config_.watchdog_seconds * 1000.0);
+  while (lanes_running_.load() != 0) {
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_.wait_for(lk, std::chrono::milliseconds(kPollIntervalMs),
+                   [&] { return lanes_running_.load() == 0; });
+    }
+    // The monitor thread is unbound (default slot): the only cancellation
+    // that can land here is the process-wide signal broadcast.
+    if (robust::cancel_requested()) begin_drain(Drain::Abort, nullptr);
+    if (watchdog_ms == 0) continue;
+    const std::uint64_t now = steady_ms();
+    for (auto& lane : lanes_) {
+      const std::uint64_t since =
+          lane->busy_since_ms.load(std::memory_order_relaxed);
+      if (since == 0 || now - since < watchdog_ms) continue;
+      const std::uint64_t seq =
+          lane->current_seq.load(std::memory_order_relaxed);
+      if (lane->watchdog_kicked_seq == seq) continue;  // one kick per job
+      lane->watchdog_kicked_seq = seq;
+      // Deadline on the lane's slot: the wedged job winds down at its
+      // next poll point and answers "interrupted"; neighbours never see
+      // it, and the lane moves on to the next job.
+      robust::request_cancel_on(lane->slot, robust::StopReason::Deadline);
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.watchdog_fires;
+      }
+      Json ev = Json::object();
+      ev.set("event", "watchdog");
+      ev.set("lane", static_cast<std::uint64_t>(lane->index));
+      ev.set("seq", seq);
+      EventLog::emit("job", std::move(ev));
+    }
+  }
 }
 
 int Server::run() {
@@ -365,6 +863,7 @@ int Server::run() {
       return robust::kExitUsage;
     }
   }
+  if (!config_.wal_path.empty()) recover_wal();
   if (config_.use_stdio) {
     auto conn = std::make_shared<Connection>();
     conn->rfd = 0;
@@ -384,42 +883,18 @@ int Server::run() {
     listener_ = std::thread(&Server::listener_loop, this);
   }
 
-  // ---- executor loop: one job at a time, FIFO ----
-  for (;;) {
-    Pending job;
-    bool have = false;
-    {
-      std::unique_lock<std::mutex> lk(mu_);
-      cv_.wait_for(lk, std::chrono::milliseconds(kPollIntervalMs), [&] {
-        return !queue_.empty() || drain_.load() != Drain::None;
-      });
-      if (robust::cancel_requested() &&
-          robust::cancel_reason() == robust::StopReason::Signal) {
-        drain_.store(Drain::Abort);
-      }
-      if (drain_.load() == Drain::Abort) break;
-      if (!queue_.empty()) {
-        job = std::move(queue_.front());
-        queue_.pop_front();
-        have = true;
-      } else if (drain_.load() == Drain::Graceful) {
-        break;
-      }
-    }
-    if (!have) continue;
-    // A previous job's deadline/budget cancel must not leak into this one.
-    if (robust::cancel_requested() &&
-        robust::cancel_reason() != robust::StopReason::Signal) {
-      robust::clear_cancel();
-    }
-    execute(std::move(job));
-    if (robust::cancel_requested()) {
-      if (robust::cancel_reason() == robust::StopReason::Signal) {
-        begin_drain(Drain::Abort, nullptr);
-      } else {
-        robust::clear_cancel();
-      }
-    }
+  // ---- lanes up, then monitor until they all retire ----
+  lanes_.reserve(config_.lanes);
+  for (unsigned i = 0; i < config_.lanes; ++i) {
+    lanes_.push_back(std::make_unique<Lane>(i, config_.jobs_per_lane));
+  }
+  lanes_running_.store(config_.lanes);
+  for (auto& lane : lanes_) {
+    lane->thread = std::thread(&Server::lane_loop, this, std::ref(*lane));
+  }
+  monitor_loop();
+  for (auto& lane : lanes_) {
+    if (lane->thread.joinable()) lane->thread.join();
   }
 
   // ---- teardown ----
@@ -432,19 +907,22 @@ int Server::run() {
     }
   }
   // Jobs still queued (abort drain, or a race with a graceful one) are
-  // answered, not dropped on the floor.
+  // answered, not dropped on the floor. Their WAL records stay live, so a
+  // restarted daemon re-executes them.
   std::deque<Pending> leftovers;
   {
     std::lock_guard<std::mutex> lock(mu_);
     leftovers.swap(queue_);
   }
   for (Pending& p : leftovers) {
+    if (p.conn == nullptr) continue;  // internal replay job: nobody to answer
     JobResult r;
     r.id = p.spec.id;
     r.status = "interrupted";
     r.error = "daemon shutting down before this job ran";
     r.report = job_error_report("interrupted", r.error);
     respond(p.conn, r.to_json());
+    p.conn->inflight.fetch_sub(1, std::memory_order_relaxed);
     std::lock_guard<std::mutex> lock(stats_mu_);
     ++stats_.jobs_served;
     ++stats_.status_interrupted;
@@ -465,6 +943,10 @@ int Server::run() {
     bye.set("type", "bye");
     bye.set("jobs_served", served);
     respond(bye_conn_, bye);
+  }
+  {
+    std::lock_guard<std::mutex> lock(wal_mu_);
+    wal_.close();
   }
   EventLog::finish(aborted ? "interrupted" : "ok");
   return aborted ? robust::exit_code_for_cancel() : robust::kExitOk;

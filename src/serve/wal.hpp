@@ -1,0 +1,112 @@
+// Crash-safe write-ahead job journal (format "compsyn-serve-wal-v1").
+//
+// The daemon journals every job's lifecycle so a crash (power loss,
+// kill -9, scripted halt) loses no accepted work: a restarted daemon
+// replays the journal, reloads finished jobs' artifacts into the result
+// cache, and re-executes jobs that were accepted or in flight when the
+// process died. Because job execution is deterministic (DESIGN.md §13.2),
+// a re-executed job produces answers byte-identical to the ones the dead
+// daemon would have sent.
+//
+// The file is append-only JSONL: one compact record per line, each
+// guarded by an FNV-1a hash of everything before the guard key (the same
+// robust::fnv1a64 the checkpoint format uses). The guard is always the
+// LAST key of the line, so verification needs no JSON round-trip: strip
+// the textual `,"guard":"..."` suffix, hash the prefix plus the closing
+// brace, compare. A truncated or corrupt *tail* -- the expected shape of
+// crash damage on an append-only file -- is tolerated: replay stops at
+// the first bad line and reports how many lines it dropped. Damage
+// before the tail is indistinguishable from tampering and is treated the
+// same way (records after the damage are dropped; jobs they described
+// are simply re-executed).
+//
+// Records (discriminated by "type"; "seq" is the daemon-assigned job
+// sequence number, monotonically increasing across restarts):
+//   {"type":"header","format":"compsyn-serve-wal-v1"}      first line
+//   {"type":"accepted","seq":N,"job":{...JobSpec...}}      queued
+//   {"type":"started","seq":N}                             lane picked it up
+//   {"type":"cached","seq":N}                              answered from cache
+//   {"type":"finished","seq":N,"canonical":...,"option_key":...,
+//    "status":...,"bench":...,"report":{...},"stdout":...} executed + result
+//
+// Compaction rewrites the journal as header + one finished record per
+// live cache entry via the checkpoint tmp+rename discipline, so the file
+// on disk is always either the old journal or the new one, never a
+// half-written hybrid.
+//
+// Jobs with a deadline never enter the journal: their outcome is
+// wall-clock dependent, so replaying them could not promise byte-identical
+// answers (the daemon re-answers them only if the client re-submits).
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace compsyn::serve {
+
+inline constexpr const char* kWalFormat = "compsyn-serve-wal-v1";
+
+/// One journal record. `fields` carries the kind-specific extras (the
+/// job spec, the finished artifacts); type and seq travel explicitly.
+struct WalRecord {
+  std::string type;        // "header"|"accepted"|"started"|"cached"|"finished"
+  std::uint64_t seq = 0;   // job sequence number (unused for "header")
+  Json fields = Json::object();
+
+  /// One guarded JSONL line (no trailing newline).
+  std::string encode() const;
+
+  /// Decodes and guard-checks one line; nullopt + *error on any damage.
+  static std::optional<WalRecord> decode(std::string_view line,
+                                         std::string* error);
+};
+
+/// The journal file. Append-only between compactions; all methods are
+/// called from the daemon's admission/lane paths under the server's
+/// locking (the class itself is not thread-safe).
+class JobWal {
+ public:
+  JobWal() = default;
+  ~JobWal();
+  JobWal(const JobWal&) = delete;
+  JobWal& operator=(const JobWal&) = delete;
+
+  struct Replay {
+    std::vector<WalRecord> records;  // every intact record, in file order
+    std::size_t dropped = 0;         // corrupt/truncated lines discarded
+  };
+
+  /// Opens `path` for appending, first replaying any existing journal
+  /// into *replay. A fresh (or empty) file gets the header record. Fails
+  /// on I/O errors and on an existing first line that is not a valid
+  /// header of this format -- tail damage is tolerated, a wrong format is
+  /// not.
+  bool open(const std::string& path, Replay* replay, std::string* error);
+
+  bool is_open() const { return out_ != nullptr; }
+  const std::string& path() const { return path_; }
+
+  /// Appends one record and flushes. On failure (I/O error or an injected
+  /// wal fault) the journal is marked dead: this append and every later
+  /// one return false immediately, and the daemon keeps serving
+  /// un-journaled rather than dying on a full disk.
+  bool append(const WalRecord& rec, std::string* error);
+
+  /// Atomically replaces the journal with header + `records` (checkpoint
+  /// tmp+rename discipline), then reopens for appending.
+  bool compact(const std::vector<WalRecord>& records, std::string* error);
+
+  void close();
+
+ private:
+  std::string path_;
+  std::FILE* out_ = nullptr;
+  bool dead_ = false;
+};
+
+}  // namespace compsyn::serve

@@ -553,6 +553,307 @@ TEST(ServeE2e, SigtermDrainsWithExit143AndUnlinkedSocket) {
   EXPECT_NE(events.find("\"status\":\"interrupted\""), std::string::npos);
 }
 
+TEST(ServeE2e, LanesFourProducesByteIdenticalArtifactsToLanesOne) {
+  // Cache off so every job actually executes on a lane; at --lanes=4 four
+  // jobs run concurrently, each on a private slot/domain/pool, and every
+  // artifact must still match the one-shot flow byte for byte.
+  const std::vector<std::string> circuits = {"c17", "s27", "add8", "mux4"};
+  const unsigned k = 5;
+
+  Json jobs = Json::array();
+  for (const std::string& c : circuits) {
+    Json j = Json::object();
+    j.set("id", c);
+    j.set("circuit", c);
+    j.set("proc", "2");
+    j.set("k", std::uint64_t{k});
+    jobs.push(std::move(j));
+  }
+  Json manifest = Json::object();
+  manifest.set("jobs", std::move(jobs));
+  const std::string manifest_path = temp_path("lanes_manifest.json");
+  spit(manifest_path, manifest.dump(2));
+
+  for (const std::string& lanes : {"1", "4"}) {
+    Daemon d("lanes" + lanes);
+    d.start("--lanes=" + lanes + " --cache-mb=0");
+    const std::string dir = temp_path("lanes" + lanes + "_out");
+    ASSERT_EQ(std::system(("mkdir -p " + dir).c_str()), 0);
+    const RunResult replay = run_cmd(
+        std::string(RESYNTH_CLIENT_PATH) + " --socket=" + d.socket_path +
+        " --manifest=" + manifest_path + " --concurrency=4 --out-dir=" + dir);
+    EXPECT_EQ(replay.exit_code, 0) << replay.err;
+    for (const std::string& c : circuits) {
+      const OneShot expect = one_shot(c, k);
+      const std::string base = dir + "/" + c;
+      std::string err;
+      const std::optional<Json> rep =
+          Json::parse(slurp(base + ".report.json"), &err);
+      ASSERT_TRUE(rep.has_value()) << base << ": " << err;
+      expect_matches_one_shot(expect, slurp(base + ".bench"), *rep,
+                              slurp(base + ".stdout.txt"),
+                              "lanes=" + lanes + " " + base);
+    }
+    run_cmd(std::string(RESYNTH_CLIENT_PATH) + " --socket=" + d.socket_path +
+            " --shutdown");
+    EXPECT_EQ(d.wait_exit(), 0);
+  }
+}
+
+TEST(ServeE2e, SigkillRestartServesByteIdenticalAnswersFromTheWal) {
+  const std::string wal_path = temp_path("recovery.wal");
+  std::remove(wal_path.c_str());
+  const unsigned k = 5;
+
+  // Phase 1: run two jobs to completion, then put a third in flight and
+  // SIGKILL the daemon mid-execution.
+  Daemon d1("wal1");
+  d1.start("--wal=" + wal_path);
+  for (const std::string& c : {"c17", "add8"}) {
+    const RunResult r =
+        run_cmd(std::string(RESYNTH_CLIENT_PATH) + " --socket=" +
+                d1.socket_path + " --proc=2 --k=" + std::to_string(k) +
+                " --id=" + c + " " + c);
+    ASSERT_EQ(r.exit_code, 0) << r.err;
+  }
+  {
+    Conn c;
+    ASSERT_TRUE(c.connect(d1.socket_path));
+    ASSERT_TRUE(c.send(job_message("inflight", "syn150", /*k=*/6)));
+    std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  }
+  ASSERT_EQ(::kill(d1.pid, SIGKILL), 0);
+  ASSERT_EQ(d1.wait_exit(), 137);       // 128 + SIGKILL
+  std::remove(d1.socket_path.c_str());  // SIGKILL skips the unlink
+
+  // Phase 2: a fresh daemon on the same journal. It must preload the two
+  // finished results and deterministically re-execute the in-flight job.
+  Daemon d2("wal2");
+  d2.start("--wal=" + wal_path);
+  {
+    // Wait until the replayed job has re-executed (jobs_executed reaches 1;
+    // the preloaded answers never re-execute).
+    Conn c;
+    ASSERT_TRUE(c.connect(d2.socket_path));
+    ASSERT_TRUE(wait_for(
+        [&] {
+          Json stats = Json::object();
+          stats.set("type", "stats");
+          if (!c.send(stats)) return false;
+          const std::optional<Json> reply = c.recv();
+          return reply.has_value() &&
+                 reply->find("wal_replayed") != nullptr &&
+                 reply->find("wal_replayed")->as_u64() == 1 &&
+                 reply->find("jobs_executed")->as_u64() >= 1;
+        },
+        60000));
+    Json stats = Json::object();
+    stats.set("type", "stats");
+    ASSERT_TRUE(c.send(stats));
+    const std::optional<Json> reply = c.recv();
+    ASSERT_TRUE(reply.has_value());
+    EXPECT_EQ(reply->find("wal_recovered")->as_u64(), 2u)
+        << "finished results were not preloaded from the journal";
+  }
+
+  // Every answer -- the two that finished before the kill, and the one that
+  // was in flight -- now comes back byte-identical to a one-shot run, from
+  // cache (nothing re-executes on re-submission).
+  struct Probe {
+    std::string circuit;
+    unsigned k;
+  };
+  for (const Probe& p :
+       {Probe{"c17", k}, Probe{"add8", k}, Probe{"syn150", 6}}) {
+    const std::string bench_path = temp_path("rec_" + p.circuit + ".bench");
+    const std::string report_path = temp_path("rec_" + p.circuit + ".json");
+    // --retry also covers a daemon still replaying: the client re-submits
+    // until the answer is there.
+    const RunResult r = run_cmd(
+        std::string(RESYNTH_CLIENT_PATH) + " --socket=" + d2.socket_path +
+        " --proc=2 --k=" + std::to_string(p.k) + " --retry=5" +
+        " --retry-base-ms=50 --out=" + bench_path + " --report=" +
+        report_path + " " + p.circuit);
+    EXPECT_EQ(r.exit_code, 0) << r.err;
+    const OneShot expect = one_shot(p.circuit, p.k);
+    EXPECT_EQ(slurp(bench_path), expect.bench) << p.circuit;
+    std::string err;
+    const std::optional<Json> rep = Json::parse(slurp(report_path), &err);
+    ASSERT_TRUE(rep.has_value()) << err;
+    EXPECT_EQ(label_ordered_spans(masked_report_dump(*rep)),
+              label_ordered_spans(masked_report_dump(expect.report)))
+        << p.circuit;
+  }
+  {
+    Conn c;
+    ASSERT_TRUE(c.connect(d2.socket_path));
+    Json stats = Json::object();
+    stats.set("type", "stats");
+    ASSERT_TRUE(c.send(stats));
+    const std::optional<Json> reply = c.recv();
+    ASSERT_TRUE(reply.has_value());
+    EXPECT_EQ(reply->find("cache_hits")->as_u64(), 3u)
+        << "re-submitted jobs should all be served from the recovered cache";
+  }
+  run_cmd(std::string(RESYNTH_CLIENT_PATH) + " --socket=" + d2.socket_path +
+          " --shutdown");
+  EXPECT_EQ(d2.wait_exit(), 0);
+  std::remove(wal_path.c_str());
+}
+
+TEST(ServeE2e, ClientRetriesThroughADaemonRestart) {
+  // The daemon is down when the client starts; --retry keeps re-connecting
+  // with backoff until the (restarted) daemon answers.
+  Daemon d("retry");
+  const std::string bench_path = temp_path("retry.bench");
+  const std::string cmd = std::string(RESYNTH_CLIENT_PATH) + " --socket=" +
+                          d.socket_path + " --proc=2 --k=5 --retry=40" +
+                          " --retry-base-ms=100 --out=" + bench_path +
+                          " --id=retry c17";
+  const std::string rc_path = temp_path("retry_client.rc");
+  std::remove(rc_path.c_str());
+  ASSERT_EQ(std::system(("( " + cmd + " >/dev/null 2>&1; echo $? > " +
+                         rc_path + " ) &")
+                            .c_str()),
+            0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(400));
+  d.start();
+  ASSERT_TRUE(wait_for([&] { return !slurp(rc_path).empty(); }, 60000))
+      << "client never finished";
+  EXPECT_EQ(std::stoi(slurp(rc_path)), 0);
+  EXPECT_EQ(slurp(bench_path), one_shot("c17", 5).bench);
+  run_cmd(std::string(RESYNTH_CLIENT_PATH) + " --socket=" + d.socket_path +
+          " --shutdown");
+  EXPECT_EQ(d.wait_exit(), 0);
+}
+
+TEST(ServeE2e, FullQueueShedsDeterministicallyWithRetryHint) {
+  Daemon d("shed");
+  d.start("--queue-max=1");
+  Conn c;
+  ASSERT_TRUE(c.connect(d.socket_path));
+  // Occupy the lane, then fill the queue, then overflow it.
+  ASSERT_TRUE(c.send(job_message("long", "syn150", /*k=*/6)));
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  ASSERT_TRUE(c.send(job_message("queued", "c17")));
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  ASSERT_TRUE(c.send(job_message("shed1", "add8")));
+  ASSERT_TRUE(c.send(job_message("shed2", "mux4")));
+
+  // The shed answers come back immediately, ahead of the running jobs.
+  int shed = 0;
+  std::vector<Json> replies;
+  for (int i = 0; i < 4; ++i) {
+    const std::optional<Json> reply = c.recv();
+    ASSERT_TRUE(reply.has_value());
+    replies.push_back(*reply);
+  }
+  for (const Json& r : replies) {
+    if (field(r, "error") == "overloaded") {
+      ++shed;
+      EXPECT_EQ(field(r, "status"), "error");
+      ASSERT_NE(r.find("retry_after_ms"), nullptr)
+          << "shed answer missing its retry hint";
+      EXPECT_GT(r.find("retry_after_ms")->as_u64(), 0u);
+    }
+  }
+  EXPECT_EQ(shed, 2) << "overflow jobs were not shed";
+
+  Conn s;
+  ASSERT_TRUE(s.connect(d.socket_path));
+  Json stats = Json::object();
+  stats.set("type", "stats");
+  ASSERT_TRUE(s.send(stats));
+  const std::optional<Json> reply = s.recv();
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->find("jobs_shed")->as_u64(), 2u);
+
+  Json bye = Json::object();
+  bye.set("type", "shutdown");
+  ASSERT_TRUE(s.send(bye));
+  s.recv();
+  EXPECT_EQ(d.wait_exit(), 0);
+}
+
+TEST(ServeE2e, WatchdogInterruptsAHungJobAndTheLaneKeepsServing) {
+  Daemon d("watchdog");
+  d.start("--watchdog=0.5");
+  Conn c;
+  ASSERT_TRUE(c.connect(d.socket_path));
+  // syn150/k=6 runs well past 0.5 s; the watchdog cancels it at a poll
+  // point and the job answers "interrupted".
+  ASSERT_TRUE(c.send(job_message("hung", "syn150", /*k=*/6)));
+  std::optional<Json> reply = c.recv();
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(field(*reply, "id"), "hung");
+  EXPECT_EQ(field(*reply, "status"), "interrupted");
+
+  // The same lane then serves the next job normally.
+  ASSERT_TRUE(c.send(job_message("after", "c17")));
+  reply = c.recv();
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(field(*reply, "status"), "ok");
+
+  Json stats = Json::object();
+  stats.set("type", "stats");
+  ASSERT_TRUE(c.send(stats));
+  reply = c.recv();
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_GE(reply->find("watchdog_fires")->as_u64(), 1u);
+
+  Json bye = Json::object();
+  bye.set("type", "shutdown");
+  ASSERT_TRUE(c.send(bye));
+  c.recv();
+  EXPECT_EQ(d.wait_exit(), 0);
+}
+
+TEST(ServeE2e, InjectedLaneCrashAndFrameCorruptionStayPerJob) {
+  Daemon d("chaos");
+  // 1st job started crashes its lane; 3rd daemon-sent frame is corrupted.
+  d.start("--inject=lane:1,frame:3");
+  Conn c;
+  ASSERT_TRUE(c.connect(d.socket_path));
+
+  // Frame 1: the scripted lane crash comes back as a per-job error.
+  ASSERT_TRUE(c.send(job_message("crash", "c17")));
+  std::optional<Json> reply = c.recv();
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(field(*reply, "status"), "error");
+  EXPECT_NE(field(*reply, "error").find("injected lane crash"),
+            std::string::npos);
+
+  // Frame 2: the daemon survived; the same lane serves real work.
+  ASSERT_TRUE(c.send(job_message("after", "c17")));
+  reply = c.recv();
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(field(*reply, "status"), "ok");
+
+  // Frame 3 is corrupted on the wire: framing stays intact (the reply
+  // arrives) but one payload byte is flipped. A pong is small enough that
+  // the flip is always detectable as a wrong/unparseable message.
+  Json ping = Json::object();
+  ping.set("type", "ping");
+  ASSERT_TRUE(c.send(ping));
+  std::string payload, err;
+  ASSERT_EQ(read_frame(c.fd, &payload, &err), FrameStatus::Ok) << err;
+  const std::optional<Json> parsed = Json::parse(payload, &err);
+  EXPECT_TRUE(!parsed.has_value() || field(*parsed, "type") != "pong" ||
+              field(*parsed, "schema") != kServeSchema)
+      << "corrupted frame came through clean: " << payload;
+
+  // Frame 4 onward is clean again.
+  ASSERT_TRUE(c.send(ping));
+  const std::optional<Json> pong = c.recv();
+  ASSERT_TRUE(pong.has_value());
+  EXPECT_EQ(field(*pong, "type"), "pong");
+
+  Json bye = Json::object();
+  bye.set("type", "shutdown");
+  ASSERT_TRUE(c.send(bye));
+  EXPECT_EQ(d.wait_exit(), 0);
+}
+
 TEST(ServeE2e, StdioTransportServesOneClient) {
   int to_daemon[2], from_daemon[2];
   ASSERT_EQ(::pipe(to_daemon), 0);
