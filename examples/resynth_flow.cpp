@@ -26,6 +26,7 @@
 #include <iostream>
 #include <optional>
 
+#include "atpg/guided.hpp"
 #include "atpg/redundancy.hpp"
 #include "bench_io/bench_io.hpp"
 #include "core/resynth.hpp"
@@ -243,6 +244,8 @@ int flow_main(int argc, char** argv) {
     std::cerr << "usage: resynth_flow [--proc=2|3|combined] [--k=K] "
                  "[--weight-gates=W --weight-paths=W] [--verify=sim|sat|both] "
                  "[--sat=session|oneshot] "
+                 "[--atpg-backtrace=legacy|level|scoap] "
+                 "[--atpg-frontier=legacy|level|scoap] "
                  "[--out=file.bench] [--report=file.json] [--trace] "
                  "[--trace-out=trace.json] [--events=log.jsonl] "
                  "[--progress[=SECS]] "
@@ -371,6 +374,29 @@ int flow_main(int argc, char** argv) {
   // PODEM-only removal (and its exact output).
   RedundancyRemovalOptions rr_opt;
   rr_opt.sat_fallback = cfg.verify != VerifyMode::Sim;
+  // Search-order policies for the PODEM behind redundancy removal
+  // (DESIGN.md §16). The legacy default keeps stdout and reports
+  // byte-identical to earlier releases; non-legacy policies change search
+  // order (and which faults exceed the backtrack budget), never the
+  // soundness of any committed substitution.
+  if (cli.has("atpg-backtrace")) {
+    const auto p = parse_backtrace_policy(cli.get("atpg-backtrace"));
+    if (!p) {
+      std::cerr << "error: --atpg-backtrace=" << cli.get("atpg-backtrace")
+                << " (expected legacy, level, or scoap)\n";
+      return robust::kExitUsage;
+    }
+    rr_opt.atpg.strategy.backtrace = *p;
+  }
+  if (cli.has("atpg-frontier")) {
+    const auto p = parse_frontier_policy(cli.get("atpg-frontier"));
+    if (!p) {
+      std::cerr << "error: --atpg-frontier=" << cli.get("atpg-frontier")
+                << " (expected legacy, level, or scoap)\n";
+      return robust::kExitUsage;
+    }
+    rr_opt.atpg.strategy.frontier = *p;
+  }
   Netlist nl;
   try {
     nl = cfg.source.size() > 6 &&

@@ -5,8 +5,15 @@
 //
 //   $ ./testability_report syn150
 //   $ ./testability_report --patterns=65536 --pairs=100000 cmp8
+//
+// --guided adds a guided-ATPG + static-compaction section (DESIGN.md §16):
+//   $ ./testability_report --guided syn150
+//   $ ./testability_report --guided --atpg-backtrace=scoap \
+//         --atpg-frontier=scoap --atpg-order=hard --rtpg=weighted syn150
 #include <iostream>
 
+#include "atpg/compact.hpp"
+#include "atpg/guided.hpp"
 #include "atpg/podem.hpp"
 #include "atpg/redundancy.hpp"
 #include "core/resynth.hpp"
@@ -93,6 +100,84 @@ int run_main(int argc, char** argv) {
   std::cout << "\nThe headline effect (Section 5): modified circuits keep "
                "stuck-at testability\nwhile dropping untestable path delay "
                "faults, so PDF coverage rises.\n";
+
+  // Opt-in guided-ATPG section; without --guided the output above stays
+  // byte-identical to earlier releases.
+  if (cli.has("guided")) {
+    GuidedAtpgOptions gopt;
+    if (cli.has("atpg-backtrace")) {
+      const auto p = parse_backtrace_policy(cli.get("atpg-backtrace"));
+      if (!p) {
+        std::cerr << "error: --atpg-backtrace=" << cli.get("atpg-backtrace")
+                  << " (expected legacy, level, or scoap)\n";
+        return robust::kExitUsage;
+      }
+      gopt.strategy.backtrace = *p;
+    }
+    if (cli.has("atpg-frontier")) {
+      const auto p = parse_frontier_policy(cli.get("atpg-frontier"));
+      if (!p) {
+        std::cerr << "error: --atpg-frontier=" << cli.get("atpg-frontier")
+                  << " (expected legacy, level, or scoap)\n";
+        return robust::kExitUsage;
+      }
+      gopt.strategy.frontier = *p;
+    }
+    if (cli.has("atpg-order")) {
+      const auto p = parse_fault_order(cli.get("atpg-order"));
+      if (!p) {
+        std::cerr << "error: --atpg-order=" << cli.get("atpg-order")
+                  << " (expected index, hard, or cone)\n";
+        return robust::kExitUsage;
+      }
+      gopt.order = *p;
+    }
+    if (cli.has("rtpg")) {
+      const auto v = parse_rtpg_variant(cli.get("rtpg"));
+      if (!v) {
+        std::cerr << "error: --rtpg=" << cli.get("rtpg")
+                  << " (expected uniform, weighted, or toggle)\n";
+        return robust::kExitUsage;
+      }
+      gopt.rtpg.variant = *v;
+    }
+    gopt.rtpg.max_patterns = cli.get_u64("rtpg-patterns", gopt.rtpg.max_patterns);
+    gopt.rtpg.seed = cli.get_u64("rtpg-seed", gopt.rtpg.seed);
+    gopt.backtrack_limit = cli.get_u64("backtracks", gopt.backtrack_limit);
+
+    const auto guided_row = [&](const Netlist& c) {
+      const GuidedAtpgResult g = guided_atpg(c, gopt);
+      const CompactionResult comp =
+          compact_patterns(c, g.faults, g.patterns, {gopt.fill_seed});
+      return std::make_pair(g, comp);
+    };
+    const auto [ga, ca] = guided_row(nl);
+    const auto [gb, cb] = guided_row(modified);
+
+    std::cout << "\nguided ATPG (backtrace=" << to_string(gopt.strategy.backtrace)
+              << ", frontier=" << to_string(gopt.strategy.frontier)
+              << ", order=" << to_string(gopt.order)
+              << ", rtpg=" << to_string(gopt.rtpg.variant) << ")\n\n";
+    Table g({"metric", "original", "modified"});
+    g.row().add("RTPG patterns kept").add(ga.rtpg.patterns_kept).add(gb.rtpg.patterns_kept);
+    g.row().add("RTPG detected").add(static_cast<std::uint64_t>(ga.rtpg.detected))
+        .add(static_cast<std::uint64_t>(gb.rtpg.detected));
+    g.row().add("PODEM calls").add(ga.podem_calls).add(gb.podem_calls);
+    g.row().add("PODEM backtracks").add(ga.backtracks).add(gb.backtracks);
+    g.row().add("detected").add(static_cast<std::uint64_t>(ga.detected))
+        .add(static_cast<std::uint64_t>(gb.detected));
+    g.row().add("untestable").add(static_cast<std::uint64_t>(ga.untestable))
+        .add(static_cast<std::uint64_t>(gb.untestable));
+    g.row().add("aborted").add(static_cast<std::uint64_t>(ga.aborted))
+        .add(static_cast<std::uint64_t>(gb.aborted));
+    g.row().add("patterns before compaction")
+        .add(static_cast<std::uint64_t>(ga.patterns.size()))
+        .add(static_cast<std::uint64_t>(gb.patterns.size()));
+    g.row().add("patterns after compaction")
+        .add(static_cast<std::uint64_t>(ca.patterns.size()))
+        .add(static_cast<std::uint64_t>(cb.patterns.size()));
+    g.print(std::cout);
+  }
   return 0;
 }
 

@@ -3,6 +3,7 @@
 #include <cassert>
 #include <tuple>
 
+#include "atpg/scoap.hpp"
 #include "obs/counters.hpp"
 #include "obs/trace.hpp"
 #include "robust/robust.hpp"
@@ -57,7 +58,13 @@ std::uint8_t eval3(GateType t, const std::vector<std::uint8_t>& in) {
 class Podem {
  public:
   Podem(const Netlist& nl, const StuckFault& fault, const AtpgOptions& opt)
-      : nl_(nl), fault_(fault), opt_(opt) {
+      : nl_(nl), fault_(fault), opt_(opt), guide_(opt.guidance) {
+    // Non-legacy policies read NodeId-indexed guidance tables; without them
+    // the search degrades to the legacy order rather than reading nothing.
+    if (guide_ != nullptr) {
+      frontier_policy_ = opt.strategy.frontier;
+      backtrace_policy_ = opt.strategy.backtrace;
+    }
     pi_val_.assign(nl_.size(), VX);
     gv_.assign(nl_.size(), VX);
     fv_.assign(nl_.size(), VX);
@@ -89,6 +96,13 @@ class Podem {
         res.test.assign(nl_.inputs().size(), false);
         for (std::size_t i = 0; i < nl_.inputs().size(); ++i) {
           res.test[i] = gv_[nl_.inputs()[i]] == V1;
+        }
+        if (opt_.record_cube) {
+          // pi_val_ holds V0/V1/VX, which match kCube0/kCube1/kCubeX.
+          res.cube.resize(nl_.inputs().size());
+          for (std::size_t i = 0; i < nl_.inputs().size(); ++i) {
+            res.cube[i] = pi_val_[nl_.inputs()[i]];
+          }
         }
         return res;
       }
@@ -188,8 +202,7 @@ class Podem {
       value = stuck ^ 1u;
       return ObjectiveStatus::Found;
     }
-    // Fault activated; find the D-frontier.
-    bool found = false;
+    // Fault activated; collect the full D-frontier in topological order.
     for (NodeId n : nl_.topo_order()) {
       const Node& nd = nl_.node(n);
       if (nd.type == GateType::Input || nd.type == GateType::Const0 ||
@@ -204,20 +217,6 @@ class Podem {
         d_in |= gv_[site_] != VX && gv_[site_] != stuck;
       }
       if (!d_in) continue;
-      if (!found) {
-        // Objective: set an undetermined side input to non-controlling.
-        for (std::size_t p = 0; p < nd.fanins.size(); ++p) {
-          const NodeId f = nd.fanins[p];
-          if (gv_[f] == VX) {
-            node = f;
-            value = has_controlling_value(nd.type)
-                        ? static_cast<std::uint8_t>(!controlling_value(nd.type))
-                        : V0;
-            found = true;
-            break;
-          }
-        }
-      }
       frontier_.push_back(n);
     }
     if (frontier_.empty()) {
@@ -225,10 +224,62 @@ class Podem {
     }
     // X-path check: some frontier gate must reach an output through
     // X-valued nodes.
-    const bool xpath = x_path_exists();
+    if (!x_path_exists()) {
+      frontier_.clear();
+      return ObjectiveStatus::Fail;
+    }
+    // Objective: set an undetermined side input of a frontier gate to
+    // non-controlling. The policy only ranks the gates the legacy scan
+    // iterated (ties keep topological order; Legacy keys by position, so
+    // the first eligible gate wins exactly as in the seed engine).
+    bool found = false;
+    std::uint64_t best_key = 0;
+    for (std::size_t i = 0; i < frontier_.size(); ++i) {
+      const NodeId n = frontier_[i];
+      const Node& nd = nl_.node(n);
+      const std::uint8_t want =
+          has_controlling_value(nd.type)
+              ? static_cast<std::uint8_t>(!controlling_value(nd.type))
+              : V0;
+      const NodeId side = pick_side_input(nd, want);
+      if (side == kNoNode) continue;
+      std::uint64_t key = i;
+      switch (frontier_policy_) {
+        case FrontierPolicy::Legacy: break;
+        case FrontierPolicy::Level: key = guide_->out_dist[n]; break;
+        case FrontierPolicy::Scoap: key = guide_->scoap.co[n]; break;
+      }
+      if (!found || key < best_key) {
+        found = true;
+        best_key = key;
+        node = side;
+        value = want;
+      }
+      if (frontier_policy_ == FrontierPolicy::Legacy) break;
+    }
     frontier_.clear();
-    if (!xpath) return ObjectiveStatus::Fail;
     return found ? ObjectiveStatus::Found : ObjectiveStatus::NoSideInput;
+  }
+
+  /// The gate's side input to target, among good-machine X fanins: the
+  /// first (Legacy), the shallowest (Level), or the cheapest to drive to
+  /// `want` (Scoap). kNoNode when no good-machine X fanin exists.
+  NodeId pick_side_input(const Node& nd, std::uint8_t want) const {
+    NodeId best = kNoNode;
+    std::uint64_t best_key = 0;
+    for (std::size_t p = 0; p < nd.fanins.size(); ++p) {
+      const NodeId f = nd.fanins[p];
+      if (gv_[f] != VX) continue;
+      if (frontier_policy_ == FrontierPolicy::Legacy) return f;
+      const std::uint64_t key = frontier_policy_ == FrontierPolicy::Level
+                                    ? guide_->level[f]
+                                    : guide_->scoap.cc(f, want == V1);
+      if (best == kNoNode || key < best_key) {
+        best = f;
+        best_key = key;
+      }
+    }
+    return best;
   }
 
   bool x_path_exists() {
@@ -254,17 +305,41 @@ class Podem {
     while (nl_.node(node).type != GateType::Input) {
       const Node& nd = nl_.node(node);
       if (is_inverting(nd.type)) value ^= 1u;
-      NodeId next = kNoNode;
-      for (NodeId f : nd.fanins) {
-        if (gv_[f] == VX) {
-          next = f;
-          break;
-        }
-      }
+      // `value` is now the value wanted on the chosen fanin. The policies
+      // rank the same X fanins the legacy scan iterated -- the admissible
+      // set is unchanged, only the descent order differs.
+      const NodeId next = pick_backtrace_fanin(nd, value);
       assert(next != kNoNode && "an X output must have an X input");
       node = next;
     }
     return {node, value};
+  }
+
+  NodeId pick_backtrace_fanin(const Node& nd, std::uint8_t value) const {
+    NodeId best = kNoNode;
+    std::uint64_t best_key = 0;
+    // Classic SCOAP backtrace: when the wanted fanin value is the gate's
+    // controlling value one fanin suffices -- chase the EASIEST; when it is
+    // non-controlling every fanin must eventually comply -- chase the
+    // HARDEST first so infeasible branches fail early. Gates without a
+    // controlling value (XOR family) take the easiest fanin.
+    const bool hardest =
+        backtrace_policy_ == BacktracePolicy::Scoap &&
+        has_controlling_value(nd.type) &&
+        static_cast<bool>(value) != controlling_value(nd.type);
+    for (NodeId f : nd.fanins) {
+      if (gv_[f] != VX) continue;
+      if (backtrace_policy_ == BacktracePolicy::Legacy) return f;
+      std::uint64_t key = backtrace_policy_ == BacktracePolicy::Level
+                              ? guide_->level[f]
+                              : guide_->scoap.cc(f, value == V1);
+      if (hardest) key = ~key;  // max-cost wins, ties still first-fanin
+      if (best == kNoNode || key < best_key) {
+        best = f;
+        best_key = key;
+      }
+    }
+    return best;
   }
 
   bool backtrack(AtpgResult& res) {
@@ -288,6 +363,9 @@ class Podem {
   const Netlist& nl_;
   const StuckFault& fault_;
   const AtpgOptions& opt_;
+  const AtpgGuidance* guide_ = nullptr;
+  FrontierPolicy frontier_policy_ = FrontierPolicy::Legacy;
+  BacktracePolicy backtrace_policy_ = BacktracePolicy::Legacy;
   NodeId site_ = kNoNode;
   std::vector<std::uint8_t> pi_val_, gv_, fv_;
   std::vector<NodeId> pi_index_;

@@ -5,6 +5,7 @@
 #include <iostream>
 #include <optional>
 
+#include "atpg/scoap.hpp"
 #include "exec/exec.hpp"
 #include "faults/fault.hpp"
 #include "faults/fault_sim.hpp"
@@ -96,7 +97,8 @@ struct FaultVerdict {
 /// decides them in fault order -- the same order the one-shot path commits
 /// them in, keeping verdicts jobs-invariant.
 FaultVerdict evaluate_fault(const Netlist& nl, const StuckFault& f,
-                            const RedundancyRemovalOptions& opt) {
+                            const RedundancyRemovalOptions& opt,
+                            const AtpgOptions& atpg) {
   FaultVerdict v;
   if (fault_site_stale(nl, f)) {
     v.stale = true;
@@ -112,7 +114,7 @@ FaultVerdict evaluate_fault(const Netlist& nl, const StuckFault& f,
             std::chrono::steady_clock::now().time_since_epoch())
             .count());
   }
-  const AtpgResult r = run_podem(nl, f, opt.atpg);
+  const AtpgResult r = run_podem(nl, f, atpg);
   v.podem = r.status;
   if (r.status == AtpgStatus::Aborted && opt.sat_fallback &&
       opt.backend == SatBackend::Oneshot) {
@@ -175,7 +177,15 @@ RedundancyRemovalStats remove_redundancies(Netlist& nl,
       opt.sat_fallback && opt.backend == SatBackend::Session;
   std::optional<SatSession> session;
   std::optional<SatSession::CircuitId> session_cid;
+  // Non-legacy search strategies read NodeId-indexed SCOAP/level tables;
+  // these go stale at exactly the points the SAT session does (any netlist
+  // mutation), so both are invalidated together and the guidance is
+  // rebuilt lazily before the next speculation window.
+  AtpgOptions atpg_opt = opt.atpg;
+  const bool guided_search = !atpg_opt.strategy.is_legacy();
+  std::optional<AtpgGuidance> guidance;
   const auto reset_session = [&] {
+    guidance.reset();
     if (!session_sat) return;
     session.emplace();
     session_cid.reset();
@@ -237,11 +247,17 @@ RedundancyRemovalStats remove_redundancies(Netlist& nl,
       const std::size_t end = std::min(idx + window, faults.size());
       nl.topo_order();
       nl.fanouts();  // warm the lazy caches before the parallel region
+      if (guided_search && !guidance) {
+        guidance.emplace(AtpgGuidance::build(nl));
+      }
+      atpg_opt.guidance = guidance ? &*guidance : nullptr;
       std::vector<FaultVerdict> verdicts;
       try {
         verdicts = parallel_map<FaultVerdict>(
             end - idx, /*grain=*/1,
-            [&](std::size_t k) { return evaluate_fault(nl, faults[idx + k], opt); });
+            [&](std::size_t k) {
+              return evaluate_fault(nl, faults[idx + k], opt, atpg_opt);
+            });
       } catch (const robust::CancelledError&) {
         stopped = true;
         break;
@@ -331,12 +347,19 @@ RedundancyRemovalStats remove_redundancies(Netlist& nl,
 
 bool is_irredundant(const Netlist& nl, const AtpgOptions& opt) {
   // The netlist is const here, so one session encoding serves every
-  // SAT-completed fault (the one-shot backend keeps the per-fault miters).
+  // SAT-completed fault (the one-shot backend keeps the per-fault miters),
+  // and one guidance build serves every strategy-driven PODEM call.
+  AtpgOptions eff = opt;
+  std::optional<AtpgGuidance> guidance;
+  if (!eff.strategy.is_legacy() && eff.guidance == nullptr) {
+    guidance.emplace(AtpgGuidance::build(nl));
+    eff.guidance = &*guidance;
+  }
   std::optional<SatSession> session;
   std::optional<SatSession::CircuitId> cid;
   if (sat_backend() == SatBackend::Session) session.emplace();
   for (const StuckFault& f : enumerate_faults(nl, /*collapse=*/true)) {
-    const AtpgResult r = run_podem(nl, f, opt);
+    const AtpgResult r = run_podem(nl, f, eff);
     if (r.status == AtpgStatus::Detected) continue;
     if (r.status == AtpgStatus::Aborted) {
       // Same completion step as remove_redundancies: let SAT decide.

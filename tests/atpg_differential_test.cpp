@@ -1,0 +1,222 @@
+// Verdict-differential suite for the strategy-driven PODEM (DESIGN.md §16):
+// search-order policies may change decisions and backtrack counts, never
+// verdicts. Against a baseline unlimited-backtrack legacy PODEM, every
+// (backtrace, frontier) policy combination must return the identical
+// Detected/Untestable status for every fault; under a finite budget the
+// only permitted difference is Aborted resolving to a real verdict.
+// The guided_atpg pipeline inherits the same invariant across strategy and
+// fault-order combinations, and is byte-identical at --jobs=1 and --jobs=4.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "atpg/guided.hpp"
+#include "atpg/podem.hpp"
+#include "atpg/scoap.hpp"
+#include "exec/exec.hpp"
+#include "faults/fault_sim.hpp"
+#include "gen/circuits.hpp"
+#include "util/rng.hpp"
+
+namespace compsyn {
+namespace {
+
+/// Restores the job count on scope exit.
+struct JobsGuard {
+  JobsGuard() : prev(jobs()) {}
+  ~JobsGuard() { set_jobs(prev); }
+  unsigned prev;
+};
+
+constexpr BacktracePolicy kBacktrace[] = {
+    BacktracePolicy::Legacy, BacktracePolicy::Level, BacktracePolicy::Scoap};
+constexpr FrontierPolicy kFrontier[] = {
+    FrontierPolicy::Legacy, FrontierPolicy::Level, FrontierPolicy::Scoap};
+
+/// Per-fault verdicts at an unlimited budget under one strategy.
+std::vector<AtpgStatus> verdicts(const Netlist& nl,
+                                 const std::vector<StuckFault>& faults,
+                                 AtpgStrategy strategy,
+                                 const AtpgGuidance* guidance,
+                                 std::uint64_t backtrack_limit = 0) {
+  AtpgOptions opt;
+  opt.backtrack_limit = backtrack_limit;
+  opt.strategy = strategy;
+  opt.guidance = guidance;
+  std::vector<AtpgStatus> out;
+  out.reserve(faults.size());
+  for (const StuckFault& f : faults) out.push_back(run_podem(nl, f, opt).status);
+  return out;
+}
+
+TEST(AtpgDifferential, AllStrategyCombosMatchBaselineOnGenSuite) {
+  for (const char* name : {"c17", "s27", "add8", "cmp8"}) {
+    Netlist nl = make_benchmark(name);
+    const auto faults = enumerate_faults(nl, true);
+    const AtpgGuidance guidance = AtpgGuidance::build(nl);
+    const auto ref = verdicts(nl, faults, {}, nullptr);
+    for (AtpgStatus s : ref) ASSERT_NE(s, AtpgStatus::Aborted) << name;
+    for (BacktracePolicy bt : kBacktrace) {
+      for (FrontierPolicy fr : kFrontier) {
+        const auto got = verdicts(nl, faults, {bt, fr}, &guidance);
+        for (std::size_t i = 0; i < faults.size(); ++i) {
+          EXPECT_EQ(got[i], ref[i])
+              << name << " bt=" << to_string(bt) << " fr=" << to_string(fr)
+              << " fault " << to_string(nl, faults[i]);
+        }
+      }
+    }
+  }
+}
+
+TEST(AtpgDifferential, DetectedTestsStayValidUnderEveryStrategy) {
+  // Not only the verdict: each strategy's Detected result must carry a test
+  // the fault simulator confirms.
+  Netlist nl = make_benchmark("cmp8");
+  const auto faults = enumerate_faults(nl, true);
+  const AtpgGuidance guidance = AtpgGuidance::build(nl);
+  for (BacktracePolicy bt : kBacktrace) {
+    for (FrontierPolicy fr : kFrontier) {
+      AtpgOptions opt;
+      opt.backtrack_limit = 0;
+      opt.strategy = {bt, fr};
+      opt.guidance = &guidance;
+      for (const StuckFault& f : faults) {
+        const AtpgResult r = run_podem(nl, f, opt);
+        if (r.status != AtpgStatus::Detected) continue;
+        FaultSimulator sim(nl, {f});
+        std::vector<std::uint64_t> pi(r.test.size());
+        for (std::size_t i = 0; i < r.test.size(); ++i) {
+          pi[i] = r.test[i] ? 1ull : 0ull;
+        }
+        EXPECT_FALSE(sim.simulate_block(pi, 0).empty())
+            << to_string(nl, f) << " bt=" << to_string(bt)
+            << " fr=" << to_string(fr);
+      }
+    }
+  }
+}
+
+TEST(AtpgDifferential, FiniteBudgetMayOnlyResolveAborts) {
+  // Random 20-gate circuits carry redundancies; at backtrack_limit=1 a
+  // strategy may abort, but a non-Aborted answer must equal the unlimited
+  // reference -- a budget can never flip Detected <-> Untestable.
+  Rng gen(97);
+  for (int trial = 0; trial < 8; ++trial) {
+    Netlist nl("r");
+    std::vector<NodeId> pool;
+    for (int i = 0; i < 5; ++i) pool.push_back(nl.add_input());
+    const GateType kinds[] = {GateType::And, GateType::Or,  GateType::Nand,
+                              GateType::Nor, GateType::Not, GateType::Xor};
+    for (int i = 0; i < 20; ++i) {
+      const GateType t = kinds[gen.below(6)];
+      const unsigned arity = t == GateType::Not ? 1 : 2;
+      std::vector<NodeId> fi;
+      for (unsigned j = 0; j < arity; ++j) {
+        fi.push_back(pool[gen.below(pool.size())]);
+      }
+      pool.push_back(nl.add_gate(t, fi));
+    }
+    nl.mark_output(pool.back());
+    nl.sweep();
+    const auto faults = enumerate_faults(nl, true);
+    const AtpgGuidance guidance = AtpgGuidance::build(nl);
+    const auto ref = verdicts(nl, faults, {}, nullptr);
+    for (BacktracePolicy bt : kBacktrace) {
+      for (FrontierPolicy fr : kFrontier) {
+        for (std::uint64_t limit : {1ull, 4ull}) {
+          const auto got = verdicts(nl, faults, {bt, fr}, &guidance, limit);
+          for (std::size_t i = 0; i < faults.size(); ++i) {
+            if (got[i] == AtpgStatus::Aborted) continue;
+            EXPECT_EQ(got[i], ref[i])
+                << "trial " << trial << " limit " << limit
+                << " bt=" << to_string(bt) << " fr=" << to_string(fr);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(AtpgDifferential, MissingGuidanceDegradesToLegacy) {
+  // A non-legacy strategy without a guidance table must behave exactly like
+  // the legacy engine (same verdicts, same backtrack counts) rather than
+  // read stale metrics.
+  Netlist nl = make_benchmark("add8");
+  const auto faults = enumerate_faults(nl, true);
+  for (const StuckFault& f : faults) {
+    AtpgOptions legacy;
+    legacy.backtrack_limit = 0;
+    AtpgOptions blind;
+    blind.backtrack_limit = 0;
+    blind.strategy = {BacktracePolicy::Scoap, FrontierPolicy::Scoap};
+    blind.guidance = nullptr;
+    const AtpgResult a = run_podem(nl, f, legacy);
+    const AtpgResult b = run_podem(nl, f, blind);
+    EXPECT_EQ(a.status, b.status) << to_string(nl, f);
+    EXPECT_EQ(a.backtracks, b.backtracks) << to_string(nl, f);
+    EXPECT_EQ(a.decisions, b.decisions) << to_string(nl, f);
+    EXPECT_EQ(a.test, b.test) << to_string(nl, f);
+  }
+}
+
+TEST(AtpgDifferential, GuidedPipelineVerdictInvariant) {
+  // The full pipeline (RTPG + ordering + PODEM + X-fill dropping) keeps the
+  // per-fault Detected/Untestable vector identical across every strategy and
+  // fault-order combination at an unlimited budget.
+  const FaultOrderPolicy orders[] = {FaultOrderPolicy::Index,
+                                     FaultOrderPolicy::HardFirst,
+                                     FaultOrderPolicy::Cone};
+  for (const char* name : {"s27", "cmp8"}) {
+    Netlist nl = make_benchmark(name);
+    GuidedAtpgOptions base;
+    base.backtrack_limit = 0;
+    const GuidedAtpgResult ref = guided_atpg(nl, base);
+    EXPECT_EQ(ref.aborted, 0u);
+    for (BacktracePolicy bt : kBacktrace) {
+      for (FrontierPolicy fr : kFrontier) {
+        for (FaultOrderPolicy ord : orders) {
+          GuidedAtpgOptions opt = base;
+          opt.strategy = {bt, fr};
+          opt.order = ord;
+          const GuidedAtpgResult got = guided_atpg(nl, opt);
+          EXPECT_EQ(got.faults.size(), ref.faults.size()) << name;
+          EXPECT_EQ(got.status, ref.status)
+              << name << " bt=" << to_string(bt) << " fr=" << to_string(fr)
+              << " ord=" << to_string(ord);
+          EXPECT_EQ(got.detected, ref.detected) << name;
+          EXPECT_EQ(got.untestable, ref.untestable) << name;
+          EXPECT_EQ(got.aborted, 0u) << name;
+        }
+      }
+    }
+  }
+}
+
+TEST(AtpgDifferential, GuidedPipelineJobsInvariant) {
+  // The pipeline's only parallel component is the fault simulator, whose
+  // chunked merge is jobs-invariant; the whole result must be byte-equal
+  // at jobs=1 and jobs=4.
+  JobsGuard guard;
+  Netlist nl = make_benchmark("cmp8");
+  GuidedAtpgOptions opt;
+  opt.backtrack_limit = 0;
+  opt.strategy = {BacktracePolicy::Scoap, FrontierPolicy::Scoap};
+  opt.order = FaultOrderPolicy::HardFirst;
+  set_jobs(1);
+  const GuidedAtpgResult a = guided_atpg(nl, opt);
+  set_jobs(4);
+  const GuidedAtpgResult b = guided_atpg(nl, opt);
+  EXPECT_EQ(a.status, b.status);
+  EXPECT_EQ(a.patterns, b.patterns);
+  EXPECT_EQ(a.detected, b.detected);
+  EXPECT_EQ(a.untestable, b.untestable);
+  EXPECT_EQ(a.podem_calls, b.podem_calls);
+  EXPECT_EQ(a.backtracks, b.backtracks);
+  EXPECT_EQ(a.rtpg.patterns_applied, b.rtpg.patterns_applied);
+  EXPECT_EQ(a.rtpg.patterns_kept, b.rtpg.patterns_kept);
+  EXPECT_EQ(a.rtpg.detected, b.rtpg.detected);
+}
+
+}  // namespace
+}  // namespace compsyn
